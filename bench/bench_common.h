@@ -1,0 +1,45 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Each bench prints the rows/series of one table or figure from the
+// paper's evaluation (§6). Absolute numbers differ from the paper's
+// testbed (AVM-32 interpreter vs. real hardware + VMware); the *shape* of
+// each result is what EXPERIMENTS.md compares.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/avmm/config.h"
+
+namespace avm {
+
+// The paper's five evaluation configurations (Figure 5/6/7's x-axis).
+inline std::vector<RunConfig> PaperConfigs() {
+  return {RunConfig::BareHw(), RunConfig::VmNoRec(), RunConfig::VmRec(), RunConfig::AvmmNoSig(),
+          RunConfig::AvmmRsa768()};
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_result) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper: %s\n", paper_result);
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+// Scale note shared by every bench that runs the simulator.
+inline void PrintScaleNote() {
+  std::printf(
+      "  (AVM-32 substrate: guest runs at %u instr/simulated-us; numbers\n"
+      "   are shape-comparable, not absolute-comparable, to the paper.)\n\n",
+      RunConfig().ips_per_us);
+}
+
+}  // namespace avm
+
+#endif  // BENCH_BENCH_COMMON_H_

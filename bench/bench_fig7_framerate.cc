@@ -1,0 +1,62 @@
+// Figure 7: frame rate per configuration (uncapped).
+//
+// Paper: 158 fps on bare hardware, dropping ~13% to 137 fps on the full
+// avmm-rsa768 stack; the largest single step is enabling recording in
+// VMware (-11%).
+//
+// Here the game renders frames as fast as the wall clock allows; the
+// metric is frames rendered per wall second for each of the three
+// machines (two players + the host running the server).
+#include "bench/bench_common.h"
+#include "src/sim/scenario.h"
+
+namespace avm {
+namespace {
+
+void Run() {
+  std::printf("  %-14s %12s %12s %12s %10s\n", "config", "server", "player1", "player2",
+              "p1 vs bare");
+  double bare_fps = 0;
+  for (const RunConfig& run : PaperConfigs()) {
+    GameScenarioConfig cfg;
+    cfg.run = run;
+    cfg.num_players = 2;
+    cfg.seed = 7;
+    // A heavier scene: rendering dominates each frame the way it does on
+    // real hardware, so the accountability overhead lands on top of a
+    // realistic compute budget rather than a trivial one.
+    cfg.client.render_iters = 10000;
+    GameScenario game(cfg);
+    game.Start();
+    WallTimer t;
+    game.RunFor(10 * kMicrosPerSecond);
+    double wall = t.ElapsedSeconds();
+    game.Finish();
+
+    double server_fps = static_cast<double>(game.server().stats().frames_rendered) / wall;
+    double p1_fps = static_cast<double>(game.player(0).stats().frames_rendered) / wall;
+    double p2_fps = static_cast<double>(game.player(1).stats().frames_rendered) / wall;
+    if (run.mode == RunConfig::Mode::kBareHw) {
+      bare_fps = p1_fps;
+    }
+    std::printf("  %-14s %12.0f %12.0f %12.0f %9.1f%%\n", run.Name(), server_fps, p1_fps, p2_fps,
+                100.0 * p1_fps / std::max(bare_fps, 1e-9));
+  }
+  PrintRule();
+  std::printf("  shape check vs paper: frame rate declines monotonically from\n");
+  std::printf("  bare-hw to avmm-rsa768; recording and signing are the main steps;\n");
+  std::printf("  the total drop stays moderate (paper: 13%%).\n");
+  std::printf("  (all machines share one wall clock here, so the three columns move\n");
+  std::printf("   together; the paper's variation came from scene complexity.)\n");
+}
+
+}  // namespace
+}  // namespace avm
+
+int main() {
+  avm::PrintHeader("Figure 7: uncapped frame rate per configuration",
+                   "158 fps bare-hw -> 137 fps avmm-rsa768 (-13%)");
+  avm::PrintScaleNote();
+  avm::Run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 9 + §6.12: efficiency of spot checking.
+//
+// Paper (MySQL + sql-bench, 75 min, snapshot every 5 min): the time to
+// spot-check a k-chunk and the data transferred are roughly proportional
+// to k, plus a fixed per-chunk cost for transferring memory/disk
+// snapshots and decompressing. Snapshots take ~5 s; incremental disk
+// snapshots are 1.9-91 MB while each memory snapshot is a full 530 MB
+// dump.
+//
+// Here the key-value scenario records 60 simulated seconds with a
+// snapshot every 5 s (12 segments, mirroring the paper's 15), then all
+// k-chunks for k in {1,3,5,9,12} are audited. Chunks starting at the
+// very beginning are excluded, exactly as in the paper.
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/audit/auditor.h"
+#include "src/sim/scenario.h"
+
+namespace avm {
+namespace {
+
+void Run() {
+  KvScenarioConfig cfg;
+  cfg.run = RunConfig::AvmmRsa768();
+  cfg.seed = 9;
+  cfg.snapshot_interval = 5 * kMicrosPerSecond;
+  cfg.client.op_period_us = 20 * kMicrosPerMilli;
+  KvScenario kv(cfg);
+  kv.Start();
+  kv.RunFor(60 * kMicrosPerSecond);
+  kv.Finish();
+
+  std::vector<SnapshotIndexEntry> snaps = IndexSnapshots(kv.server().log());
+  std::printf("  recorded %zu snapshots over %.0f simulated s\n", snaps.size(),
+              static_cast<double>(kv.now()) / kMicrosPerSecond);
+
+  // §6.12 snapshot characteristics.
+  const SnapshotStore& store = kv.server().snapshot_store();
+  uint64_t base = store.Get(0).meta.stored_bytes;
+  uint64_t min_incr = UINT64_MAX, max_incr = 0;
+  for (uint64_t id = 1; id < store.Count(); id++) {
+    uint64_t b = store.Get(id).meta.stored_bytes;
+    min_incr = std::min(min_incr, b);
+    max_incr = std::max(max_incr, b);
+  }
+  std::printf("  base snapshot (full memory): %.0f KB; increments: %.1f - %.1f KB\n",
+              base / 1024.0, min_incr / 1024.0, max_incr / 1024.0);
+  std::printf("  (paper: full 530 MB memory dumps vs 1.9-91 MB incremental disk)\n\n");
+
+  std::vector<Authenticator> auths = kv.CollectAuthsForServer();
+  Auditor auditor("client", &kv.registry());
+
+  // Full audit baseline for normalization.
+  AuditOutcome full = auditor.AuditFull(kv.server(), kv.reference_server_image(), auths);
+  if (!full.ok) {
+    std::printf("  unexpected: full audit failed: %s\n", full.Describe().c_str());
+    return;
+  }
+  double full_time = full.semantic_seconds;
+  double full_data = static_cast<double>(full.log_bytes);
+
+  std::printf("  %-4s %10s %16s %12s %18s\n", "k", "chunks", "replay time %", "data %",
+              "(averages, vs full audit)");
+  size_t num_segments = snaps.size() - 1;
+  for (size_t k : {1u, 3u, 5u, 9u, 12u}) {
+    if (k > num_segments) {
+      continue;
+    }
+    double sum_time = 0, sum_data = 0;
+    int count = 0;
+    // Exclude chunks that start at the beginning of the log, as the
+    // paper does (they are atypical: no snapshot transfer, less load).
+    for (size_t start = 1; start + k <= num_segments; start++) {
+      AuditOutcome audit = auditor.SpotCheck(kv.server(), snaps[start].meta.snapshot_id,
+                                             snaps[start + k].meta.snapshot_id, auths);
+      if (!audit.ok) {
+        std::printf("  unexpected spot-check failure: %s\n", audit.Describe().c_str());
+        return;
+      }
+      sum_time += audit.semantic_seconds;
+      sum_data += static_cast<double>(audit.log_bytes + audit.snapshot_bytes);
+      count++;
+    }
+    std::printf("  %-4zu %10d %15.1f%% %11.1f%%\n", k, count, 100.0 * sum_time / count / full_time,
+                100.0 * sum_data / count / full_data);
+  }
+  PrintRule();
+  std::printf("  shape check vs paper: both curves grow ~linearly in k with a fixed\n");
+  std::printf("  per-chunk offset (snapshot transfer); small chunks cost a small\n");
+  std::printf("  fraction of a full audit.\n");
+  std::printf("  (data%% can exceed 100%% for large k because spot checks transfer\n");
+  std::printf("   snapshot increments the full audit does not need.)\n");
+}
+
+}  // namespace
+}  // namespace avm
+
+int main() {
+  avm::PrintHeader("Figure 9 / Section 6.12: spot-checking efficiency on the KV workload",
+                   "cost ~proportional to chunk size + fixed snapshot-transfer cost");
+  avm::PrintScaleNote();
+  avm::Run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// §6.7: network traffic overhead.
+//
+// Paper: the game host sends 22 kbps bare vs 215.5 kbps with avmm-rsa768
+// (~10x), because Counterstrike's packets are tiny (50-60 bytes at
+// 26 packets/s) so the fixed per-packet cost (one signature on the data
+// frame, one on each acknowledgment, plus authenticators and framing)
+// dominates. Absolute traffic stays trivially low for broadband.
+#include "bench/bench_common.h"
+#include "src/sim/scenario.h"
+
+namespace avm {
+namespace {
+
+void Run() {
+  std::printf("  %-14s %12s %12s %14s %12s\n", "config", "guest kbps", "wire kbps", "amplification",
+              "frames/s");
+  double bare_wire = 0;
+  double avmm_wire = 0;
+  for (const RunConfig& run : PaperConfigs()) {
+    GameScenarioConfig cfg;
+    cfg.run = run;
+    cfg.num_players = 2;
+    cfg.seed = 67;
+    GameScenario game(cfg);
+    game.Start();
+    game.RunFor(10 * kMicrosPerSecond);
+    game.Finish();
+
+    double secs = static_cast<double>(game.now()) / kMicrosPerSecond;
+    const Avmm& p = game.player(0);
+    const TrafficStats& wire = game.network().StatsFor(p.id());
+
+    // Guest-level payload bytes (what the game itself produced).
+    uint64_t guest_bytes = 0;
+    uint64_t guest_pkts = p.stats().guest_packets_sent;
+    // STATE packets are 32 bytes; use the MAC trace for the exact count.
+    guest_bytes = guest_pkts * 32;
+
+    double guest_kbps = guest_bytes * 8.0 / 1000.0 / secs;
+    double wire_kbps = static_cast<double>(wire.bytes_sent) * 8.0 / 1000.0 / secs;
+    double frames_per_s = static_cast<double>(wire.frames_sent) / secs;
+    std::printf("  %-14s %12.2f %12.2f %13.1fx %12.1f\n", run.Name(), guest_kbps, wire_kbps,
+                wire_kbps / std::max(guest_kbps, 1e-9), frames_per_s);
+    if (run.mode == RunConfig::Mode::kBareHw) {
+      bare_wire = wire_kbps;
+    }
+    if (run.mode == RunConfig::Mode::kAvmm && run.scheme == SignatureScheme::kRsa768) {
+      avmm_wire = wire_kbps;
+    }
+  }
+  PrintRule();
+  std::printf("  avmm-rsa768 / bare-hw wire traffic: %.1fx (paper: 215.5/22 = 9.8x)\n",
+              avmm_wire / std::max(bare_wire, 1e-9));
+  std::printf("  shape check vs paper: the relative increase is large because the\n");
+  std::printf("  per-packet accountability overhead (signature + authenticator +\n");
+  std::printf("  signed ack) dwarfs the tiny game payloads; absolute rates stay\n");
+  std::printf("  well within a slow uplink.\n");
+}
+
+}  // namespace
+}  // namespace avm
+
+int main() {
+  avm::PrintHeader("Section 6.7: network traffic per configuration",
+                   "22 kbps bare-hw -> 215.5 kbps avmm-rsa768 (~10x) on tiny game packets");
+  avm::PrintScaleNote();
+  avm::Run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Table 1: Detectability of Counterstrike cheats.
+//
+// Paper row structure:
+//   Total number of cheats examined                      26
+//   Cheats detectable with AVMs                          26
+//   ... in this specific implementation of the cheat     22
+//   ... no matter how the cheat is implemented            4
+//   Cheats not detectable with AVMs                       0
+//
+// This bench (a) reproduces those counts from the cheat catalog's
+// class-1/class-2 taxonomy, and (b) functionally validates a
+// representative subset by actually running each cheat in a game and
+// auditing the cheater (§6.3's functionality check: 4 cheats run live).
+#include "bench/bench_common.h"
+#include "src/apps/cheats.h"
+#include "src/sim/scenario.h"
+
+namespace avm {
+namespace {
+
+void CatalogCounts() {
+  const auto& catalog = CheatCatalog();
+  int total = static_cast<int>(catalog.size());
+  int class1 = 0, class2 = 0, detectable = 0;
+  for (const CheatInfo& c : catalog) {
+    if (c.class1_install) {
+      class1++;
+    }
+    if (c.class2_network) {
+      class2++;
+    }
+    if (c.class1_install || c.class2_network) {
+      detectable++;
+    }
+  }
+  std::printf("Total number of cheats examined                    %4d\n", total);
+  std::printf("Cheats detectable with AVMs                        %4d\n", detectable);
+  std::printf("... in this specific implementation of the cheat   %4d\n", detectable - class2);
+  std::printf("... no matter how the cheat is implemented         %4d\n", class2);
+  std::printf("Cheats not detectable with AVMs                    %4d\n", total - detectable);
+  PrintRule();
+  std::printf("catalog by family:\n");
+  for (const char* family : {"aimbot", "wallhack", "state", "misc"}) {
+    int n = 0;
+    for (const CheatInfo& c : catalog) {
+      if (c.family == family) {
+        n++;
+      }
+    }
+    std::printf("  %-10s %2d\n", family, n);
+  }
+}
+
+void FunctionalCheck() {
+  std::printf("\nfunctional check (a cheater plays 2s and is audited, like §6.3):\n");
+  std::printf("  %-22s %-12s %-9s %s\n", "cheat", "mechanism", "expected", "audit result");
+  const struct {
+    RunnableCheat cheat;
+    const char* mechanism;
+  } kRuns[] = {
+      {RunnableCheat::kUnlimitedAmmo, "memory-poke"},
+      {RunnableCheat::kTeleport, "memory-poke"},
+      {RunnableCheat::kAimbotImage, "image-patch"},
+      {RunnableCheat::kWallhackImage, "image-patch"},
+      {RunnableCheat::kForgedInputAimbot, "forged-input"},
+  };
+  for (const auto& run : kRuns) {
+    GameScenarioConfig cfg;
+    cfg.run = RunConfig::AvmmNoSig();
+    cfg.num_players = 2;
+    cfg.seed = 100 + static_cast<uint64_t>(run.cheat);
+    cfg.client.render_iters = 300;
+    GameScenario game(cfg);
+    game.SetCheat(0, run.cheat);
+    game.Start();
+    game.RunFor(2 * kMicrosPerSecond);
+    game.Finish();
+    AuditOutcome audit = game.AuditPlayer(0);
+    bool expected_detect = CheatDetectableByAvm(run.cheat);
+    bool detected = !audit.ok;
+    std::printf("  %-22s %-12s %-9s %s%s\n", RunnableCheatName(run.cheat), run.mechanism,
+                expected_detect ? "detected" : "silent", detected ? "FAULT" : "pass",
+                detected == expected_detect ? "" : "  << UNEXPECTED");
+  }
+  std::printf("  (external-input-aimbot passing is the documented §4.8 limitation:\n"
+              "   inputs forged outside the AVM replay consistently.)\n");
+
+  // §7.2 ablation: the same forged-input cheat with signing keyboards.
+  GameScenarioConfig cfg;
+  cfg.run = RunConfig::AvmmNoSig();
+  cfg.num_players = 2;
+  cfg.seed = 200;
+  cfg.client.render_iters = 300;
+  cfg.attested_input = true;
+  GameScenario game(cfg);
+  game.SetCheat(0, RunnableCheat::kForgedInputAimbot);
+  game.Start();
+  game.RunFor(2 * kMicrosPerSecond);
+  game.Finish();
+  AuditOutcome audit = game.AuditPlayer(0);
+  std::printf("  %-22s %-12s %-9s %s   (§7.2 trusted input)\n", "external-input-aimbot",
+              "forged-input", "detected", audit.ok ? "pass  << UNEXPECTED" : "FAULT");
+}
+
+}  // namespace
+}  // namespace avm
+
+int main() {
+  avm::PrintHeader("Table 1: detectability of the 26-cheat catalog",
+                   "26 examined / 26 detectable / 22 impl-specific / 4 any-impl / 0 undetectable");
+  avm::CatalogCounts();
+  avm::FunctionalCheck();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Multi-party accountability in a federated system (§4.6).
+//
+// Three independently operated nodes exchange messages. One node stops
+// answering Alice's audit request while continuing to talk to Charlie
+// (the "appear dead to some, alive to others" attack). Alice broadcasts
+// a challenge; every peer suspends communication with the accused until
+// it answers; a correct node answers (its log segment is relayed back)
+// and is resumed, while a truly unresponsive node stays cut off and ends
+// up suspected by everyone.
+#include <cstdio>
+
+#include "src/avmm/transport.h"
+
+int main() {
+  using namespace avm;
+
+  Prng rng(99);
+  RunConfig cfg = RunConfig::AvmmRsa768();
+  SimNetwork net;
+  KeyRegistry registry;
+
+  struct Node {
+    std::unique_ptr<Signer> signer;
+    std::unique_ptr<TamperEvidentLog> log;
+    std::unique_ptr<AuthenticatorStore> auths;
+    std::unique_ptr<Transport> transport;
+  };
+  std::map<NodeId, Node> nodes;
+  for (const char* id : {"alice", "bob", "charlie"}) {
+    Node n;
+    n.signer = std::make_unique<Signer>(id, cfg.scheme, rng);
+    registry.RegisterSigner(*n.signer);
+    nodes[id] = std::move(n);
+  }
+  for (auto& [id, n] : nodes) {
+    n.log = std::make_unique<TamperEvidentLog>(id);
+    n.auths = std::make_unique<AuthenticatorStore>();
+    n.transport = std::make_unique<Transport>(id, &cfg, n.log.get(), n.signer.get(), &net,
+                                              &registry, n.auths.get());
+    net.AttachHost(id, n.transport.get());
+  }
+  // Bob answers challenges by producing the requested log segment.
+  nodes["bob"].transport->SetChallengeHandler([&](const ChallengeFrame&) {
+    const TamperEvidentLog& log = *nodes["bob"].log;
+    if (log.empty()) {
+      return Bytes();
+    }
+    return log.Extract(1, log.LastSeq()).Serialize();
+  });
+  Bytes challenge_response;
+  nodes["alice"].transport->SetChallengeResponseHandler(
+      [&](const ChallengeResponseFrame& r) { challenge_response = r.body; });
+
+  // Normal operation: everyone exchanges application messages.
+  SimTime now = 0;
+  for (int round = 0; round < 5; round++) {
+    nodes["alice"].transport->SendPacket(now, "bob", ToBytes("work-item"));
+    nodes["bob"].transport->SendPacket(now, "charlie", ToBytes("gossip"));
+    nodes["charlie"].transport->SendPacket(now, "alice", ToBytes("report"));
+    now += 10 * kMicrosPerMilli;
+    net.DeliverUntil(now);
+  }
+  std::printf("federation running: bob's log has %zu entries, alice holds %zu of bob's auths\n",
+              nodes["bob"].log->size(), nodes["alice"].auths->CountFor("bob"));
+
+  // Bob ignores Alice (network trouble or malice), but keeps working with
+  // Charlie. Alice escalates: she forwards the unanswered request as a
+  // challenge to every peer.
+  std::printf("\nalice's audit request to bob goes unanswered; she broadcasts a challenge\n");
+  ChallengeFrame challenge{"alice", "bob", 1, ToBytes("produce log segment [1, end]")};
+  nodes["alice"].transport->SendChallenge(now, "charlie", challenge);
+  now += 100;  // One hop: charlie received it and suspended bob.
+  net.DeliverUntil(now);
+  std::printf("charlie suspends bob: %s\n",
+              nodes["charlie"].transport->IsSuspended("bob") ? "yes" : "no");
+
+  // While suspended, charlie's application traffic to bob is blocked.
+  nodes["charlie"].transport->SendPacket(now, "bob", ToBytes("blocked?"));
+  std::printf("charlie->bob application traffic dropped: %llu frame(s)\n",
+              static_cast<unsigned long long>(
+                  nodes["charlie"].transport->stats().dropped_suspended));
+
+  // Bob is actually correct -- he answers the relayed challenge, the
+  // response reaches charlie, and (per §4.6) it is forwarded to alice.
+  now += kMicrosPerSecond;
+  net.DeliverUntil(now);
+  std::printf("\nbob answered the challenge: charlie resumes him: suspended=%s\n",
+              nodes["charlie"].transport->IsSuspended("bob") ? "yes" : "no");
+
+  // Verify the produced segment really is bob's committed log.
+  if (!challenge_response.empty()) {
+    LogSegment seg = LogSegment::Deserialize(challenge_response);
+    std::vector<Authenticator> auths = nodes["alice"].auths->AllFor("bob");
+    CheckResult check = VerifyAgainstAuthenticators(seg, auths, registry);
+    std::printf("alice verifies the produced segment against her authenticators: %s\n",
+                check.ok ? "GENUINE" : ("FAIL: " + check.reason).c_str());
+    return check.ok ? 0 : 1;
+  }
+  // The charlie-relayed response goes to charlie; in this in-process
+  // demo, alice's copy may ride the direct channel instead.
+  std::printf("(challenge answered via relay; federation unblocked)\n");
+  return nodes["charlie"].transport->IsSuspended("bob") ? 1 : 0;
+}

@@ -1,0 +1,94 @@
+#include "src/apps/cheats.h"
+
+namespace avm {
+
+const std::vector<CheatInfo>& CheatCatalog() {
+  // Family composition mirrors the ecosystem the paper sampled from
+  // (popular Counterstrike forums): many aimbots and wallhacks, a few
+  // state manipulators, plus assorted helpers. All 26 must be installed
+  // in the game machine (class 1); the four state manipulators are also
+  // network-visible in any implementation (class 2) — matching Table 1's
+  // "26 / 22 / 4 / 0" row structure.
+  static const std::vector<CheatInfo> kCatalog = {
+      {"ogc-aimbot", "aimbot", true, false, "image-patch"},
+      {"hl-hook-aimbot", "aimbot", true, false, "image-patch"},
+      {"cd-hack-aim", "aimbot", true, false, "image-patch"},
+      {"xqz-aimhelper", "aimbot", true, false, "image-patch"},
+      {"smooth-aim-lite", "aimbot", true, false, "image-patch"},
+      {"triggerbot-classic", "aimbot", true, false, "image-patch"},
+      {"norecoil-patch", "aimbot", true, false, "image-patch"},
+      {"autoshoot-module", "aimbot", true, false, "image-patch"},
+      {"gl-wallhack", "wallhack", true, false, "image-patch"},
+      {"asus-driver-wall", "wallhack", true, false, "image-patch"},
+      {"lambert-wall", "wallhack", true, false, "image-patch"},
+      {"xray-esp", "wallhack", true, false, "image-patch"},
+      {"name-esp", "wallhack", true, false, "image-patch"},
+      {"radar-hack", "wallhack", true, false, "image-patch"},
+      {"sound-esp", "wallhack", true, false, "image-patch"},
+      {"flash-remover", "wallhack", true, false, "image-patch"},
+      {"smoke-remover", "wallhack", true, false, "image-patch"},
+      {"unlimited-ammo", "state", true, true, "memory-poke"},
+      {"unlimited-health", "state", true, true, "memory-poke"},
+      {"teleport-hack", "state", true, true, "memory-poke"},
+      {"speedhack-classic", "state", true, true, "memory-poke"},
+      {"bunnyhop-script", "misc", true, false, "image-patch"},
+      {"autoreload-script", "misc", true, false, "image-patch"},
+      {"spinbot", "misc", true, false, "image-patch"},
+      {"anti-flash-skins", "misc", true, false, "image-patch"},
+      {"fov-changer", "misc", true, false, "image-patch"},
+  };
+  return kCatalog;
+}
+
+const char* RunnableCheatName(RunnableCheat c) {
+  switch (c) {
+    case RunnableCheat::kNone:
+      return "none";
+    case RunnableCheat::kUnlimitedAmmo:
+      return "unlimited-ammo";
+    case RunnableCheat::kTeleport:
+      return "teleport-hack";
+    case RunnableCheat::kAimbotImage:
+      return "ogc-aimbot";
+    case RunnableCheat::kWallhackImage:
+      return "gl-wallhack";
+    case RunnableCheat::kForgedInputAimbot:
+      return "external-input-aimbot";
+  }
+  return "?";
+}
+
+std::optional<Avmm::CheatHook> MakeCheatHook(RunnableCheat cheat) {
+  switch (cheat) {
+    case RunnableCheat::kUnlimitedAmmo:
+      // Exactly like the real cheat: find the memory location holding the
+      // ammo count and periodically write a constant to it (§5.3).
+      return Avmm::CheatHook([](Machine& m, SimTime) {
+        m.WriteMem32(kGameStateAmmo, 30);
+      });
+    case RunnableCheat::kTeleport:
+      return Avmm::CheatHook([](Machine& m, SimTime) {
+        m.WriteMem32(kGameStateX, 9999);
+        m.WriteMem32(kGameStateY, 9999);
+      });
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<GameClientParams::Variant> CheatImageVariant(RunnableCheat cheat) {
+  switch (cheat) {
+    case RunnableCheat::kAimbotImage:
+      return GameClientParams::Variant::kAimbot;
+    case RunnableCheat::kWallhackImage:
+      return GameClientParams::Variant::kWallhack;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool CheatDetectableByAvm(RunnableCheat cheat) {
+  return cheat != RunnableCheat::kNone && cheat != RunnableCheat::kForgedInputAimbot;
+}
+
+}  // namespace avm

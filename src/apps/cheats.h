@@ -1,0 +1,70 @@
+// The cheat catalog for Table 1 and the functional cheat experiments
+// (§5.3/§5.4/§6.3).
+//
+// The paper examines 26 real Counterstrike cheats and classifies them:
+//  * class 1 — the cheat must be installed inside the game machine (as a
+//    module, patch or companion program); detectable because replay from
+//    the reference image diverges.
+//  * class 2 — the cheat makes the network-visible behavior inconsistent
+//    with *any* correct execution; detectable no matter how implemented.
+// All 26 are in class 1; at least 4 are also in class 2.
+//
+// Here each catalog entry mirrors one real cheat family. A representative
+// subset is runnable against the game in src/apps/game.h, implemented the
+// way real cheats work: memory pokes from outside the guest, modified
+// images, or synthesized inputs.
+#ifndef SRC_APPS_CHEATS_H_
+#define SRC_APPS_CHEATS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apps/game.h"
+#include "src/avmm/recorder.h"
+
+namespace avm {
+
+struct CheatInfo {
+  std::string name;
+  std::string family;  // aimbot | wallhack | state | speed | misc
+  bool class1_install = true;   // Must be installed in the AVM image.
+  bool class2_network = false;  // Network-inconsistent in any implementation.
+  // Which runnable mechanism (if any) demonstrates it in this repo.
+  std::string mechanism;  // "memory-poke" | "image-patch" | "forged-input" | ""
+};
+
+// The 26-entry catalog (Table 1's population).
+const std::vector<CheatInfo>& CheatCatalog();
+
+// Runnable cheats. Each corresponds to a mechanism used by real cheats.
+enum class RunnableCheat {
+  kNone,
+  // Host-side memory pokes (class 2: no correct execution matches).
+  kUnlimitedAmmo,  // Rewrites the ammo counter every quantum.
+  kTeleport,       // Rewrites the position every quantum.
+  // Modified images (class 1: divergence from the reference image).
+  kAimbotImage,
+  kWallhackImage,
+  // Forged local inputs from outside the AVM: the §5.4 re-engineered
+  // aimbot. NOT detectable by an AVM audit (documented limitation, §4.8).
+  kForgedInputAimbot,
+};
+
+const char* RunnableCheatName(RunnableCheat c);
+
+// Returns a hook to install via Avmm::SetCheatHook, or nullopt when the
+// cheat is not hook-based (image variants are selected at build time via
+// GameClientParams::Variant; forged inputs are injected by the scenario).
+std::optional<Avmm::CheatHook> MakeCheatHook(RunnableCheat cheat);
+
+// For image-based cheats: the client variant to build.
+std::optional<GameClientParams::Variant> CheatImageVariant(RunnableCheat cheat);
+
+// True if an AVM audit is expected to detect this cheat (everything except
+// the forged-input aimbot).
+bool CheatDetectableByAvm(RunnableCheat cheat);
+
+}  // namespace avm
+
+#endif  // SRC_APPS_CHEATS_H_

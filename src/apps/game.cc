@@ -1,0 +1,324 @@
+#include "src/apps/game.h"
+
+#include <string>
+
+#include "src/vm/assembler.h"
+
+namespace avm {
+
+namespace {
+
+// Replaces every occurrence of `key` in `s` with `value`.
+void Subst(std::string& s, const std::string& key, const std::string& value) {
+  size_t pos = 0;
+  while ((pos = s.find(key, pos)) != std::string::npos) {
+    s.replace(pos, key.size(), value);
+    pos += value.size();
+  }
+}
+
+constexpr char kClientAsm[] = R"(
+; ---- game client (AVM-32) ----
+; r0 is kept zero by convention. State block at 0x8000:
+;   +0 x, +4 y, +8 ammo, +12 shots, +16 id, +20 frame deadline, +24 send ctr
+    jmp init
+    jmp irqh            ; interrupt vector (interrupts stay disabled)
+irqh:
+    iret
+
+init:
+    movi r0, 0
+    la sp, 0xD000
+wait_id:
+    in r1, INPUT        ; host delivers the player id as the first input
+    beq r1, r0, wait_id
+    la r2, 0x8000
+    sw r1, [r2+16]
+    movi r3, 100
+    sw r3, [r2+0]
+    sw r3, [r2+4]
+    la r3, @AMMO@
+    sw r3, [r2+8]
+    sw r0, [r2+12]
+    sw r0, [r2+24]
+    in r4, CLOCK_LO
+    la r5, @PERIOD@
+    add r4, r5
+    sw r4, [r2+20]
+
+frame:
+@PACING@
+    in r4, CLOCK_LO     ; frame timestamp (goes into the STATE packet)
+
+input_loop:
+    in r1, INPUT
+    beq r1, r0, input_done
+    movi r3, 1
+    bne r1, r3, not_up
+    lw r5, [r2+4]
+    addi r5, -1
+    sw r5, [r2+4]
+    jmp input_loop
+not_up:
+    movi r3, 2
+    bne r1, r3, not_down
+    lw r5, [r2+4]
+    addi r5, 1
+    sw r5, [r2+4]
+    jmp input_loop
+not_down:
+    movi r3, 3
+    bne r1, r3, not_left
+    lw r5, [r2+0]
+    addi r5, -1
+    sw r5, [r2+0]
+    jmp input_loop
+not_left:
+    movi r3, 4
+    bne r1, r3, not_right
+    lw r5, [r2+0]
+    addi r5, 1
+    sw r5, [r2+0]
+    jmp input_loop
+not_right:
+    movi r3, 5
+    bne r1, r3, input_loop
+    lw r5, [r2+8]       ; fire: needs ammo
+    beq r5, r0, input_loop
+    addi r5, -1
+    sw r5, [r2+8]
+    lw r5, [r2+12]
+    addi r5, 1
+    sw r5, [r2+12]
+    jmp input_loop
+input_done:
+
+@AUTOFIRE@
+
+    lw r5, [r2+24]      ; send STATE every @SEND_IV@-th frame
+    addi r5, 1
+    sw r5, [r2+24]
+    movi r3, @SEND_IV@
+    remu r5, r3
+    bne r5, r0, no_send
+    la r6, TX_BUF       ; [dst=0][type=1][id][x][y][ammo][shots][t]
+    sw r0, [r6+0]
+    movi r3, 1
+    sw r3, [r6+4]
+    lw r3, [r2+16]
+    sw r3, [r6+8]
+    lw r3, [r2+0]
+    sw r3, [r6+12]
+    lw r3, [r2+4]
+    sw r3, [r6+16]
+    lw r3, [r2+8]
+    sw r3, [r6+20]
+    lw r3, [r2+12]
+    sw r3, [r6+24]
+    sw r4, [r6+28]
+    movi r1, 32
+    out r1, NET_TXLEN
+no_send:
+
+    in r1, NET_RXLEN    ; poll for world updates
+    beq r1, r0, no_rx
+    la r6, RX_BUF
+    lw r3, [r6+4]
+    movi r5, 2
+    bne r3, r5, rx_done
+    lw r5, [r6+8]       ; n entries
+    la r7, 0x8100
+    sw r5, [r7+0]
+    movi r8, 0
+    addi r6, 12
+    addi r7, 4
+world_copy:
+    bgeu r8, r5, rx_done
+    lw r3, [r6+0]
+    sw r3, [r7+0]
+    lw r3, [r6+4]
+    sw r3, [r7+4]
+    lw r3, [r6+8]
+    sw r3, [r7+8]
+    addi r6, 12
+    addi r7, 12
+    addi r8, 1
+    jmp world_copy
+rx_done:
+    out r0, NET_RXDONE
+no_rx:
+
+@WALLHACK@
+
+    la r9, @RENDER@     ; render: fixed busy work per frame
+    movi r10, 0x1234
+render_loop:
+    beq r9, r0, render_done
+    mul r10, r9
+    xor r10, r9
+    addi r9, -1
+    jmp render_loop
+render_done:
+    la r11, 0x9000      ; scribble into the "framebuffer" page
+    sw r10, [r11+0]
+    out r0, FRAME
+    jmp frame
+)";
+
+constexpr char kPacingBlock[] = R"(
+    lw r5, [r2+20]      ; busy-wait until the frame deadline (cap on)
+pace_loop:
+    movi r3, 60         ; ~a real clock syscall's worth of work per poll
+pace_pad:
+    addi r3, -1
+    bne r3, r0, pace_pad
+    in r4, CLOCK_LO
+    bltu r4, r5, pace_loop
+    la r3, @PERIOD@
+    add r5, r3
+    sw r5, [r2+20]
+)";
+
+constexpr char kAutofireBlock[] = R"(
+    ; AIMBOT: auto-aim and fire whenever any enemy is visible
+    la r7, 0x8100
+    lw r5, [r7+0]
+    beq r5, r0, af_done
+    lw r5, [r2+8]
+    beq r5, r0, af_done
+    addi r5, -1
+    sw r5, [r2+8]
+    lw r5, [r2+12]
+    addi r5, 1
+    sw r5, [r2+12]
+af_done:
+)";
+
+constexpr char kWallhackBlock[] = R"(
+    ; WALLHACK: leak hidden world state to the local display
+    la r7, 0x8100
+    lw r5, [r7+0]
+    beq r5, r0, wh_done
+    lw r3, [r7+4]
+    out r3, CONSOLE
+wh_done:
+)";
+
+constexpr char kServerAsm[] = R"(
+; ---- game server (AVM-32) ----
+; World table at 0x8000: @MAXP@ slots of 20 bytes (present,x,y,ammo,shots).
+    jmp sinit
+    jmp sirq
+sirq:
+    iret
+
+sinit:
+    movi r0, 0
+    in r4, CLOCK_LO
+    la r5, @BCAST@
+    add r4, r5
+    mov r6, r4          ; next broadcast deadline
+
+sloop:
+    in r1, NET_RXLEN
+    beq r1, r0, s_norx
+    la r7, RX_BUF
+    lw r3, [r7+4]
+    movi r5, 1
+    bne r3, r5, s_rxdone
+    lw r5, [r7+8]       ; player id == peer index
+    movi r3, 20
+    mul r5, r3
+    la r3, 0x8000
+    add r5, r3
+    movi r3, 1
+    sw r3, [r5+0]
+    lw r3, [r7+12]
+    sw r3, [r5+4]
+    lw r3, [r7+16]
+    sw r3, [r5+8]
+    lw r3, [r7+20]
+    sw r3, [r5+12]
+    lw r3, [r7+24]
+    sw r3, [r5+16]
+s_rxdone:
+    out r0, NET_RXDONE
+s_norx:
+
+    in r4, CLOCK_LO
+    bltu r4, r6, s_work
+    la r5, @BCAST@
+    add r6, r5
+    la r7, TX_BUF       ; [dst=-1][type=2][n][(id,x,y)...]
+    movi r3, -1
+    sw r3, [r7+0]
+    movi r3, 2
+    sw r3, [r7+4]
+    movi r8, 0
+    movi r9, 0
+    mov r10, r7
+    addi r10, 12
+s_slot_loop:
+    movi r3, @MAXP@
+    bgeu r8, r3, s_slots_done
+    mov r5, r8
+    movi r3, 20
+    mul r5, r3
+    la r3, 0x8000
+    add r5, r3
+    lw r3, [r5+0]
+    beq r3, r0, s_next_slot
+    sw r8, [r10+0]
+    lw r3, [r5+4]
+    sw r3, [r10+4]
+    lw r3, [r5+8]
+    sw r3, [r10+8]
+    addi r10, 12
+    addi r9, 1
+s_next_slot:
+    addi r8, 1
+    jmp s_slot_loop
+s_slots_done:
+    sw r9, [r7+8]
+    movi r3, 12
+    mul r9, r3
+    addi r9, 12
+    mov r1, r9
+    out r1, NET_TXLEN
+s_work:
+    la r9, @WORK@
+s_work_loop:
+    beq r9, r0, s_tick
+    addi r9, -1
+    jmp s_work_loop
+s_tick:
+    out r0, FRAME
+    jmp sloop
+)";
+
+}  // namespace
+
+Bytes BuildGameClientImage(const GameClientParams& params) {
+  std::string src = kClientAsm;
+  std::string pacing = params.frame_cap ? kPacingBlock : "";
+  Subst(src, "@PACING@", pacing);
+  Subst(src, "@AUTOFIRE@",
+        params.variant == GameClientParams::Variant::kAimbot ? kAutofireBlock : "");
+  Subst(src, "@WALLHACK@",
+        params.variant == GameClientParams::Variant::kWallhack ? kWallhackBlock : "");
+  Subst(src, "@AMMO@", std::to_string(params.ammo_init));
+  Subst(src, "@PERIOD@", std::to_string(params.frame_period_us));
+  Subst(src, "@SEND_IV@", std::to_string(params.send_interval));
+  Subst(src, "@RENDER@", std::to_string(params.render_iters));
+  return Assemble(src);
+}
+
+Bytes BuildGameServerImage(const GameServerParams& params) {
+  std::string src = kServerAsm;
+  Subst(src, "@BCAST@", std::to_string(params.broadcast_period_us));
+  Subst(src, "@MAXP@", std::to_string(params.max_players));
+  Subst(src, "@WORK@", std::to_string(params.work_iters));
+  return Assemble(src);
+}
+
+}  // namespace avm

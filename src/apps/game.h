@@ -1,0 +1,65 @@
+// The multiplayer shooter used for the evaluation: a Counterstrike-like
+// client/server game written in AVM-32 assembly (§5.2's "agreed-upon VM
+// image"). Clients process inputs, track position/ammo/shots, send state
+// to the server at a fixed cadence and render frames as fast as the CPU
+// allows (or busy-wait on the clock when the frame cap is on, which
+// reproduces §6.5's log-inflation behavior). The server aggregates player
+// state and broadcasts the world.
+#ifndef SRC_APPS_GAME_H_
+#define SRC_APPS_GAME_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace avm {
+
+// Fixed guest-memory layout of the client (needed by the host-side cheat
+// injectors, exactly like real cheats that poke game memory).
+constexpr uint32_t kGameStateAddr = 0x8000;
+constexpr uint32_t kGameStateX = kGameStateAddr + 0;
+constexpr uint32_t kGameStateY = kGameStateAddr + 4;
+constexpr uint32_t kGameStateAmmo = kGameStateAddr + 8;
+constexpr uint32_t kGameStateShots = kGameStateAddr + 12;
+constexpr uint32_t kGameStateId = kGameStateAddr + 16;
+constexpr uint32_t kGameWorldAddr = 0x8100;  // [count][(id,x,y)...]
+
+// Input event codes fed through the INPUT port.
+constexpr uint32_t kInputUp = 1;
+constexpr uint32_t kInputDown = 2;
+constexpr uint32_t kInputLeft = 3;
+constexpr uint32_t kInputRight = 4;
+constexpr uint32_t kInputFire = 5;
+
+// Guest packet types (first payload word after the routing header).
+constexpr uint32_t kPktState = 1;  // client -> server
+constexpr uint32_t kPktWorld = 2;  // server -> broadcast
+
+struct GameClientParams {
+  enum class Variant {
+    kReference,  // The agreed-upon image.
+    kAimbot,     // Modified image: auto-aims and fires at any visible enemy.
+    kWallhack,   // Modified image: leaks hidden world state to the console.
+  };
+  Variant variant = Variant::kReference;
+  uint32_t render_iters = 2000;      // Per-frame busy work ("rendering").
+  bool frame_cap = false;            // Busy-wait pacing loop (§6.5).
+  uint32_t frame_period_us = 13889;  // 72 fps, the game's default cap.
+  uint32_t send_interval = 40;       // Send STATE every n-th frame (~26 pps at typical frame rates, like Counterstrike).
+  uint32_t ammo_init = 30;
+};
+
+struct GameServerParams {
+  uint32_t broadcast_period_us = 38461;  // ~26 packets/s, like Counterstrike.
+  uint32_t work_iters = 500;             // Per-tick server load.
+  uint32_t max_players = 8;
+};
+
+// Assembles the client/server images. Every player must use the identical
+// reference image; variants model cheats installed inside the image.
+Bytes BuildGameClientImage(const GameClientParams& params);
+Bytes BuildGameServerImage(const GameServerParams& params);
+
+}  // namespace avm
+
+#endif  // SRC_APPS_GAME_H_

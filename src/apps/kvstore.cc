@@ -1,0 +1,150 @@
+#include "src/apps/kvstore.h"
+
+#include <string>
+
+#include "src/vm/assembler.h"
+
+namespace avm {
+
+namespace {
+
+void Subst(std::string& s, const std::string& key, const std::string& value) {
+  size_t pos = 0;
+  while ((pos = s.find(key, pos)) != std::string::npos) {
+    s.replace(pos, key.size(), value);
+    pos += value.size();
+  }
+}
+
+constexpr char kServerAsm[] = R"(
+; ---- key-value server (AVM-32, interrupt-driven) ----
+; Table of @NKEYS@ u32 slots at 0x10000. Requests arrive via RX interrupt.
+    jmp kinit
+    jmp kirq
+
+kirq:
+    in r1, IRQ_CAUSE
+    movi r3, 1          ; IRQ_NET_RX
+    bne r1, r3, k_iret
+    in r1, NET_RXLEN
+    beq r1, r0, k_iret
+    la r7, RX_BUF
+    lw r4, [r7+0]       ; requester peer index
+    lw r5, [r7+4]       ; op
+    lw r6, [r7+8]       ; key
+    lw r8, [r7+12]      ; value (PUT)
+    mov r9, r6
+    la r3, @NKEYS@
+    remu r9, r3
+    movi r3, 4
+    mul r9, r3
+    la r3, 0x10000
+    add r9, r3
+    movi r3, 1
+    bne r5, r3, k_get
+    lw r10, [r9+0]      ; PUT: reply with the old value
+    sw r8, [r9+0]
+    movi r11, 3
+    jmp k_reply
+k_get:
+    lw r10, [r9+0]
+    movi r11, 4
+k_reply:
+    la r7, TX_BUF       ; [dst=requester][reply op][key][value]
+    sw r4, [r7+0]
+    sw r11, [r7+4]
+    sw r6, [r7+8]
+    sw r10, [r7+12]
+    movi r1, 16
+    out r1, NET_TXLEN
+    out r0, NET_RXDONE
+k_iret:
+    iret
+
+kinit:
+    movi r0, 0
+    ei
+k_main:
+    la r9, @WORK@
+k_wloop:
+    beq r9, r0, k_tick
+    addi r9, -1
+    jmp k_wloop
+k_tick:
+    out r0, FRAME
+    jmp k_main
+)";
+
+constexpr char kClientAsm[] = R"(
+; ---- key-value load client (AVM-32) ----
+    jmp cinit
+    jmp cirq
+cirq:
+    iret
+
+cinit:
+    movi r0, 0
+c_wait_id:
+    in r1, INPUT
+    beq r1, r0, c_wait_id
+    mov r12, r1         ; own peer index (informational)
+    in r4, CLOCK_LO
+    la r5, @OP_PERIOD@
+    add r4, r5
+    mov r6, r4          ; next request deadline
+
+c_loop:
+    in r4, CLOCK_LO
+    bltu r4, r6, c_rx
+    la r5, @OP_PERIOD@
+    add r6, r5
+    in r7, RAND         ; choose op, key and value from hardware RNG
+    mov r8, r7
+    movi r3, 2
+    remu r8, r3
+    addi r8, 1          ; 1=PUT, 2=GET
+    la r9, TX_BUF
+    sw r0, [r9+0]       ; server is peer 0
+    sw r8, [r9+4]
+    mov r10, r7
+    la r3, @KEYSPACE@
+    remu r10, r3
+    sw r10, [r9+8]
+    sw r7, [r9+12]
+    movi r1, 16
+    out r1, NET_TXLEN
+c_rx:
+    in r1, NET_RXLEN
+    beq r1, r0, c_work
+    la r9, RX_BUF
+    lw r3, [r9+4]       ; reply op (read for realism)
+    out r0, NET_RXDONE
+c_work:
+    la r9, @WORK@
+c_wloop:
+    beq r9, r0, c_tick
+    addi r9, -1
+    jmp c_wloop
+c_tick:
+    out r0, FRAME
+    jmp c_loop
+)";
+
+}  // namespace
+
+Bytes BuildKvServerImage(const KvServerParams& params) {
+  std::string src = kServerAsm;
+  Subst(src, "@NKEYS@", std::to_string(params.num_keys));
+  Subst(src, "@WORK@", std::to_string(params.work_iters));
+  return Assemble(src);
+}
+
+Bytes BuildKvClientImage(const KvClientParams& params) {
+  std::string src = kClientAsm;
+  Subst(src, "@OP_PERIOD@", std::to_string(params.op_period_us));
+  Subst(src, "@KEYSPACE@", std::to_string(params.keyspace));
+  Subst(src, "@WORK@", std::to_string(params.work_iters));
+  return Assemble(src);
+}
+
+}  // namespace avm

@@ -1,0 +1,42 @@
+// The client/server workload for the spot-checking experiment (§6.12).
+// The paper uses MySQL + sql-bench; here an interrupt-driven key-value
+// server and a load-generating client, both in AVM-32 assembly, exercise
+// the same machinery: a long-running stateful server, periodic snapshots,
+// and segment-bounded replay.
+#ifndef SRC_APPS_KVSTORE_H_
+#define SRC_APPS_KVSTORE_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace avm {
+
+// Guest memory layout of the server's table (for tests).
+constexpr uint32_t kKvTableAddr = 0x10000;
+
+// Request/reply ops (first payload word after the routing header).
+constexpr uint32_t kKvOpPut = 1;
+constexpr uint32_t kKvOpGet = 2;
+constexpr uint32_t kKvOpPutReply = 3;
+constexpr uint32_t kKvOpGetReply = 4;
+
+struct KvServerParams {
+  uint32_t num_keys = 4096;   // Table slots (4 bytes each).
+  uint32_t work_iters = 200;  // Background work per main-loop tick.
+};
+
+struct KvClientParams {
+  uint32_t op_period_us = 2000;  // One request every 2 simulated ms.
+  uint32_t keyspace = 4096;
+  uint32_t work_iters = 200;
+};
+
+// The server is interrupt-driven (exercises IRQ delivery + replay of
+// async events); the client paces itself on the clock.
+Bytes BuildKvServerImage(const KvServerParams& params);
+Bytes BuildKvClientImage(const KvClientParams& params);
+
+}  // namespace avm
+
+#endif  // SRC_APPS_KVSTORE_H_

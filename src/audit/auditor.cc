@@ -1,0 +1,277 @@
+#include "src/audit/auditor.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "src/avmm/attested_input.h"
+#include "src/avmm/message.h"
+#include "src/util/serde.h"
+#include "src/vm/trace.h"
+
+namespace avm {
+
+namespace {
+
+// Parses the (MessageRecord, payload_sig) pair stored in SEND/RECV entries.
+bool ParseMessageEntry(const LogEntry& e, MessageRecord* msg, Bytes* sig) {
+  try {
+    Reader r(e.content);
+    *msg = MessageRecord::Deserialize(r.Blob());
+    *sig = r.Blob();
+    r.ExpectEnd();
+    return true;
+  } catch (const SerdeError&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& registry,
+                                  const AuditConfig& cfg) {
+  // RECV payloads waiting to be delivered into the guest (FIFO).
+  std::deque<Bytes> recv_queue;
+  // Tail (bytes after the 4-byte dst header) of the latest guest TX.
+  Bytes current_tx_tail;
+  bool have_tx = false;
+  // msg_ids this node has sent (for ack pairing).
+  std::map<std::pair<NodeId, uint64_t>, bool> sent_ids;
+
+  for (const LogEntry& e : segment.entries) {
+    switch (e.type) {
+      case EntryType::kSend: {
+        MessageRecord msg;
+        Bytes sig;
+        if (!ParseMessageEntry(e, &msg, &sig)) {
+          return CheckResult::Fail("malformed SEND entry", e.seq);
+        }
+        if (msg.src != segment.node) {
+          return CheckResult::Fail("SEND entry with foreign source", e.seq);
+        }
+        if (!registry.Verify(msg.src, msg.Serialize(), sig)) {
+          return CheckResult::Fail("SEND payload signature invalid", e.seq);
+        }
+        // Cross-reference: the sent payload must be derived from the most
+        // recent packet the guest actually transmitted ([src_idx] + tail).
+        if (msg.payload.size() < 4 ||
+            (cfg.strict_message_crossref &&
+             (!have_tx ||
+              !BytesEqual(ByteView(msg.payload).subspan(4), current_tx_tail)))) {
+          return CheckResult::Fail("SEND does not correspond to a guest transmission", e.seq);
+        }
+        sent_ids[{msg.dst, msg.msg_id}] = true;
+        break;
+      }
+      case EntryType::kRecv: {
+        MessageRecord msg;
+        Bytes sig;
+        if (!ParseMessageEntry(e, &msg, &sig)) {
+          return CheckResult::Fail("malformed RECV entry", e.seq);
+        }
+        if (msg.dst != segment.node) {
+          return CheckResult::Fail("RECV entry with foreign destination", e.seq);
+        }
+        if (!registry.Verify(msg.src, msg.Serialize(), sig)) {
+          return CheckResult::Fail("RECV payload signature invalid", e.seq);
+        }
+        recv_queue.push_back(msg.payload);
+        break;
+      }
+      case EntryType::kAck: {
+        AckFrame ack;
+        try {
+          ack = AckFrame::Deserialize(e.content);
+        } catch (const SerdeError&) {
+          return CheckResult::Fail("malformed ACK entry", e.seq);
+        }
+        if (ack.orig_src != segment.node) {
+          return CheckResult::Fail("ACK entry for a foreign message", e.seq);
+        }
+        if (cfg.strict_message_crossref &&
+            sent_ids.find({ack.acker, ack.msg_id}) == sent_ids.end()) {
+          return CheckResult::Fail("ACK for a message never sent", e.seq);
+        }
+        if (!ack.auth.VerifySignature(registry)) {
+          return CheckResult::Fail("ACK carries an invalid authenticator", e.seq);
+        }
+        break;
+      }
+      case EntryType::kTraceTime:
+      case EntryType::kTraceMac:
+      case EntryType::kTraceOther: {
+        TraceEvent ev;
+        try {
+          ev = TraceEvent::Deserialize(e.content);
+        } catch (const SerdeError&) {
+          return CheckResult::Fail("malformed trace entry", e.seq);
+        }
+        if (ClassifyTraceEvent(ev) != e.type) {
+          return CheckResult::Fail("trace entry filed under the wrong stream", e.seq);
+        }
+        if (ev.kind == TraceKind::kOutPacket) {
+          if (ev.data.size() < 4) {
+            return CheckResult::Fail("guest TX packet shorter than its header", e.seq);
+          }
+          current_tx_tail.assign(ev.data.begin() + 4, ev.data.end());
+          have_tx = true;
+        } else if (ev.kind == TraceKind::kDmaPacket) {
+          // Every packet delivered into the AVM must be one the machine
+          // actually received (in order).
+          if (recv_queue.empty()) {
+            if (cfg.strict_message_crossref) {
+              return CheckResult::Fail("packet delivered into AVM without matching RECV", e.seq);
+            }
+          } else if (BytesEqual(recv_queue.front(), ev.data)) {
+            recv_queue.pop_front();
+          } else if (cfg.strict_message_crossref) {
+            return CheckResult::Fail("delivered packet differs from received message", e.seq);
+          }
+        }
+        break;
+      }
+      case EntryType::kSnapshot: {
+        try {
+          SnapshotMeta::Deserialize(e.content);
+        } catch (const SerdeError&) {
+          return CheckResult::Fail("malformed snapshot entry", e.seq);
+        }
+        break;
+      }
+      case EntryType::kInfo:
+        break;
+    }
+  }
+  return CheckResult::Ok();
+}
+
+std::vector<SnapshotIndexEntry> IndexSnapshots(const TamperEvidentLog& log) {
+  std::vector<SnapshotIndexEntry> out;
+  for (const LogEntry& e : log.entries()) {
+    if (e.type == EntryType::kSnapshot) {
+      out.push_back({e.seq, SnapshotMeta::Deserialize(e.content)});
+    }
+  }
+  return out;
+}
+
+std::string AuditOutcome::Describe() const {
+  std::ostringstream os;
+  if (ok) {
+    os << "PASS";
+  } else if (!syntactic.ok) {
+    os << "FAIL (syntactic): " << syntactic.reason << " at seq " << syntactic.bad_seq;
+  } else {
+    os << "FAIL (semantic): " << semantic.reason << " at seq " << semantic.diverged_seq;
+  }
+  return os.str();
+}
+
+AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
+                          std::span<const Authenticator> auths, ByteView reference_image,
+                          const MaterializedState* start_state, uint64_t snapshot_bytes,
+                          bool strict_crossref) {
+  AuditOutcome out;
+  out.log_bytes = segment.Serialize().size();
+  out.snapshot_bytes = snapshot_bytes;
+
+  WallTimer syn_timer;
+  out.syntactic = VerifyAgainstAuthenticators(segment, auths, *registry_);
+  if (out.syntactic.ok) {
+    AuditConfig cfg = cfg_;
+    cfg.strict_message_crossref = strict_crossref;
+    out.syntactic = SyntacticMessageCheck(segment, *registry_, cfg);
+  }
+  if (out.syntactic.ok && cfg_.attested_input) {
+    out.syntactic = VerifyAttestedInputs(segment, *registry_);
+  }
+  out.syntactic_seconds = syn_timer.ElapsedSeconds();
+
+  if (!out.syntactic.ok) {
+    Evidence ev;
+    ev.kind = EvidenceKind::kProtocolViolation;
+    ev.accused = target.id();
+    ev.claim = out.syntactic.reason;
+    ev.segment = segment.Serialize();
+    for (const Authenticator& a : auths) {
+      ev.auths.push_back(a.Serialize());
+    }
+    ev.mem_size = cfg_.mem_size;
+    out.evidence = std::move(ev);
+    out.ok = false;
+    return out;
+  }
+
+  WallTimer sem_timer;
+  out.semantic = start_state != nullptr
+                     ? ReplaySegment(segment, *start_state)
+                     : ReplaySegment(segment, reference_image, cfg_.mem_size);
+  out.semantic_seconds = sem_timer.ElapsedSeconds();
+
+  out.ok = out.semantic.ok;
+  if (!out.ok) {
+    Evidence ev;
+    ev.kind = EvidenceKind::kReplayDivergence;
+    ev.accused = target.id();
+    ev.claim = out.semantic.reason;
+    ev.segment = segment.Serialize();
+    for (const Authenticator& a : auths) {
+      ev.auths.push_back(a.Serialize());
+    }
+    if (start_state != nullptr) {
+      // Ship the snapshot increments so a third party can materialize the
+      // same (verified) start state.
+      const SnapshotStore& store = target.snapshot_store();
+      uint64_t start_id = SnapshotMeta::Deserialize(segment.entries.front().content).snapshot_id;
+      for (uint64_t id = 0; id <= start_id; id++) {
+        ev.snapshot_deltas.push_back(store.Get(id).Serialize());
+      }
+    }
+    ev.mem_size = cfg_.mem_size;
+    out.evidence = std::move(ev);
+  }
+  return out;
+}
+
+AuditOutcome Auditor::AuditFull(const Avmm& target, ByteView reference_image,
+                                std::span<const Authenticator> auths) {
+  LogSegment segment = target.log().Extract(1, target.log().LastSeq());
+  return Run(target, segment, auths, reference_image, nullptr, 0, /*strict_crossref=*/true);
+}
+
+AuditOutcome Auditor::SpotCheck(const Avmm& target, uint64_t from_snapshot_id,
+                                uint64_t to_snapshot_id, std::span<const Authenticator> auths) {
+  std::vector<SnapshotIndexEntry> snaps = IndexSnapshots(target.log());
+  const SnapshotIndexEntry* from = nullptr;
+  const SnapshotIndexEntry* to = nullptr;
+  for (const auto& s : snaps) {
+    if (s.meta.snapshot_id == from_snapshot_id) {
+      from = &s;
+    }
+    if (s.meta.snapshot_id == to_snapshot_id) {
+      to = &s;
+    }
+  }
+  if (from == nullptr || to == nullptr || from->seq > to->seq) {
+    AuditOutcome out;
+    out.syntactic = CheckResult::Fail("requested snapshots not found in log");
+    return out;
+  }
+
+  LogSegment segment = target.log().Extract(from->seq, to->seq);
+  // The auditor asks the machine to commit to the segment's endpoint
+  // (the paper's "retrieve a pair of authenticators ... and challenge M
+  // to produce the log segment that connects them").
+  std::vector<Authenticator> all_auths(auths.begin(), auths.end());
+  all_auths.push_back(target.CommitLogAt(to->seq));
+  // "Download" the snapshot increments and materialize the start state.
+  // Its Merkle root is verified by the replayer against the first
+  // kSnapshot entry of the (chain-verified) segment.
+  MaterializedState start =
+      target.snapshot_store().Materialize(from_snapshot_id, cfg_.mem_size);
+  uint64_t snapshot_bytes = target.snapshot_store().TransferBytesUpTo(from_snapshot_id);
+  return Run(target, segment, all_auths, ByteView(), &start, snapshot_bytes,
+             /*strict_crossref=*/false);
+}
+
+}  // namespace avm

@@ -1,0 +1,98 @@
+// Auditing (§4.5): the syntactic check (log well-formedness, signatures,
+// ack pairing, message/trace cross-referencing) and the semantic check
+// (deterministic replay), plus full-audit and spot-check drivers.
+#ifndef SRC_AUDIT_AUDITOR_H_
+#define SRC_AUDIT_AUDITOR_H_
+
+#include <optional>
+#include <span>
+
+#include "src/audit/evidence.h"
+#include "src/audit/replayer.h"
+#include "src/avmm/recorder.h"
+#include "src/tel/verifier.h"
+
+namespace avm {
+
+struct AuditConfig {
+  size_t mem_size = 256 * 1024;
+  // §7.2 extension: the audited node's inputs are signed by a trusted
+  // input device whose key is registered as "<node>/input"; the
+  // syntactic check then verifies every consumed input event.
+  bool attested_input = false;
+  // Full audits cross-reference the message stream against the MAC-layer
+  // trace strictly (every DMA delivery must match the RECV queue in FIFO
+  // order). Spot-check segments can begin mid-queue, so the check is
+  // relaxed to packets visible within the segment.
+  bool strict_message_crossref = true;
+};
+
+// The §4.4/§4.5 syntactic check on a segment whose chain/authenticators
+// have already been (or will be) verified:
+//  * every entry parses according to its type;
+//  * SEND/RECV records name this node as src/dst respectively;
+//  * payload signatures inside SEND/RECV entries verify;
+//  * every ACK corresponds to an earlier SEND;
+//  * packets the guest transmitted (MAC OUT) match the SEND stream, and
+//    packets delivered into the guest (MAC DMA) match the RECV stream —
+//    this is the cross-reference that catches an AVMM forging, dropping
+//    or modifying messages between the network and the AVM.
+CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& registry,
+                                  const AuditConfig& cfg);
+
+struct AuditOutcome {
+  bool ok = false;
+  CheckResult syntactic;
+  ReplayResult semantic;
+  double syntactic_seconds = 0;
+  double semantic_seconds = 0;
+  uint64_t log_bytes = 0;       // "Downloaded" segment size.
+  uint64_t snapshot_bytes = 0;  // "Downloaded" snapshot increments size.
+  std::optional<Evidence> evidence;  // Present iff a fault was found.
+
+  std::string Describe() const;
+};
+
+// Drives audits against a (possibly remote, here in-process) AVMM.
+// The auditor trusts only: the key registry, the reference image, and the
+// authenticators it has collected; everything read from `target` is
+// treated as untrusted input and verified.
+class Auditor {
+ public:
+  Auditor(NodeId self, const KeyRegistry* registry, AuditConfig cfg = {})
+      : self_(std::move(self)), registry_(registry), cfg_(cfg) {}
+
+  // Full audit: verify the whole log and replay it from the reference
+  // image (§4.5). `auths` are the authenticators this auditor collected
+  // for the target during the execution.
+  AuditOutcome AuditFull(const Avmm& target, ByteView reference_image,
+                         std::span<const Authenticator> auths);
+
+  // Spot check (§3.5/§6.12): audit only the chunk between two snapshots,
+  // starting replay from the (verified) snapshot at `from_snapshot_id`.
+  AuditOutcome SpotCheck(const Avmm& target, uint64_t from_snapshot_id, uint64_t to_snapshot_id,
+                         std::span<const Authenticator> auths);
+
+  const AuditConfig& config() const { return cfg_; }
+
+ private:
+  AuditOutcome Run(const Avmm& target, const LogSegment& segment,
+                   std::span<const Authenticator> auths, ByteView reference_image,
+                   const MaterializedState* start_state, uint64_t snapshot_bytes,
+                   bool strict_crossref);
+
+  NodeId self_;
+  const KeyRegistry* registry_;
+  AuditConfig cfg_;
+};
+
+// Positions (seq) and metadata of the kSnapshot entries in a log.
+struct SnapshotIndexEntry {
+  uint64_t seq;
+  SnapshotMeta meta;
+};
+std::vector<SnapshotIndexEntry> IndexSnapshots(const TamperEvidentLog& log);
+
+}  // namespace avm
+
+#endif  // SRC_AUDIT_AUDITOR_H_

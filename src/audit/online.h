@@ -1,0 +1,47 @@
+// Online auditing (§6.11): incrementally replay another machine's log
+// while its execution is still in progress, so cheating is detected as
+// soon as the externally visible behavior diverges.
+#ifndef SRC_AUDIT_ONLINE_H_
+#define SRC_AUDIT_ONLINE_H_
+
+#include "src/audit/replayer.h"
+#include "src/tel/log.h"
+
+namespace avm {
+
+class OnlineAuditor {
+ public:
+  // Follows `target_log` (the auditee's live log), replaying from the
+  // reference image. The log object outlives the auditor and grows
+  // between Poll() calls; in-process this models streaming log transfer.
+  OnlineAuditor(const TamperEvidentLog* target_log, ByteView reference_image, size_t mem_size)
+      : log_(target_log), replayer_(reference_image, mem_size) {}
+
+  // Replays all entries appended since the last poll. Returns the
+  // cumulative replay status; a divergence is final.
+  ReplayResult Poll() {
+    uint64_t last = log_->LastSeq();
+    if (next_seq_ > last) {
+      return replayer_.result();
+    }
+    std::span<const LogEntry> all(log_->entries());
+    ReplayResult r = replayer_.Feed(all.subspan(next_seq_ - 1, last - next_seq_ + 1));
+    next_seq_ = last + 1;
+    return r;
+  }
+
+  // Entries appended but not yet audited (the "auditing falls behind the
+  // game" metric of §6.11).
+  uint64_t LagEntries() const { return log_->LastSeq() + 1 - next_seq_; }
+  uint64_t consumed_seq() const { return next_seq_ - 1; }
+  const StreamingReplayer& replayer() const { return replayer_; }
+
+ private:
+  const TamperEvidentLog* log_;
+  StreamingReplayer replayer_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace avm
+
+#endif  // SRC_AUDIT_ONLINE_H_

@@ -1,0 +1,100 @@
+// Analysis during replay (§7.5).
+//
+// AVMs deliberately classify anything the reference image can do as
+// correct — including executions where an attacker exploits a bug in the
+// guest software itself (§4.8). But deterministic replay is a perfect
+// substrate for expensive offline analysis: "techniques whose runtime
+// costs are too high for deployment in a live system could be used
+// during an off-line replay ... to detect bugs, vulnerabilities and
+// attacks as part of a normal audit."
+//
+// ReplayAnalyzer re-executes a (chain-verified) log the same way the
+// semantic check does, but additionally streams every retired
+// instruction past a set of analysis passes: memory watchpoints,
+// write-range policies ("the guest must never write its code pages"),
+// and a taint-style tracker that flags control flow reaching
+// network-derived bytes. Findings do not make the machine "faulty" in
+// the AVM sense — they diagnose the *software*, which is exactly the
+// paper's framing.
+#ifndef SRC_AUDIT_REPLAY_ANALYSIS_H_
+#define SRC_AUDIT_REPLAY_ANALYSIS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/audit/replayer.h"
+#include "src/tel/log.h"
+#include "src/vm/isa.h"
+#include "src/vm/machine.h"
+
+namespace avm {
+
+struct AnalysisFinding {
+  std::string pass;     // Which analysis produced it.
+  std::string detail;
+  uint64_t icount = 0;  // Where in the execution.
+  uint32_t pc = 0;
+  uint32_t addr = 0;    // Memory address, when applicable.
+};
+
+// One analysis pass. Hooks are invoked on the *replayed* execution.
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+  virtual std::string Name() const = 0;
+  // Called after each retired instruction. `before` is the pre-execution
+  // CPU state, `insn` the decoded instruction.
+  virtual void OnInstruction(const Machine& m, const CpuState& before, const Insn& insn) = 0;
+  virtual std::vector<AnalysisFinding> TakeFindings() = 0;
+};
+
+// Flags any guest store into [lo, hi) -- e.g. the image's code pages, a
+// table that only the host should write, or a canary region.
+class WriteWatchpointPass : public AnalysisPass {
+ public:
+  WriteWatchpointPass(uint32_t lo, uint32_t hi, std::string label)
+      : lo_(lo), hi_(hi), label_(std::move(label)) {}
+
+  std::string Name() const override { return "write-watchpoint:" + label_; }
+  void OnInstruction(const Machine& m, const CpuState& before, const Insn& insn) override;
+  std::vector<AnalysisFinding> TakeFindings() override { return std::move(findings_); }
+
+ private:
+  uint32_t lo_, hi_;
+  std::string label_;
+  std::vector<AnalysisFinding> findings_;
+};
+
+// Flags control transfers into a data region (the classic symptom of a
+// corrupted return address / function pointer).
+class ExecRangePass : public AnalysisPass {
+ public:
+  // Execution is only legitimate inside [code_lo, code_hi).
+  ExecRangePass(uint32_t code_lo, uint32_t code_hi) : lo_(code_lo), hi_(code_hi) {}
+
+  std::string Name() const override { return "exec-range"; }
+  void OnInstruction(const Machine& m, const CpuState& before, const Insn& insn) override;
+  std::vector<AnalysisFinding> TakeFindings() override { return std::move(findings_); }
+
+ private:
+  uint32_t lo_, hi_;
+  std::vector<AnalysisFinding> findings_;
+};
+
+struct AnalysisReport {
+  ReplayResult replay;  // The underlying semantic check's result.
+  std::vector<AnalysisFinding> findings;
+  uint64_t instructions_analyzed = 0;
+};
+
+// Replays `segment` from the reference image with the given passes
+// attached. The replay itself is the normal semantic check (divergence
+// is still reported); findings are collected independently.
+AnalysisReport AnalyzeSegment(const LogSegment& segment, ByteView reference_image, size_t mem_size,
+                              std::vector<std::unique_ptr<AnalysisPass>> passes);
+
+}  // namespace avm
+
+#endif  // SRC_AUDIT_REPLAY_ANALYSIS_H_

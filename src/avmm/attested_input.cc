@@ -1,0 +1,90 @@
+#include "src/avmm/attested_input.h"
+
+#include "src/util/serde.h"
+#include "src/vm/isa.h"
+#include "src/vm/trace.h"
+
+namespace avm {
+
+NodeId InputDeviceId(const NodeId& node) {
+  return node + "/input";
+}
+
+Bytes AttestedInputEvent::SignedPayload(const NodeId& device, uint64_t index, uint32_t code) {
+  Writer w;
+  w.Str(device);
+  w.U64(index);
+  w.U32(code);
+  return w.Take();
+}
+
+Bytes AttestedInputEvent::Serialize() const {
+  Writer w;
+  w.Str(device);
+  w.U64(index);
+  w.U32(code);
+  w.Blob(signature);
+  return w.Take();
+}
+
+AttestedInputEvent AttestedInputEvent::Deserialize(ByteView data) {
+  Reader r(data);
+  AttestedInputEvent e;
+  e.device = r.Str();
+  e.index = r.U64();
+  e.code = r.U32();
+  e.signature = r.Blob();
+  r.ExpectEnd();
+  return e;
+}
+
+bool AttestedInputEvent::Verify(const KeyRegistry& registry) const {
+  return registry.Verify(device, SignedPayload(device, index, code), signature);
+}
+
+CheckResult VerifyAttestedInputs(const LogSegment& segment, const KeyRegistry& registry) {
+  NodeId device = InputDeviceId(segment.node);
+  if (!registry.Knows(device)) {
+    return CheckResult::Fail("node declares attested input but no device key is registered");
+  }
+  uint64_t last_index = 0;
+  bool saw_any = false;
+  for (const LogEntry& e : segment.entries) {
+    if (e.type != EntryType::kTraceOther) {
+      continue;
+    }
+    TraceEvent ev;
+    try {
+      ev = TraceEvent::Deserialize(e.content);
+    } catch (const SerdeError&) {
+      return CheckResult::Fail("malformed trace entry", e.seq);
+    }
+    if (ev.kind != TraceKind::kPortIn || ev.port != kPortInput || ev.value == 0) {
+      continue;  // Not a consumed input event.
+    }
+    // The attestation rides in the event's data field.
+    AttestedInputEvent att;
+    try {
+      att = AttestedInputEvent::Deserialize(ev.data);
+    } catch (const SerdeError&) {
+      return CheckResult::Fail("consumed input event carries no attestation", e.seq);
+    }
+    if (att.device != device) {
+      return CheckResult::Fail("input attested by a foreign device", e.seq);
+    }
+    if (att.code != ev.value) {
+      return CheckResult::Fail("attestation covers a different input code", e.seq);
+    }
+    if (saw_any && att.index <= last_index) {
+      return CheckResult::Fail("input attestation replayed (non-increasing index)", e.seq);
+    }
+    if (!att.Verify(registry)) {
+      return CheckResult::Fail("input attestation signature invalid", e.seq);
+    }
+    last_index = att.index;
+    saw_any = true;
+  }
+  return CheckResult::Ok();
+}
+
+}  // namespace avm

@@ -1,0 +1,81 @@
+// Secure local input (§7.2's "using trust to get stronger guarantees").
+//
+// The one cheat class AVMs cannot catch is forged *local* input: a
+// program outside the AVM feeding synthesized keystrokes through the
+// legitimate input channel replays perfectly (§4.8, §5.4). The paper's
+// proposed fix is crypto support in the input device itself: "keyboards
+// could sign keystroke events before reporting them to the OS, and an
+// auditor could verify that the keystrokes are genuine using the
+// keyboard's public key."
+//
+// AttestedInput implements exactly that. The input device holds a
+// keypair certified in the key registry under the device identity
+// "<node>/input". Each event is signed over (device id, event index,
+// code); the AVMM logs the attestation alongside the input value, and
+// the syntactic check (when the scenario declares attested input)
+// verifies every consumed input event. A forged event either carries no
+// valid attestation (detected) or must reuse an old one (detected by the
+// strictly increasing event index).
+#ifndef SRC_AVMM_ATTESTED_INPUT_H_
+#define SRC_AVMM_ATTESTED_INPUT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/crypto/keys.h"
+#include "src/tel/log.h"
+#include "src/tel/verifier.h"
+#include "src/util/bytes.h"
+
+namespace avm {
+
+// Device identity under which an input attestor's public key is
+// registered: "<node id>/input".
+NodeId InputDeviceId(const NodeId& node);
+
+struct AttestedInputEvent {
+  NodeId device;       // The signing device's registry identity.
+  uint64_t index = 0;  // Strictly increasing per device.
+  uint32_t code = 0;   // The input event (key code).
+  Bytes signature;     // Over SignedPayload(device, index, code).
+
+  static Bytes SignedPayload(const NodeId& device, uint64_t index, uint32_t code);
+  Bytes Serialize() const;
+  static AttestedInputEvent Deserialize(ByteView data);
+
+  bool Verify(const KeyRegistry& registry) const;
+};
+
+// The "hardware" side: lives with the physical keyboard, not with the
+// (untrusted) machine. Cheats running on the machine cannot produce
+// valid attestations because the signing key never leaves the device.
+class InputAttestor {
+ public:
+  InputAttestor(const NodeId& node, SignatureScheme scheme, Prng& rng)
+      : signer_(InputDeviceId(node), scheme, rng) {}
+
+  AttestedInputEvent Attest(uint32_t code) {
+    AttestedInputEvent e;
+    e.device = signer_.id();
+    e.index = next_index_++;
+    e.code = code;
+    e.signature = signer_.Sign(AttestedInputEvent::SignedPayload(e.device, e.index, e.code));
+    return e;
+  }
+
+  const Signer& signer() const { return signer_; }
+
+ private:
+  Signer signer_;
+  uint64_t next_index_ = 0;
+};
+
+// Audit-side check over a log segment: every consumed input event (a
+// PortIn on the INPUT port with a nonzero value) must carry a valid
+// attestation with strictly increasing indices. Runs as part of the
+// syntactic check when the scenario declares attested input.
+CheckResult VerifyAttestedInputs(const LogSegment& segment, const KeyRegistry& registry);
+
+}  // namespace avm
+
+#endif  // SRC_AVMM_ATTESTED_INPUT_H_

@@ -1,0 +1,68 @@
+#include "src/avmm/config.h"
+
+namespace avm {
+
+const char* RunConfig::Name() const {
+  switch (mode) {
+    case Mode::kBareHw:
+      return "bare-hw";
+    case Mode::kVmNoRec:
+      return "vm-norec";
+    case Mode::kVmRec:
+      return "vm-rec";
+    case Mode::kAvmm:
+      switch (scheme) {
+        case SignatureScheme::kNone:
+          return "avmm-nosig";
+        case SignatureScheme::kRsa768:
+          return "avmm-rsa768";
+        case SignatureScheme::kRsa2048:
+          return "avmm-rsa2048";
+      }
+  }
+  return "?";
+}
+
+RunConfig RunConfig::BareHw() {
+  RunConfig c;
+  c.mode = Mode::kBareHw;
+  c.scheme = SignatureScheme::kNone;
+  return c;
+}
+
+RunConfig RunConfig::VmNoRec() {
+  RunConfig c;
+  c.mode = Mode::kVmNoRec;
+  c.scheme = SignatureScheme::kNone;
+  return c;
+}
+
+RunConfig RunConfig::VmRec() {
+  RunConfig c;
+  c.mode = Mode::kVmRec;
+  c.scheme = SignatureScheme::kNone;
+  return c;
+}
+
+RunConfig RunConfig::AvmmNoSig() {
+  RunConfig c;
+  c.mode = Mode::kAvmm;
+  c.scheme = SignatureScheme::kNone;
+  return c;
+}
+
+RunConfig RunConfig::AvmmRsa768() {
+  RunConfig c;
+  c.mode = Mode::kAvmm;
+  c.scheme = SignatureScheme::kRsa768;
+  return c;
+}
+
+RunConfig RunConfig::AvmmRsa2048() {
+  RunConfig c;
+  c.mode = Mode::kAvmm;
+  c.scheme = SignatureScheme::kRsa2048;
+  return c;
+}
+
+}  // namespace avm

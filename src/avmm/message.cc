@@ -1,0 +1,138 @@
+#include "src/avmm/message.h"
+
+#include "src/util/serde.h"
+
+namespace avm {
+
+Bytes MessageRecord::Serialize() const {
+  Writer w;
+  w.Str(src);
+  w.Str(dst);
+  w.U64(msg_id);
+  w.Blob(payload);
+  return w.Take();
+}
+
+MessageRecord MessageRecord::Deserialize(ByteView data) {
+  Reader r(data);
+  MessageRecord m;
+  m.src = r.Str();
+  m.dst = r.Str();
+  m.msg_id = r.U64();
+  m.payload = r.Blob();
+  r.ExpectEnd();
+  return m;
+}
+
+Bytes MessageEntryContent(const MessageRecord& msg, ByteView payload_sig) {
+  Writer w;
+  w.Blob(msg.Serialize());
+  w.Blob(payload_sig);
+  return w.Take();
+}
+
+Bytes DataFrame::Serialize() const {
+  Writer w;
+  w.Blob(msg.Serialize());
+  w.Blob(payload_sig);
+  w.Raw(prev_hash.view());
+  w.Blob(auth.Serialize());
+  return w.Take();
+}
+
+DataFrame DataFrame::Deserialize(ByteView data) {
+  Reader r(data);
+  DataFrame f;
+  f.msg = MessageRecord::Deserialize(r.Blob());
+  f.payload_sig = r.Blob();
+  f.prev_hash = Hash256::FromBytes(r.Raw(32));
+  f.auth = Authenticator::Deserialize(r.Blob());
+  r.ExpectEnd();
+  return f;
+}
+
+Bytes AckFrame::Serialize() const {
+  Writer w;
+  w.Str(acker);
+  w.Str(orig_src);
+  w.U64(msg_id);
+  w.Raw(content_hash.view());
+  w.Raw(prev_hash.view());
+  w.Blob(auth.Serialize());
+  return w.Take();
+}
+
+AckFrame AckFrame::Deserialize(ByteView data) {
+  Reader r(data);
+  AckFrame f;
+  f.acker = r.Str();
+  f.orig_src = r.Str();
+  f.msg_id = r.U64();
+  f.content_hash = Hash256::FromBytes(r.Raw(32));
+  f.prev_hash = Hash256::FromBytes(r.Raw(32));
+  f.auth = Authenticator::Deserialize(r.Blob());
+  r.ExpectEnd();
+  return f;
+}
+
+Bytes ChallengeFrame::Serialize() const {
+  Writer w;
+  w.Str(issuer);
+  w.Str(accused);
+  w.U64(challenge_id);
+  w.Blob(body);
+  return w.Take();
+}
+
+ChallengeFrame ChallengeFrame::Deserialize(ByteView data) {
+  Reader r(data);
+  ChallengeFrame f;
+  f.issuer = r.Str();
+  f.accused = r.Str();
+  f.challenge_id = r.U64();
+  f.body = r.Blob();
+  r.ExpectEnd();
+  return f;
+}
+
+Bytes ChallengeResponseFrame::Serialize() const {
+  Writer w;
+  w.Str(responder);
+  w.U64(challenge_id);
+  w.Blob(body);
+  return w.Take();
+}
+
+ChallengeResponseFrame ChallengeResponseFrame::Deserialize(ByteView data) {
+  Reader r(data);
+  ChallengeResponseFrame f;
+  f.responder = r.Str();
+  f.challenge_id = r.U64();
+  f.body = r.Blob();
+  r.ExpectEnd();
+  return f;
+}
+
+Bytes WrapFrame(FrameType type, ByteView body) {
+  Bytes out;
+  out.reserve(body.size() + 1);
+  out.push_back(static_cast<uint8_t>(type));
+  Append(out, body);
+  return out;
+}
+
+FrameType PeekFrameType(ByteView frame) {
+  if (frame.empty() || frame[0] < 1 || frame[0] > 5) {
+    throw SerdeError("bad frame type");
+  }
+  return static_cast<FrameType>(frame[0]);
+}
+
+Bytes UnwrapFrame(ByteView frame) {
+  if (frame.empty()) {
+    throw SerdeError("empty frame");
+  }
+  return Bytes(frame.begin() + 1, frame.end());
+}
+
+}  // namespace avm

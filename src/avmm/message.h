@@ -1,0 +1,98 @@
+// Wire formats of the accountable transport (§4.3).
+//
+// Every guest packet is wrapped in a DataFrame carrying the sender's
+// payload signature (the "Alice signs her messages" mechanism), the
+// sender's SEND-entry authenticator and h_{i-1}, so the receiver can
+// verify that e_i really is SEND(m). Receivers reply with an AckFrame
+// carrying their RECV-entry authenticator, so the sender can verify that
+// the message was logged. Both directions' authenticators are the
+// nonrepudiable commitments auditors later collect.
+#ifndef SRC_AVMM_MESSAGE_H_
+#define SRC_AVMM_MESSAGE_H_
+
+#include <cstdint>
+
+#include "src/crypto/keys.h"
+#include "src/crypto/sha256.h"
+#include "src/tel/log.h"
+#include "src/util/bytes.h"
+
+namespace avm {
+
+// The canonical description of one guest-level message. Serialized
+// identically by sender and receiver, so each side can recompute the
+// other's log-entry content hash.
+struct MessageRecord {
+  NodeId src;
+  NodeId dst;
+  uint64_t msg_id = 0;  // Sender-local, strictly increasing.
+  Bytes payload;        // The guest packet, byte-for-byte.
+
+  Bytes Serialize() const;
+  static MessageRecord Deserialize(ByteView data);
+};
+
+// Content stored in kSend/kRecv log entries: the message record plus the
+// sender's payload signature (logged, then stripped before the payload is
+// passed into the AVM, exactly as §4.3 describes).
+Bytes MessageEntryContent(const MessageRecord& msg, ByteView payload_sig);
+
+enum class FrameType : uint8_t {
+  kData = 1,
+  kAck = 2,
+  kPlainData = 3,  // bare-hw / vm-norec / vm-rec: payload only, no accountability.
+  kChallenge = 4,          // §4.6: "respond or be suspected by everyone".
+  kChallengeResponse = 5,
+};
+
+struct DataFrame {
+  MessageRecord msg;
+  Bytes payload_sig;   // σ_src(MessageRecord)
+  Hash256 prev_hash;   // h_{i-1} on the sender's log
+  Authenticator auth;  // commitment to the SEND entry
+
+  Bytes Serialize() const;
+  static DataFrame Deserialize(ByteView data);
+};
+
+struct AckFrame {
+  NodeId acker;
+  NodeId orig_src;          // Whose message is being acked.
+  uint64_t msg_id = 0;      // Which message.
+  Hash256 content_hash;     // H(entry content) of the acked message.
+  Hash256 prev_hash;        // h_{i-1} on the acker's log.
+  Authenticator auth;       // Commitment to the acker's RECV entry.
+
+  Bytes Serialize() const;
+  static AckFrame Deserialize(ByteView data);
+};
+
+struct ChallengeFrame {
+  NodeId issuer;
+  NodeId accused;
+  uint64_t challenge_id = 0;
+  // What the accused must do; for audits this is "produce the log up to
+  // seq", carried as an opaque description here.
+  Bytes body;
+
+  Bytes Serialize() const;
+  static ChallengeFrame Deserialize(ByteView data);
+};
+
+struct ChallengeResponseFrame {
+  NodeId responder;
+  uint64_t challenge_id = 0;
+  Bytes body;
+
+  Bytes Serialize() const;
+  static ChallengeResponseFrame Deserialize(ByteView data);
+};
+
+// Top-level frame (de)muxing: [u8 type][body...].
+Bytes WrapFrame(FrameType type, ByteView body);
+FrameType PeekFrameType(ByteView frame);
+Bytes UnwrapFrame(ByteView frame);
+
+}  // namespace avm
+
+#endif  // SRC_AVMM_MESSAGE_H_

@@ -1,0 +1,282 @@
+#include "src/avmm/transport.h"
+
+#include "src/util/serde.h"
+
+namespace avm {
+
+Transport::Transport(NodeId id, const RunConfig* cfg, TamperEvidentLog* log, const Signer* signer,
+                     SimNetwork* net, const KeyRegistry* registry, AuthenticatorStore* auth_store)
+    : id_(std::move(id)),
+      cfg_(cfg),
+      log_(log),
+      signer_(signer),
+      net_(net),
+      registry_(registry),
+      auth_store_(auth_store) {}
+
+void Transport::Violation(const std::string& what) {
+  stats_.verify_failures++;
+  violations_.push_back(what);
+}
+
+void Transport::SendPacket(SimTime now, const NodeId& dst, Bytes payload) {
+  if (suspended_.count(dst) > 0) {
+    stats_.dropped_suspended++;
+    return;
+  }
+  stats_.packets_sent++;
+
+  if (!cfg_->TamperEvident()) {
+    MessageRecord rec{id_, dst, ++send_counter_, std::move(payload)};
+    net_->SendFrame(now, id_, dst, WrapFrame(FrameType::kPlainData, rec.Serialize()));
+    return;
+  }
+
+  MessageRecord rec{id_, dst, ++send_counter_, std::move(payload)};
+  Bytes rec_bytes = rec.Serialize();
+
+  WallTimer crypto_timer;
+  Bytes payload_sig = signer_->Sign(rec_bytes);
+  crypto_seconds_ += crypto_timer.ElapsedSeconds();
+
+  Bytes content = MessageEntryContent(rec, payload_sig);
+  WallTimer log_timer;
+  Hash256 prev = log_->LastHash();
+  log_->Append(EntryType::kSend, content);
+  logging_seconds_ += log_timer.ElapsedSeconds();
+
+  crypto_timer.Reset();
+  Authenticator auth = log_->Authenticate(*signer_);
+  crypto_seconds_ += crypto_timer.ElapsedSeconds();
+
+  DataFrame frame{std::move(rec), std::move(payload_sig), prev, std::move(auth)};
+  Bytes wire = WrapFrame(FrameType::kData, frame.Serialize());
+  net_->SendFrame(now, id_, dst, wire);
+
+  PendingSend pending;
+  pending.frame = std::move(wire);
+  pending.entry_content = std::move(content);
+  pending.first_sent = now;
+  pending.last_sent = now;
+  pending.dst = dst;
+  unacked_[{dst, frame.msg.msg_id}] = std::move(pending);
+}
+
+void Transport::Tick(SimTime now) {
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    PendingSend& p = it->second;
+    if (now - p.last_sent >= cfg_->retransmit_timeout) {
+      if (p.retransmits >= cfg_->max_retransmits) {
+        // §4.3: if acknowledgments never arrive, the sender can only
+        // suspect the peer has failed.
+        suspected_.insert(p.dst);
+        it = unacked_.erase(it);
+        continue;
+      }
+      net_->SendFrame(now, id_, p.dst, p.frame);
+      p.last_sent = now;
+      p.retransmits++;
+      stats_.retransmits++;
+    }
+    ++it;
+  }
+}
+
+void Transport::OnFrame(SimTime now, const NodeId& src, ByteView frame) {
+  FrameType type;
+  Bytes body;
+  try {
+    type = PeekFrameType(frame);
+    body = UnwrapFrame(frame);
+  } catch (const SerdeError& e) {
+    Violation(std::string("malformed frame from ") + src + ": " + e.what());
+    return;
+  }
+  // Suspension (§4.6) blocks application traffic, but challenge traffic
+  // must still flow: answering the challenge is how a suspended-but-
+  // correct node clears itself.
+  if (suspended_.count(src) > 0 && type != FrameType::kChallenge &&
+      type != FrameType::kChallengeResponse) {
+    stats_.dropped_suspended++;
+    return;
+  }
+  try {
+    switch (type) {
+      case FrameType::kData:
+        HandleData(now, src, body);
+        break;
+      case FrameType::kAck:
+        HandleAck(now, src, body);
+        break;
+      case FrameType::kPlainData:
+        HandlePlain(now, src, body);
+        break;
+      case FrameType::kChallenge:
+        HandleChallenge(now, src, body);
+        break;
+      case FrameType::kChallengeResponse:
+        HandleChallengeResponse(now, src, body);
+        break;
+    }
+  } catch (const SerdeError& e) {
+    Violation(std::string("malformed ") + std::to_string(static_cast<int>(type)) + " frame from " +
+              src + ": " + e.what());
+  }
+}
+
+void Transport::HandlePlain(SimTime now, const NodeId& src, ByteView body) {
+  MessageRecord rec = MessageRecord::Deserialize(body);
+  if (rec.dst != id_) {
+    Violation("plain frame addressed to " + rec.dst);
+    return;
+  }
+  stats_.packets_received++;
+  if (packet_handler_) {
+    packet_handler_(now, src, rec.payload);
+  }
+}
+
+void Transport::HandleData(SimTime now, const NodeId& src, ByteView body) {
+  DataFrame f = DataFrame::Deserialize(body);
+  if (f.msg.dst != id_ || f.msg.src != src || f.auth.node != src) {
+    Violation("data frame with inconsistent addressing from " + src);
+    return;
+  }
+
+  // 1. The payload signature proves the message originated at src
+  //    (detects forged messages injected by an intermediary).
+  Bytes rec_bytes = f.msg.Serialize();
+  WallTimer crypto_timer;
+  bool sig_ok = registry_->Verify(src, rec_bytes, f.payload_sig);
+  crypto_seconds_ += crypto_timer.ElapsedSeconds();
+  if (!sig_ok) {
+    Violation("payload signature invalid from " + src);
+    return;
+  }
+
+  // 2. The authenticator must commit to exactly SEND(m): recompute
+  //    h_i = H(h_{i-1} || s_i || SEND || H(content)).
+  Bytes content = MessageEntryContent(f.msg, f.payload_sig);
+  Hash256 expect = ChainHash(f.prev_hash, f.auth.seq, EntryType::kSend, content);
+  if (expect != f.auth.hash) {
+    Violation("sender authenticator does not commit to SEND(m) from " + src);
+    return;
+  }
+  crypto_timer.Reset();
+  bool auth_ok = f.auth.VerifySignature(*registry_);
+  crypto_seconds_ += crypto_timer.ElapsedSeconds();
+  if (!auth_ok) {
+    Violation("sender authenticator signature invalid from " + src);
+    return;
+  }
+  auth_store_->Add(f.auth, *registry_);
+
+  // Duplicate (retransmitted) data: re-send the identical ack, do not log
+  // a second RECV.
+  auto key = std::make_pair(src, f.msg.msg_id);
+  auto dup = acks_sent_.find(key);
+  if (dup != acks_sent_.end()) {
+    stats_.duplicates++;
+    net_->SendFrame(now, id_, src, dup->second);
+    return;
+  }
+
+  // 3. Log RECV(m) (signature included, §4.3) and acknowledge with our
+  //    own authenticator so the sender can verify we logged it.
+  WallTimer log_timer;
+  Hash256 prev = log_->LastHash();
+  log_->Append(EntryType::kRecv, content);
+  logging_seconds_ += log_timer.ElapsedSeconds();
+
+  crypto_timer.Reset();
+  Authenticator my_auth = log_->Authenticate(*signer_);
+  crypto_seconds_ += crypto_timer.ElapsedSeconds();
+
+  AckFrame ack{id_, src, f.msg.msg_id, Sha256::Digest(content), prev, std::move(my_auth)};
+  Bytes wire = WrapFrame(FrameType::kAck, ack.Serialize());
+  acks_sent_[key] = wire;
+  net_->SendFrame(now, id_, src, wire);
+  stats_.acks_sent++;
+  stats_.packets_received++;
+
+  if (packet_handler_) {
+    packet_handler_(now, src, f.msg.payload);
+  }
+}
+
+void Transport::HandleAck(SimTime now, const NodeId& src, ByteView body) {
+  (void)now;
+  AckFrame ack = AckFrame::Deserialize(body);
+  if (ack.acker != src || ack.orig_src != id_ || ack.auth.node != src) {
+    Violation("ack frame with inconsistent addressing from " + src);
+    return;
+  }
+  auto it = unacked_.find({src, ack.msg_id});
+  if (it == unacked_.end()) {
+    // Ack for something already acked (duplicate); harmless.
+    return;
+  }
+  const Bytes& content = it->second.entry_content;
+  if (ack.content_hash != Sha256::Digest(content)) {
+    Violation("ack content hash mismatch from " + src);
+    return;
+  }
+  // The ack's authenticator must commit to RECV(m) with the same content.
+  Hash256 expect = ChainHash(ack.prev_hash, ack.auth.seq, EntryType::kRecv, content);
+  if (expect != ack.auth.hash) {
+    Violation("ack authenticator does not commit to RECV(m) from " + src);
+    return;
+  }
+  WallTimer crypto_timer;
+  bool auth_ok = ack.auth.VerifySignature(*registry_);
+  crypto_seconds_ += crypto_timer.ElapsedSeconds();
+  if (!auth_ok) {
+    Violation("ack authenticator signature invalid from " + src);
+    return;
+  }
+  auth_store_->Add(ack.auth, *registry_);
+
+  WallTimer log_timer;
+  log_->Append(EntryType::kAck, ack.Serialize());
+  logging_seconds_ += log_timer.ElapsedSeconds();
+
+  stats_.acks_received++;
+  unacked_.erase(it);
+}
+
+void Transport::SendChallenge(SimTime now, const NodeId& witness, const ChallengeFrame& challenge) {
+  net_->SendFrame(now, id_, witness, WrapFrame(FrameType::kChallenge, challenge.Serialize()));
+}
+
+void Transport::HandleChallenge(SimTime now, const NodeId& src, ByteView body) {
+  ChallengeFrame c = ChallengeFrame::Deserialize(body);
+  if (c.accused == id_) {
+    // We are being challenged: answer immediately (a correct node always
+    // can; §4.6).
+    ChallengeResponseFrame resp;
+    resp.responder = id_;
+    resp.challenge_id = c.challenge_id;
+    resp.body = challenge_handler_ ? challenge_handler_(c) : Bytes();
+    net_->SendFrame(now, id_, src, WrapFrame(FrameType::kChallengeResponse, resp.Serialize()));
+    return;
+  }
+  // A peer relayed someone else's challenge: stop communicating with the
+  // accused until it responds, and relay the challenge to it.
+  Suspend(c.accused);
+  net_->SendFrame(now, id_, c.accused, WrapFrame(FrameType::kChallenge, c.Serialize()));
+}
+
+void Transport::HandleChallengeResponse(SimTime now, const NodeId& src, ByteView body) {
+  (void)now;
+  ChallengeResponseFrame r = ChallengeResponseFrame::Deserialize(body);
+  if (r.responder != src) {
+    Violation("challenge response with inconsistent responder from " + src);
+    return;
+  }
+  Resume(src);
+  if (challenge_response_handler_) {
+    challenge_response_handler_(r);
+  }
+}
+
+}  // namespace avm

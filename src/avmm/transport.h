@@ -1,0 +1,132 @@
+// The accountable transport: commitment protocol of §4.3 plus the
+// multi-party challenge mechanism of §4.6.
+//
+// Outgoing guest packets are logged as SEND entries and wrapped in
+// DataFrames carrying an authenticator; incoming frames are verified,
+// logged as RECV entries, acknowledged with the receiver's own
+// authenticator, and retransmitted by the sender until acknowledged.
+// In the non-accountable configurations (bare-hw / vm-norec / vm-rec) the
+// same class ships plain frames with no logging, signatures or acks.
+#ifndef SRC_AVMM_TRANSPORT_H_
+#define SRC_AVMM_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/avmm/config.h"
+#include "src/avmm/message.h"
+#include "src/net/network.h"
+#include "src/tel/log.h"
+#include "src/tel/verifier.h"
+
+namespace avm {
+
+class Transport : public NetworkDelegate {
+ public:
+  // Called with each verified incoming guest payload.
+  using PacketHandler = std::function<void(SimTime now, const NodeId& src, const Bytes& payload)>;
+  // Called when this node is challenged; returns the response body.
+  using ChallengeHandler = std::function<Bytes(const ChallengeFrame&)>;
+  // Called when a challenge response from `responder` arrives.
+  using ChallengeResponseHandler = std::function<void(const ChallengeResponseFrame&)>;
+
+  struct Stats {
+    uint64_t packets_sent = 0;
+    uint64_t packets_received = 0;
+    uint64_t acks_sent = 0;
+    uint64_t acks_received = 0;
+    uint64_t retransmits = 0;
+    uint64_t duplicates = 0;
+    uint64_t verify_failures = 0;
+    uint64_t dropped_suspended = 0;
+  };
+
+  Transport(NodeId id, const RunConfig* cfg, TamperEvidentLog* log, const Signer* signer,
+            SimNetwork* net, const KeyRegistry* registry, AuthenticatorStore* auth_store);
+
+  void SetPacketHandler(PacketHandler h) { packet_handler_ = std::move(h); }
+  void SetChallengeHandler(ChallengeHandler h) { challenge_handler_ = std::move(h); }
+  void SetChallengeResponseHandler(ChallengeResponseHandler h) {
+    challenge_response_handler_ = std::move(h);
+  }
+
+  // Sends one guest packet. Logs SEND + authenticator in accountable mode.
+  void SendPacket(SimTime now, const NodeId& dst, Bytes payload);
+
+  // Retransmits unacknowledged messages past the timeout.
+  void Tick(SimTime now);
+
+  // NetworkDelegate.
+  void OnFrame(SimTime now, const NodeId& src, ByteView frame) override;
+
+  // §4.6: stop/resume communication with a peer that ignores a challenge.
+  void Suspend(const NodeId& peer) { suspended_.insert(peer); }
+  void Resume(const NodeId& peer) { suspended_.erase(peer); }
+  bool IsSuspended(const NodeId& peer) const { return suspended_.count(peer) > 0; }
+
+  // Sends a challenge about `accused` to `witness` (typically broadcast by
+  // the caller to every peer).
+  void SendChallenge(SimTime now, const NodeId& witness, const ChallengeFrame& challenge);
+
+  // Peers whose retransmit budget was exhausted ("suspected", §4.3).
+  const std::set<NodeId>& suspected() const { return suspected_; }
+  const Stats& stats() const { return stats_; }
+  // First-failure descriptions, for tests and diagnostics.
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  // Wall-clock seconds spent in signing/verification and in log writes
+  // (the Figure 6 cost split).
+  double crypto_seconds() const { return crypto_seconds_; }
+  double logging_seconds() const { return logging_seconds_; }
+
+  const NodeId& id() const { return id_; }
+
+ private:
+  struct PendingSend {
+    Bytes frame;  // Wire bytes, resent verbatim.
+    Bytes entry_content;
+    SimTime first_sent = 0;
+    SimTime last_sent = 0;
+    int retransmits = 0;
+    NodeId dst;
+  };
+
+  void HandleData(SimTime now, const NodeId& src, ByteView body);
+  void HandleAck(SimTime now, const NodeId& src, ByteView body);
+  void HandlePlain(SimTime now, const NodeId& src, ByteView body);
+  void HandleChallenge(SimTime now, const NodeId& src, ByteView body);
+  void HandleChallengeResponse(SimTime now, const NodeId& src, ByteView body);
+  void Violation(const std::string& what);
+
+  NodeId id_;
+  const RunConfig* cfg_;
+  TamperEvidentLog* log_;
+  const Signer* signer_;
+  SimNetwork* net_;
+  const KeyRegistry* registry_;
+  AuthenticatorStore* auth_store_;
+
+  PacketHandler packet_handler_;
+  ChallengeHandler challenge_handler_;
+  ChallengeResponseHandler challenge_response_handler_;
+
+  uint64_t send_counter_ = 0;
+  std::map<std::pair<NodeId, uint64_t>, PendingSend> unacked_;
+  // (src, msg_id) -> serialized ack frame, resent on duplicate data.
+  std::map<std::pair<NodeId, uint64_t>, Bytes> acks_sent_;
+  std::set<NodeId> suspended_;
+  std::set<NodeId> suspected_;
+
+  Stats stats_;
+  std::vector<std::string> violations_;
+  double crypto_seconds_ = 0;
+  double logging_seconds_ = 0;
+};
+
+}  // namespace avm
+
+#endif  // SRC_AVMM_TRANSPORT_H_

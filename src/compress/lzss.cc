@@ -1,0 +1,229 @@
+#include "src/compress/lzss.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace avm {
+
+namespace {
+
+constexpr size_t kWindowBits = 13;               // 8 KiB window.
+constexpr size_t kWindowSize = 1u << kWindowBits;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = kMinMatch + 255;    // Length field is one byte.
+constexpr size_t kHashSize = 1u << 15;
+
+inline uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - 15);
+}
+
+}  // namespace
+
+// Format: u64 LE uncompressed size, then groups of [flags byte + 8 items].
+// Flag bit 0 = literal byte; 1 = match: two bytes (offset-1, 13 bits |
+// high 3 bits of nothing) -- encoded as u16 LE offset-1 then u8 length-4.
+Bytes LzssCompress(ByteView data) {
+  Bytes out;
+  PutU64(out, data.size());
+  if (data.empty()) {
+    return out;
+  }
+
+  // Head of the most recent position for each hash bucket.
+  std::vector<int64_t> head(kHashSize, -1);
+  // Previous position with the same hash (chained matches).
+  std::vector<int64_t> prev(data.size(), -1);
+
+  size_t pos = 0;
+  uint8_t flags = 0;
+  int flag_count = 0;
+  size_t flags_at = 0;
+  bool group_open = false;
+
+  // Records the flag bit for the item about to be emitted. The flags byte
+  // for a group is allocated lazily when the group's first item arrives,
+  // so item payloads always follow their own group's flags byte.
+  auto flush_flag = [&](bool is_match) {
+    if (!group_open) {
+      flags_at = out.size();
+      out.push_back(0);
+      flags = 0;
+      flag_count = 0;
+      group_open = true;
+    }
+    if (is_match) {
+      flags |= static_cast<uint8_t>(1u << flag_count);
+    }
+    flag_count++;
+    if (flag_count == 8) {
+      out[flags_at] = flags;
+      group_open = false;
+    }
+  };
+
+  while (pos < data.size()) {
+    size_t best_len = 0;
+    size_t best_off = 0;
+    if (pos + kMinMatch <= data.size()) {
+      uint32_t h = HashAt(data.data() + pos);
+      int64_t cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && pos - static_cast<size_t>(cand) <= kWindowSize && chain < 32) {
+        size_t c = static_cast<size_t>(cand);
+        size_t len = 0;
+        size_t max_len = std::min(kMaxMatch, data.size() - pos);
+        while (len < max_len && data[c + len] == data[pos + len]) {
+          len++;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_off = pos - c;
+        }
+        cand = prev[c];
+        chain++;
+      }
+      prev[pos] = head[h];
+      head[h] = static_cast<int64_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      flush_flag(true);
+      PutU16(out, static_cast<uint16_t>(best_off - 1));
+      out.push_back(static_cast<uint8_t>(best_len - kMinMatch));
+      // Insert hash entries for the skipped positions so later matches
+      // can reference them.
+      for (size_t i = 1; i < best_len && pos + i + kMinMatch <= data.size(); i++) {
+        uint32_t h = HashAt(data.data() + pos + i);
+        prev[pos + i] = head[h];
+        head[h] = static_cast<int64_t>(pos + i);
+      }
+      pos += best_len;
+    } else {
+      flush_flag(false);
+      out.push_back(data[pos]);
+      pos++;
+    }
+  }
+  if (group_open) {
+    out[flags_at] = flags;
+  }
+  return out;
+}
+
+Bytes LzssDecompress(ByteView data) {
+  if (data.size() < 8) {
+    throw std::invalid_argument("LzssDecompress: truncated header");
+  }
+  uint64_t orig_size = GetU64(data, 0);
+  Bytes out;
+  // orig_size is untrusted: compressed input expands at most ~130x here
+  // (a match token is 3 bytes for up to 259 output bytes), so anything
+  // beyond that bound is corrupt and must not trigger a huge allocation.
+  if (orig_size > data.size() * 130 + 64) {
+    throw std::invalid_argument("LzssDecompress: implausible uncompressed size");
+  }
+  out.reserve(orig_size);
+  size_t pos = 8;
+  uint8_t flags = 0;
+  int flag_count = 8;
+  while (out.size() < orig_size) {
+    if (flag_count == 8) {
+      if (pos >= data.size()) {
+        throw std::invalid_argument("LzssDecompress: missing flags byte");
+      }
+      flags = data[pos++];
+      flag_count = 0;
+    }
+    bool is_match = (flags >> flag_count) & 1;
+    flag_count++;
+    if (is_match) {
+      if (pos + 3 > data.size()) {
+        throw std::invalid_argument("LzssDecompress: truncated match");
+      }
+      size_t off = static_cast<size_t>(GetU16(data, pos)) + 1;
+      size_t len = static_cast<size_t>(data[pos + 2]) + kMinMatch;
+      pos += 3;
+      if (off > out.size()) {
+        throw std::invalid_argument("LzssDecompress: match before start");
+      }
+      size_t src = out.size() - off;
+      for (size_t i = 0; i < len; i++) {
+        out.push_back(out[src + i]);  // Overlapping copies are valid.
+      }
+    } else {
+      if (pos >= data.size()) {
+        throw std::invalid_argument("LzssDecompress: truncated literal");
+      }
+      out.push_back(data[pos++]);
+    }
+  }
+  if (out.size() != orig_size) {
+    throw std::invalid_argument("LzssDecompress: size mismatch");
+  }
+  return out;
+}
+
+void PutVarint(Bytes& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t GetVarint(ByteView in, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (*pos >= in.size() || shift > 63) {
+      throw std::invalid_argument("GetVarint: truncated or overlong varint");
+    }
+    uint8_t b = in[(*pos)++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  return v;
+}
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+Bytes EncodeDeltaVarint(const std::vector<uint64_t>& values) {
+  Bytes out;
+  PutVarint(out, values.size());
+  uint64_t prev = 0;
+  for (uint64_t v : values) {
+    int64_t delta = static_cast<int64_t>(v - prev);
+    PutVarint(out, ZigZagEncode(delta));
+    prev = v;
+  }
+  return out;
+}
+
+std::vector<uint64_t> DecodeDeltaVarint(ByteView data) {
+  size_t pos = 0;
+  uint64_t n = GetVarint(data, &pos);
+  std::vector<uint64_t> out;
+  // n is untrusted: each value needs at least one input byte.
+  out.reserve(std::min<uint64_t>(n, data.size()));
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < n; i++) {
+    int64_t delta = ZigZagDecode(GetVarint(data, &pos));
+    prev += static_cast<uint64_t>(delta);
+    out.push_back(prev);
+  }
+  return out;
+}
+
+}  // namespace avm

@@ -1,0 +1,38 @@
+// Lossless LZSS compressor. §6.4 of the paper compresses the AVMM log with
+// bzip2 plus a custom "lossless, VMM-specific (but application-independent)"
+// algorithm; this module provides the generic stage (LZSS) and
+// varint/delta primitives used by the VMM-specific preprocessor in avmm/.
+#ifndef SRC_COMPRESS_LZSS_H_
+#define SRC_COMPRESS_LZSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace avm {
+
+// Compresses `data`. The output always round-trips through LzssDecompress.
+Bytes LzssCompress(ByteView data);
+
+// Decompresses; throws std::invalid_argument on corrupt input.
+Bytes LzssDecompress(ByteView data);
+
+// Unsigned LEB128 varint.
+void PutVarint(Bytes& out, uint64_t v);
+uint64_t GetVarint(ByteView in, size_t* pos);
+
+// ZigZag-maps a signed delta into an unsigned varint-friendly value.
+uint64_t ZigZagEncode(int64_t v);
+int64_t ZigZagDecode(uint64_t v);
+
+// Delta + zigzag + varint encoding of a monotone-ish u64 sequence
+// (timestamps, instruction counters). This is the core of the
+// "VMM-specific" preprocessing: TimeTracker entries dominate the log and
+// their values are near-arithmetic sequences.
+Bytes EncodeDeltaVarint(const std::vector<uint64_t>& values);
+std::vector<uint64_t> DecodeDeltaVarint(ByteView data);
+
+}  // namespace avm
+
+#endif  // SRC_COMPRESS_LZSS_H_

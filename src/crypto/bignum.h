@@ -1,0 +1,85 @@
+// Arbitrary-precision unsigned integers, sized for RSA-768..RSA-2048.
+// Little-endian 32-bit limbs, always normalized (no high zero limbs).
+#ifndef SRC_CRYPTO_BIGNUM_H_
+#define SRC_CRYPTO_BIGNUM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/prng.h"
+
+namespace avm {
+
+class Bignum {
+ public:
+  Bignum() = default;
+  explicit Bignum(uint64_t v);
+
+  // Big-endian byte import/export (the usual crypto wire order).
+  static Bignum FromBytes(ByteView be);
+  // Exports exactly `len` big-endian bytes (throws if the value is larger).
+  Bytes ToBytes(size_t len) const;
+  // Exports the minimal big-endian representation (empty for zero).
+  Bytes ToBytes() const;
+
+  static Bignum FromHex(std::string_view hex);
+  std::string ToHex() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  size_t BitLength() const;
+  bool Bit(size_t i) const;
+  uint64_t LowU64() const;
+
+  // Comparison: -1, 0, +1.
+  static int Cmp(const Bignum& a, const Bignum& b);
+  bool operator==(const Bignum& o) const { return Cmp(*this, o) == 0; }
+  bool operator!=(const Bignum& o) const { return Cmp(*this, o) != 0; }
+  bool operator<(const Bignum& o) const { return Cmp(*this, o) < 0; }
+  bool operator<=(const Bignum& o) const { return Cmp(*this, o) <= 0; }
+  bool operator>(const Bignum& o) const { return Cmp(*this, o) > 0; }
+  bool operator>=(const Bignum& o) const { return Cmp(*this, o) >= 0; }
+
+  static Bignum Add(const Bignum& a, const Bignum& b);
+  // Requires a >= b.
+  static Bignum Sub(const Bignum& a, const Bignum& b);
+  static Bignum Mul(const Bignum& a, const Bignum& b);
+  // Quotient and remainder; throws on division by zero.
+  static void DivMod(const Bignum& a, const Bignum& b, Bignum* q, Bignum* r);
+  static Bignum Mod(const Bignum& a, const Bignum& m);
+
+  static Bignum Shl(const Bignum& a, size_t bits);
+  static Bignum Shr(const Bignum& a, size_t bits);
+
+  // (a * b) mod m.
+  static Bignum MulMod(const Bignum& a, const Bignum& b, const Bignum& m);
+  // (base ^ exp) mod m. m must be > 0.
+  static Bignum PowMod(const Bignum& base, const Bignum& exp, const Bignum& m);
+  // gcd(a, b).
+  static Bignum Gcd(Bignum a, Bignum b);
+  // Modular inverse of a mod m; throws if gcd(a, m) != 1.
+  static Bignum InvMod(const Bignum& a, const Bignum& m);
+
+  // Uniform random value with exactly `bits` bits (MSB set).
+  static Bignum RandomWithBits(Prng& rng, size_t bits);
+  // Uniform random value in [2, limit-2] (for Miller-Rabin bases).
+  static Bignum RandomBelow(Prng& rng, const Bignum& limit);
+
+  // Miller-Rabin probabilistic primality test with `rounds` random bases.
+  static bool IsProbablePrime(const Bignum& n, Prng& rng, int rounds = 24);
+  // Generates a random prime with exactly `bits` bits.
+  static Bignum GeneratePrime(Prng& rng, size_t bits);
+
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void Normalize();
+
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace avm
+
+#endif  // SRC_CRYPTO_BIGNUM_H_

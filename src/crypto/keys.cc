@@ -1,0 +1,90 @@
+#include "src/crypto/keys.h"
+
+#include <stdexcept>
+
+namespace avm {
+
+const char* SignatureSchemeName(SignatureScheme s) {
+  switch (s) {
+    case SignatureScheme::kNone:
+      return "nosig";
+    case SignatureScheme::kRsa768:
+      return "rsa768";
+    case SignatureScheme::kRsa2048:
+      return "rsa2048";
+  }
+  return "?";
+}
+
+size_t SignatureSchemeBits(SignatureScheme s) {
+  switch (s) {
+    case SignatureScheme::kNone:
+      return 0;
+    case SignatureScheme::kRsa768:
+      return 768;
+    case SignatureScheme::kRsa2048:
+      return 2048;
+  }
+  return 0;
+}
+
+Signer::Signer(NodeId id, SignatureScheme scheme, Prng& rng) : id_(std::move(id)), scheme_(scheme) {
+  if (scheme_ != SignatureScheme::kNone) {
+    RsaKeypair kp = RsaKeypair::Generate(rng, SignatureSchemeBits(scheme_));
+    priv_ = std::move(kp.priv);
+    pub_ = std::move(kp.pub);
+  }
+}
+
+Bytes Signer::Sign(ByteView msg) const {
+  if (scheme_ == SignatureScheme::kNone) {
+    return Bytes();
+  }
+  return RsaSign(*priv_, msg);
+}
+
+Bytes Signer::SerializePublic() const {
+  if (scheme_ == SignatureScheme::kNone) {
+    return Bytes();
+  }
+  return pub_->Serialize();
+}
+
+void KeyRegistry::Register(const NodeId& id, SignatureScheme scheme, ByteView serialized_public) {
+  Entry e;
+  e.scheme = scheme;
+  if (scheme != SignatureScheme::kNone) {
+    e.pub = RsaPublicKey::Deserialize(serialized_public);
+  }
+  entries_[id] = std::move(e);
+}
+
+void KeyRegistry::RegisterSigner(const Signer& signer) {
+  Bytes pub = signer.SerializePublic();
+  Register(signer.id(), signer.scheme(), pub);
+}
+
+bool KeyRegistry::Verify(const NodeId& id, ByteView msg, ByteView sig) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return false;
+  }
+  if (it->second.scheme == SignatureScheme::kNone) {
+    return sig.empty();
+  }
+  return RsaVerify(*it->second.pub, msg, sig);
+}
+
+bool KeyRegistry::Knows(const NodeId& id) const {
+  return entries_.count(id) > 0;
+}
+
+SignatureScheme KeyRegistry::SchemeOf(const NodeId& id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    throw std::out_of_range("KeyRegistry::SchemeOf: unknown node " + id);
+  }
+  return it->second.scheme;
+}
+
+}  // namespace avm

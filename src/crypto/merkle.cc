@@ -1,0 +1,149 @@
+#include "src/crypto/merkle.h"
+
+#include <stdexcept>
+
+#include "src/util/serde.h"
+
+namespace avm {
+
+Hash256 MerkleLeafHash(ByteView leaf_data) {
+  Sha256 h;
+  uint8_t tag = 0x00;
+  h.Update(ByteView(&tag, 1)).Update(leaf_data);
+  return h.Finish();
+}
+
+Hash256 MerkleNodeHash(const Hash256& left, const Hash256& right) {
+  Sha256 h;
+  uint8_t tag = 0x01;
+  h.Update(ByteView(&tag, 1)).Update(left.view()).Update(right.view());
+  return h.Finish();
+}
+
+Bytes MerkleProof::Serialize() const {
+  Writer w;
+  w.U64(leaf_index);
+  w.U64(leaf_count);
+  w.U32(static_cast<uint32_t>(siblings.size()));
+  for (const auto& s : siblings) {
+    w.Raw(s.view());
+  }
+  return w.Take();
+}
+
+MerkleProof MerkleProof::Deserialize(ByteView data) {
+  Reader r(data);
+  MerkleProof p;
+  p.leaf_index = r.U64();
+  p.leaf_count = r.U64();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n; i++) {
+    p.siblings.push_back(Hash256::FromBytes(r.Raw(32)));
+  }
+  r.ExpectEnd();
+  return p;
+}
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaf_hashes) : leaf_count_(leaf_hashes.size()) {
+  levels_.push_back(std::move(leaf_hashes));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      if (i + 1 < prev.size()) {
+        next.push_back(MerkleNodeHash(prev[i], prev[i + 1]));
+      } else {
+        next.push_back(prev[i]);  // Odd node promoted unchanged.
+      }
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleTree MerkleTree::FromLeafData(const std::vector<Bytes>& leaves) {
+  std::vector<Hash256> hashes;
+  hashes.reserve(leaves.size());
+  for (const auto& l : leaves) {
+    hashes.push_back(MerkleLeafHash(l));
+  }
+  return MerkleTree(std::move(hashes));
+}
+
+Hash256 MerkleTree::Root() const {
+  if (leaf_count_ == 0) {
+    return Hash256::Zero();
+  }
+  return levels_.back()[0];
+}
+
+void MerkleTree::UpdateLeaf(uint64_t index, const Hash256& new_leaf_hash) {
+  if (index >= leaf_count_) {
+    throw std::out_of_range("MerkleTree::UpdateLeaf: index out of range");
+  }
+  levels_[0][index] = new_leaf_hash;
+  size_t i = static_cast<size_t>(index);
+  for (size_t level = 0; level + 1 < levels_.size(); level++) {
+    size_t parent = i / 2;
+    size_t left = parent * 2;
+    size_t right = left + 1;
+    if (right < levels_[level].size()) {
+      levels_[level + 1][parent] = MerkleNodeHash(levels_[level][left], levels_[level][right]);
+    } else {
+      levels_[level + 1][parent] = levels_[level][left];
+    }
+    i = parent;
+  }
+}
+
+MerkleProof MerkleTree::ProveLeaf(uint64_t index) const {
+  if (index >= leaf_count_) {
+    throw std::out_of_range("MerkleTree::ProveLeaf: index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  proof.leaf_count = leaf_count_;
+  size_t i = static_cast<size_t>(index);
+  for (size_t level = 0; level + 1 < levels_.size(); level++) {
+    size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    if (sibling < levels_[level].size()) {
+      proof.siblings.push_back(levels_[level][sibling]);
+    } else {
+      // Odd node promoted: no sibling at this level; mark with zero hash.
+      proof.siblings.push_back(Hash256::Zero());
+    }
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::VerifyProof(const Hash256& root, const Hash256& leaf_hash,
+                             const MerkleProof& proof) {
+  if (proof.leaf_index >= proof.leaf_count) {
+    return false;
+  }
+  Hash256 cur = leaf_hash;
+  uint64_t i = proof.leaf_index;
+  uint64_t level_size = proof.leaf_count;
+  size_t used = 0;
+  while (level_size > 1) {
+    if (used >= proof.siblings.size()) {
+      return false;
+    }
+    const Hash256& sib = proof.siblings[used++];
+    uint64_t sibling_index = (i % 2 == 0) ? i + 1 : i - 1;
+    if (sibling_index < level_size) {
+      cur = (i % 2 == 0) ? MerkleNodeHash(cur, sib) : MerkleNodeHash(sib, cur);
+    } else {
+      // Promoted odd node: sibling entry must be the zero placeholder.
+      if (!sib.IsZero()) {
+        return false;
+      }
+    }
+    i /= 2;
+    level_size = (level_size + 1) / 2;
+  }
+  return used == proof.siblings.size() && cur == root;
+}
+
+}  // namespace avm

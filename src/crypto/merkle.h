@@ -1,0 +1,60 @@
+// Merkle hash tree over an ordered list of leaves. The AVMM keeps one over
+// the AVM's memory pages (§4.4): after each snapshot the top-level value is
+// recorded in the log, and auditors can authenticate partial state downloads
+// with inclusion proofs (§7.3's snapshot redaction relies on this too).
+#ifndef SRC_CRYPTO_MERKLE_H_
+#define SRC_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace avm {
+
+// An inclusion proof for one leaf: the sibling hashes from leaf to root.
+struct MerkleProof {
+  uint64_t leaf_index = 0;
+  uint64_t leaf_count = 0;
+  std::vector<Hash256> siblings;
+
+  Bytes Serialize() const;
+  static MerkleProof Deserialize(ByteView data);
+};
+
+// Computes leaf hashes with domain separation from interior nodes
+// (prevents second-preimage attacks on the tree structure).
+Hash256 MerkleLeafHash(ByteView leaf_data);
+Hash256 MerkleNodeHash(const Hash256& left, const Hash256& right);
+
+class MerkleTree {
+ public:
+  // Builds a tree over pre-hashed leaves. An odd node at any level is
+  // promoted unchanged (Bitcoin-style duplication is avoided).
+  explicit MerkleTree(std::vector<Hash256> leaf_hashes);
+
+  static MerkleTree FromLeafData(const std::vector<Bytes>& leaves);
+
+  Hash256 Root() const;
+  uint64_t LeafCount() const { return leaf_count_; }
+
+  // Replaces one leaf hash and incrementally recomputes the affected path.
+  void UpdateLeaf(uint64_t index, const Hash256& new_leaf_hash);
+
+  MerkleProof ProveLeaf(uint64_t index) const;
+
+  // Verifies that `leaf_hash` is the `proof.leaf_index`-th of
+  // `proof.leaf_count` leaves under `root`.
+  static bool VerifyProof(const Hash256& root, const Hash256& leaf_hash, const MerkleProof& proof);
+
+ private:
+  // levels_[0] = leaf hashes; levels_.back() has exactly one node (or is
+  // empty when there are no leaves).
+  std::vector<std::vector<Hash256>> levels_;
+  uint64_t leaf_count_ = 0;
+};
+
+}  // namespace avm
+
+#endif  // SRC_CRYPTO_MERKLE_H_

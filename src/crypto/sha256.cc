@@ -1,0 +1,198 @@
+#include "src/crypto/sha256.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace avm {
+
+namespace {
+
+constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+Hash256 Hash256::FromBytes(ByteView b) {
+  if (b.size() != 32) {
+    throw std::invalid_argument("Hash256::FromBytes: need 32 bytes");
+  }
+  Hash256 h;
+  std::memcpy(h.v.data(), b.data(), 32);
+  return h;
+}
+
+Sha256::Sha256() {
+  state_[0] = 0x6a09e667;
+  state_[1] = 0xbb67ae85;
+  state_[2] = 0x3c6ef372;
+  state_[3] = 0xa54ff53a;
+  state_[4] = 0x510e527f;
+  state_[5] = 0x9b05688c;
+  state_[6] = 0x1f83d9ab;
+  state_[7] = 0x5be0cd19;
+}
+
+void Sha256::Compress(const uint8_t block[64]) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; i++) {
+    w[i] = static_cast<uint32_t>(block[4 * i]) << 24 | static_cast<uint32_t>(block[4 * i + 1]) << 16 |
+           static_cast<uint32_t>(block[4 * i + 2]) << 8 | static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; i++) {
+    uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+  for (int i = 0; i < 64; i++) {
+    uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    uint32_t ch = (e & f) ^ (~e & g);
+    uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+    uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+Sha256& Sha256::Update(ByteView data) {
+  if (finished_) {
+    throw std::logic_error("Sha256: Update after Finish");
+  }
+  total_len_ += data.size();
+  size_t i = 0;
+  if (buf_len_ > 0) {
+    while (buf_len_ < 64 && i < data.size()) {
+      buf_[buf_len_++] = data[i++];
+    }
+    if (buf_len_ == 64) {
+      Compress(buf_);
+      buf_len_ = 0;
+    }
+  }
+  while (i + 64 <= data.size()) {
+    Compress(data.data() + i);
+    i += 64;
+  }
+  while (i < data.size()) {
+    buf_[buf_len_++] = data[i++];
+  }
+  return *this;
+}
+
+Sha256& Sha256::Update(std::string_view s) {
+  return Update(ByteView(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+Sha256& Sha256::UpdateU64(uint64_t v) {
+  uint8_t b[8];
+  for (int i = 0; i < 8; i++) {
+    b[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  return Update(ByteView(b, 8));
+}
+
+Hash256 Sha256::Finish() {
+  if (finished_) {
+    throw std::logic_error("Sha256: Finish called twice");
+  }
+  finished_ = true;
+  uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80, zeros, 64-bit big-endian length.
+  uint8_t pad[72];
+  size_t pad_len = 0;
+  pad[pad_len++] = 0x80;
+  size_t rem = (buf_len_ + 1) % 64;
+  size_t zeros = (rem <= 56) ? (56 - rem) : (120 - rem);
+  for (size_t i = 0; i < zeros; i++) {
+    pad[pad_len++] = 0;
+  }
+  for (int i = 7; i >= 0; i--) {
+    pad[pad_len++] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  // Feed padding through the block buffer directly (bypass Update's
+  // finished_ check and length accounting).
+  size_t i = 0;
+  while (i < pad_len) {
+    while (buf_len_ < 64 && i < pad_len) {
+      buf_[buf_len_++] = pad[i++];
+    }
+    if (buf_len_ == 64) {
+      Compress(buf_);
+      buf_len_ = 0;
+    }
+  }
+
+  Hash256 out;
+  for (int j = 0; j < 8; j++) {
+    out.v[4 * j] = static_cast<uint8_t>(state_[j] >> 24);
+    out.v[4 * j + 1] = static_cast<uint8_t>(state_[j] >> 16);
+    out.v[4 * j + 2] = static_cast<uint8_t>(state_[j] >> 8);
+    out.v[4 * j + 3] = static_cast<uint8_t>(state_[j]);
+  }
+  return out;
+}
+
+Hash256 Sha256::Digest(ByteView data) {
+  Sha256 h;
+  h.Update(data);
+  return h.Finish();
+}
+
+Hash256 Sha256::Digest(std::string_view s) {
+  Sha256 h;
+  h.Update(s);
+  return h.Finish();
+}
+
+Hash256 HmacSha256(ByteView key, ByteView message) {
+  uint8_t k[64] = {0};
+  if (key.size() > 64) {
+    Hash256 kh = Sha256::Digest(key);
+    std::memcpy(k, kh.v.data(), 32);
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; i++) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ByteView(ipad, 64)).Update(message);
+  Hash256 ih = inner.Finish();
+  Sha256 outer;
+  outer.Update(ByteView(opad, 64)).Update(ih.view());
+  return outer.Finish();
+}
+
+}  // namespace avm

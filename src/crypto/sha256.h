@@ -1,0 +1,83 @@
+// From-scratch SHA-256 (FIPS 180-4). The paper's hash-chain log, Merkle
+// snapshot trees and RSA signatures all build on this primitive.
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace avm {
+
+// A 256-bit digest. Value type, comparable, hashable.
+struct Hash256 {
+  std::array<uint8_t, 32> v{};
+
+  bool operator==(const Hash256& o) const { return v == o.v; }
+  bool operator!=(const Hash256& o) const { return v != o.v; }
+  bool operator<(const Hash256& o) const { return v < o.v; }
+
+  bool IsZero() const {
+    for (uint8_t b : v) {
+      if (b != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  ByteView view() const { return ByteView(v.data(), v.size()); }
+  std::string Hex() const { return HexEncode(view()); }
+  // First 8 hex chars; handy for log messages.
+  std::string ShortHex() const { return Hex().substr(0, 8); }
+
+  static Hash256 Zero() { return Hash256{}; }
+  static Hash256 FromBytes(ByteView b);
+};
+
+// Streaming SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& Update(ByteView data);
+  Sha256& Update(std::string_view s);
+  // Convenience: append a little-endian u64 to the stream.
+  Sha256& UpdateU64(uint64_t v);
+
+  // Finalizes and returns the digest. The object must not be reused after.
+  Hash256 Finish();
+
+  // One-shot helpers.
+  static Hash256 Digest(ByteView data);
+  static Hash256 Digest(std::string_view s);
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+  bool finished_ = false;
+};
+
+// HMAC-SHA256 (FIPS 198-1).
+Hash256 HmacSha256(ByteView key, ByteView message);
+
+}  // namespace avm
+
+// Allow Hash256 as an unordered_map key.
+template <>
+struct std::hash<avm::Hash256> {
+  size_t operator()(const avm::Hash256& h) const {
+    size_t out;
+    static_assert(sizeof(out) <= 32);
+    __builtin_memcpy(&out, h.v.data(), sizeof(out));
+    return out;
+  }
+};
+
+#endif  // SRC_CRYPTO_SHA256_H_

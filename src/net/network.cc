@@ -1,0 +1,87 @@
+#include "src/net/network.h"
+
+#include <stdexcept>
+
+namespace avm {
+
+void SimNetwork::AttachHost(const NodeId& id, NetworkDelegate* delegate) {
+  hosts_[id] = delegate;
+  stats_.try_emplace(id);
+}
+
+void SimNetwork::DetachHost(const NodeId& id) {
+  hosts_.erase(id);
+}
+
+std::pair<NodeId, NodeId> SimNetwork::Key(const NodeId& a, const NodeId& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void SimNetwork::SetLinkLatency(const NodeId& a, const NodeId& b, SimTime micros) {
+  link_latency_[Key(a, b)] = micros;
+}
+
+void SimNetwork::SetPartitioned(const NodeId& a, const NodeId& b, bool partitioned) {
+  partitioned_[Key(a, b)] = partitioned;
+}
+
+SimTime SimNetwork::LatencyFor(const NodeId& a, const NodeId& b) const {
+  auto it = link_latency_.find(Key(a, b));
+  return it == link_latency_.end() ? default_latency_ : it->second;
+}
+
+void SimNetwork::SendFrame(SimTime now, const NodeId& src, const NodeId& dst, Bytes frame) {
+  TrafficStats& s = stats_[src];
+  s.frames_sent++;
+  s.bytes_sent += frame.size();
+
+  auto part = partitioned_.find(Key(src, dst));
+  bool is_partitioned = part != partitioned_.end() && part->second;
+  if (is_partitioned || (drop_rate_ > 0 && rng_.Chance(drop_rate_))) {
+    stats_[src].frames_dropped++;
+    return;
+  }
+  queue_.push(InFlight{now + LatencyFor(src, dst), order_counter_++, src, dst, std::move(frame)});
+}
+
+void SimNetwork::DeliverUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().deliver_at <= t) {
+    InFlight f = queue_.top();
+    queue_.pop();
+    auto it = hosts_.find(f.dst);
+    if (it == hosts_.end()) {
+      continue;  // Host left the simulation; frame is lost.
+    }
+    TrafficStats& s = stats_[f.dst];
+    s.frames_received++;
+    s.bytes_received += f.frame.size();
+    it->second->OnFrame(f.deliver_at, f.src, f.frame);
+  }
+}
+
+SimTime SimNetwork::NextDeliveryTime() const {
+  if (queue_.empty()) {
+    throw std::logic_error("SimNetwork::NextDeliveryTime: queue empty");
+  }
+  return queue_.top().deliver_at;
+}
+
+const TrafficStats& SimNetwork::StatsFor(const NodeId& id) const {
+  static const TrafficStats kEmpty;
+  auto it = stats_.find(id);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+TrafficStats SimNetwork::TotalStats() const {
+  TrafficStats total;
+  for (const auto& [id, s] : stats_) {
+    total.frames_sent += s.frames_sent;
+    total.bytes_sent += s.bytes_sent;
+    total.frames_received += s.frames_received;
+    total.bytes_received += s.bytes_received;
+    total.frames_dropped += s.frames_dropped;
+  }
+  return total;
+}
+
+}  // namespace avm

@@ -1,0 +1,96 @@
+// Event-driven simulated network. Stands in for the paper's testbed LAN
+// (three workstations on a GbE switch): per-link propagation latency,
+// optional loss, and per-node traffic accounting (§6.7's metric).
+//
+// Assumption 1 of §4.1 (messages are eventually received if retransmitted
+// sufficiently often) holds here as long as the drop rate is < 1; the
+// transport layer in avmm/ does the retransmitting.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/crypto/keys.h"
+#include "src/util/bytes.h"
+#include "src/util/clock.h"
+#include "src/util/prng.h"
+
+namespace avm {
+
+// A host's receive hook.
+class NetworkDelegate {
+ public:
+  virtual ~NetworkDelegate() = default;
+  virtual void OnFrame(SimTime now, const NodeId& src, ByteView frame) = 0;
+};
+
+struct TrafficStats {
+  uint64_t frames_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t frames_dropped = 0;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(uint64_t seed = 1) : rng_(seed) {}
+
+  void AttachHost(const NodeId& id, NetworkDelegate* delegate);
+  void DetachHost(const NodeId& id);
+
+  // Default latency applies to every link unless overridden.
+  void SetDefaultLatency(SimTime micros) { default_latency_ = micros; }
+  void SetLinkLatency(const NodeId& a, const NodeId& b, SimTime micros);
+  // Probability in [0,1) that any given frame is silently dropped.
+  void SetDropRate(double p) { drop_rate_ = p; }
+  // Simulates a partition: frames between a and b are dropped while set.
+  void SetPartitioned(const NodeId& a, const NodeId& b, bool partitioned);
+
+  // Schedules delivery of `frame` from src to dst at now + latency.
+  void SendFrame(SimTime now, const NodeId& src, const NodeId& dst, Bytes frame);
+
+  // Delivers every frame scheduled at or before `t`, in timestamp order.
+  void DeliverUntil(SimTime t);
+
+  bool HasPending() const { return !queue_.empty(); }
+  SimTime NextDeliveryTime() const;
+
+  const TrafficStats& StatsFor(const NodeId& id) const;
+  TrafficStats TotalStats() const;
+
+ private:
+  struct InFlight {
+    SimTime deliver_at;
+    uint64_t order;  // FIFO tiebreaker for equal timestamps.
+    NodeId src, dst;
+    Bytes frame;
+    bool operator>(const InFlight& o) const {
+      if (deliver_at != o.deliver_at) {
+        return deliver_at > o.deliver_at;
+      }
+      return order > o.order;
+    }
+  };
+
+  SimTime LatencyFor(const NodeId& a, const NodeId& b) const;
+  static std::pair<NodeId, NodeId> Key(const NodeId& a, const NodeId& b);
+
+  std::map<NodeId, NetworkDelegate*> hosts_;
+  std::map<NodeId, TrafficStats> stats_;
+  std::map<std::pair<NodeId, NodeId>, SimTime> link_latency_;
+  std::map<std::pair<NodeId, NodeId>, bool> partitioned_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> queue_;
+  SimTime default_latency_ = 96;  // One-way; 192 µs RTT like the paper's LAN.
+  double drop_rate_ = 0.0;
+  uint64_t order_counter_ = 0;
+  Prng rng_;
+};
+
+}  // namespace avm
+
+#endif  // SRC_NET_NETWORK_H_

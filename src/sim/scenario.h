@@ -1,0 +1,148 @@
+// Multi-host scenario drivers: wire guest images, AVMMs, the simulated
+// network, input scripts and cheats into runnable experiments. These are
+// the symmetric multi-party setup of Figure 2(a) (the game) and the
+// client/server setup of §6.12 (the key-value store).
+#ifndef SRC_SIM_SCENARIO_H_
+#define SRC_SIM_SCENARIO_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/cheats.h"
+#include "src/avmm/attested_input.h"
+#include "src/apps/game.h"
+#include "src/apps/kvstore.h"
+#include "src/audit/auditor.h"
+#include "src/avmm/recorder.h"
+#include "src/net/network.h"
+
+namespace avm {
+
+struct GameScenarioConfig {
+  RunConfig run = RunConfig::AvmmRsa768();
+  int num_players = 3;  // Plus one dedicated server node.
+  uint64_t seed = 1;
+  SimTime quantum_us = 1000;
+  GameClientParams client;
+  GameServerParams server;
+  // Player input script: mean microseconds between input events, and the
+  // fraction of events that are FIRE.
+  SimTime input_mean_gap_us = 100 * kMicrosPerMilli;
+  double fire_fraction = 0.4;
+  // §7.2 extension: every player's keyboard signs its events; audits
+  // verify the attestations, which catches the forged-input aimbot.
+  bool attested_input = false;
+};
+
+// A running game: one server node ("server") plus players "player1"...
+// Drives everything in lockstep quanta; all nondeterminism derives from
+// the config seed, so runs are exactly reproducible.
+class GameScenario {
+ public:
+  explicit GameScenario(GameScenarioConfig cfg);
+  ~GameScenario();
+
+  // Installs a cheat for one player (0-based). Must precede Start().
+  void SetCheat(int player_index, RunnableCheat cheat);
+
+  // Generates keys, builds images, constructs AVMMs.
+  void Start();
+
+  // Advances the simulation. Callable repeatedly.
+  void RunFor(SimTime duration);
+
+  // Final snapshots + END markers.
+  void Finish();
+
+  SimTime now() const { return now_; }
+  int num_players() const { return cfg_.num_players; }
+  Avmm& server() { return *server_; }
+  Avmm& player(int index) { return *players_.at(index); }
+  const Avmm& player(int index) const { return *players_.at(index); }
+  NodeId player_id(int index) const;
+
+  const Bytes& reference_client_image() const { return reference_client_image_; }
+  const Bytes& reference_server_image() const { return reference_server_image_; }
+  const KeyRegistry& registry() const { return registry_; }
+  SimNetwork& network() { return net_; }
+  const GameScenarioConfig& config() const { return cfg_; }
+
+  // Gathers all authenticators every *other* node collected about
+  // `target`, plus a fresh end-of-log commitment from the target itself
+  // (what an auditor would collect in §4.6).
+  std::vector<Authenticator> CollectAuths(const NodeId& target) const;
+
+  // Convenience: full audit of one player by another party.
+  AuditOutcome AuditPlayer(int player_index);
+
+ private:
+  void PumpInputs(SimTime upto);
+  Avmm& NodeById(const NodeId& id) const;
+
+  GameScenarioConfig cfg_;
+  Prng rng_;
+  SimNetwork net_;
+  KeyRegistry registry_;
+  std::vector<std::unique_ptr<Signer>> signers_;
+  std::unique_ptr<Avmm> server_;
+  std::vector<std::unique_ptr<Avmm>> players_;
+  std::map<int, RunnableCheat> cheats_;
+  Bytes reference_client_image_;
+  Bytes reference_server_image_;
+  SimTime now_ = 0;
+  bool started_ = false;
+
+  struct InputState {
+    SimTime next_at = 0;
+    Prng rng{0};
+    bool forged_autofire = false;
+    std::unique_ptr<InputAttestor> attestor;  // Set in attested-input mode.
+  };
+  std::vector<InputState> input_state_;
+};
+
+struct KvScenarioConfig {
+  RunConfig run = RunConfig::AvmmRsa768();
+  uint64_t seed = 7;
+  SimTime quantum_us = 1000;
+  SimTime snapshot_interval = 5 * kMicrosPerMinute;  // §6.12: every 5 min.
+  KvServerParams server;
+  KvClientParams client;
+};
+
+// Server ("kvserver", IRQ-driven) + load client ("kvclient").
+class KvScenario {
+ public:
+  explicit KvScenario(KvScenarioConfig cfg);
+  ~KvScenario();
+
+  void Start();
+  void RunFor(SimTime duration);
+  void Finish();
+
+  SimTime now() const { return now_; }
+  Avmm& server() { return *server_; }
+  Avmm& client() { return *client_; }
+  const Bytes& reference_server_image() const { return reference_server_image_; }
+  const KeyRegistry& registry() const { return registry_; }
+
+  std::vector<Authenticator> CollectAuthsForServer() const;
+
+ private:
+  KvScenarioConfig cfg_;
+  Prng rng_;
+  SimNetwork net_;
+  KeyRegistry registry_;
+  std::vector<std::unique_ptr<Signer>> signers_;
+  std::unique_ptr<Avmm> server_;
+  std::unique_ptr<Avmm> client_;
+  Bytes reference_server_image_;
+  SimTime now_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace avm
+
+#endif  // SRC_SIM_SCENARIO_H_

@@ -1,0 +1,167 @@
+#include "src/tel/log.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/serde.h"
+
+namespace avm {
+
+const char* EntryTypeName(EntryType t) {
+  switch (t) {
+    case EntryType::kSend:
+      return "SEND";
+    case EntryType::kRecv:
+      return "RECV";
+    case EntryType::kAck:
+      return "ACK";
+    case EntryType::kTraceTime:
+      return "TIMETRACKER";
+    case EntryType::kTraceMac:
+      return "MAC";
+    case EntryType::kTraceOther:
+      return "OTHER";
+    case EntryType::kSnapshot:
+      return "SNAPSHOT";
+    case EntryType::kInfo:
+      return "INFO";
+  }
+  return "?";
+}
+
+Hash256 ChainHash(const Hash256& prev, uint64_t seq, EntryType type, ByteView content) {
+  Hash256 content_hash = Sha256::Digest(content);
+  Sha256 h;
+  h.Update(prev.view());
+  h.UpdateU64(seq);
+  uint8_t t = static_cast<uint8_t>(type);
+  h.Update(ByteView(&t, 1));
+  h.Update(content_hash.view());
+  return h.Finish();
+}
+
+Bytes Authenticator::SignedPayload(const NodeId& node, uint64_t seq, const Hash256& hash) {
+  Writer w;
+  w.Str(node);
+  w.U64(seq);
+  w.Raw(hash.view());
+  return w.Take();
+}
+
+Bytes Authenticator::Serialize() const {
+  Writer w;
+  w.Str(node);
+  w.U64(seq);
+  w.Raw(hash.view());
+  w.Blob(signature);
+  return w.Take();
+}
+
+Authenticator Authenticator::Deserialize(ByteView data) {
+  Reader r(data);
+  Authenticator a;
+  a.node = r.Str();
+  a.seq = r.U64();
+  a.hash = Hash256::FromBytes(r.Raw(32));
+  a.signature = r.Blob();
+  r.ExpectEnd();
+  return a;
+}
+
+bool Authenticator::VerifySignature(const KeyRegistry& registry) const {
+  return registry.Verify(node, SignedPayload(node, seq, hash), signature);
+}
+
+size_t LogSegment::WireSize() const {
+  size_t total = 0;
+  for (const auto& e : entries) {
+    total += e.WireSize();
+  }
+  return total;
+}
+
+Bytes LogSegment::Serialize() const {
+  Writer w;
+  w.Str(node);
+  w.Raw(prior_hash.view());
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.U64(e.seq);
+    w.U8(static_cast<uint8_t>(e.type));
+    w.Blob(e.content);
+    w.Raw(e.hash.view());
+  }
+  return w.Take();
+}
+
+LogSegment LogSegment::Deserialize(ByteView data) {
+  Reader r(data);
+  LogSegment seg;
+  seg.node = r.Str();
+  seg.prior_hash = Hash256::FromBytes(r.Raw(32));
+  uint32_t n = r.U32();
+  // Clamp the reservation: n is untrusted and each entry needs at least
+  // ~45 bytes of input, so a huge count on a short buffer must not OOM
+  // before the per-entry bounds checks reject it.
+  seg.entries.reserve(std::min<size_t>(n, r.remaining() / 45 + 1));
+  for (uint32_t i = 0; i < n; i++) {
+    LogEntry e;
+    e.seq = r.U64();
+    uint8_t t = r.U8();
+    if (t < 1 || t > 8) {
+      throw SerdeError("LogSegment: bad entry type");
+    }
+    e.type = static_cast<EntryType>(t);
+    e.content = r.Blob();
+    e.hash = Hash256::FromBytes(r.Raw(32));
+    seg.entries.push_back(std::move(e));
+  }
+  r.ExpectEnd();
+  return seg;
+}
+
+const LogEntry& TamperEvidentLog::Append(EntryType type, Bytes content) {
+  LogEntry e;
+  e.seq = entries_.size() + 1;
+  e.type = type;
+  e.content = std::move(content);
+  e.hash = ChainHash(LastHash(), e.seq, e.type, e.content);
+  total_wire_size_ += e.WireSize();
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+const LogEntry& TamperEvidentLog::At(uint64_t seq) const {
+  if (seq == 0 || seq > entries_.size()) {
+    throw std::out_of_range("TamperEvidentLog::At: bad seq");
+  }
+  return entries_[seq - 1];
+}
+
+Authenticator TamperEvidentLog::Authenticate(const Signer& signer) const {
+  return AuthenticateAt(signer, LastSeq());
+}
+
+Authenticator TamperEvidentLog::AuthenticateAt(const Signer& signer, uint64_t seq) const {
+  const LogEntry& e = At(seq);
+  Authenticator a;
+  a.node = owner_;
+  a.seq = e.seq;
+  a.hash = e.hash;
+  a.signature = signer.Sign(Authenticator::SignedPayload(a.node, a.seq, a.hash));
+  return a;
+}
+
+LogSegment TamperEvidentLog::Extract(uint64_t from_seq, uint64_t to_seq) const {
+  if (from_seq == 0 || from_seq > to_seq || to_seq > entries_.size()) {
+    throw std::out_of_range("TamperEvidentLog::Extract: bad range");
+  }
+  LogSegment seg;
+  seg.node = owner_;
+  seg.prior_hash = (from_seq == 1) ? Hash256::Zero() : entries_[from_seq - 2].hash;
+  seg.entries.assign(entries_.begin() + static_cast<ptrdiff_t>(from_seq - 1),
+                     entries_.begin() + static_cast<ptrdiff_t>(to_seq));
+  return seg;
+}
+
+}  // namespace avm

@@ -1,0 +1,114 @@
+#include "src/tel/verifier.h"
+
+namespace avm {
+
+CheckResult VerifyChain(const LogSegment& segment) {
+  if (segment.entries.empty()) {
+    return CheckResult::Fail("empty segment");
+  }
+  Hash256 prev = segment.prior_hash;
+  uint64_t expected_seq = segment.entries.front().seq;
+  if (expected_seq == 0) {
+    return CheckResult::Fail("sequence numbers are 1-based", 0);
+  }
+  if (expected_seq == 1 && !segment.prior_hash.IsZero()) {
+    return CheckResult::Fail("segment starts at seq 1 but prior hash is nonzero", 1);
+  }
+  for (const LogEntry& e : segment.entries) {
+    if (e.seq != expected_seq) {
+      return CheckResult::Fail("non-consecutive sequence numbers", e.seq);
+    }
+    Hash256 h = ChainHash(prev, e.seq, e.type, e.content);
+    if (h != e.hash) {
+      return CheckResult::Fail("hash chain broken", e.seq);
+    }
+    prev = h;
+    expected_seq++;
+  }
+  return CheckResult::Ok();
+}
+
+CheckResult VerifyAgainstAuthenticators(const LogSegment& segment,
+                                        std::span<const Authenticator> auths,
+                                        const KeyRegistry& registry) {
+  CheckResult chain = VerifyChain(segment);
+  if (!chain.ok) {
+    return chain;
+  }
+  uint64_t first = segment.FirstSeq();
+  uint64_t last = segment.LastSeq();
+  size_t matched = 0;
+  for (const Authenticator& a : auths) {
+    if (a.node != segment.node) {
+      continue;
+    }
+    if (a.seq < first || a.seq > last) {
+      continue;
+    }
+    if (!a.VerifySignature(registry)) {
+      return CheckResult::Fail("authenticator signature invalid", a.seq);
+    }
+    const LogEntry& e = segment.entries[a.seq - first];
+    if (e.hash != a.hash) {
+      return CheckResult::Fail("log does not match issued authenticator (tamper or fork)", a.seq);
+    }
+    matched++;
+  }
+  if (matched == 0) {
+    return CheckResult::Fail("no authenticator covers the segment; cannot establish authenticity");
+  }
+  return CheckResult::Ok();
+}
+
+bool IsForkProof(const Authenticator& a, const Authenticator& b, const KeyRegistry& registry) {
+  return a.node == b.node && a.seq == b.seq && a.hash != b.hash &&
+         a.VerifySignature(registry) && b.VerifySignature(registry);
+}
+
+bool AuthenticatorStore::Add(const Authenticator& a, const KeyRegistry& registry) {
+  if (!a.VerifySignature(registry)) {
+    return false;
+  }
+  auto& m = by_node_[a.node];
+  auto it = m.find(a.seq);
+  if (it != m.end()) {
+    if (it->second.hash != a.hash) {
+      fork_proofs_.emplace_back(it->second, a);
+    }
+    return true;
+  }
+  m.emplace(a.seq, a);
+  return true;
+}
+
+std::vector<Authenticator> AuthenticatorStore::InRange(const NodeId& node, uint64_t from,
+                                                       uint64_t to) const {
+  std::vector<Authenticator> out;
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) {
+    return out;
+  }
+  for (auto i = it->second.lower_bound(from); i != it->second.end() && i->first <= to; ++i) {
+    out.push_back(i->second);
+  }
+  return out;
+}
+
+std::vector<Authenticator> AuthenticatorStore::AllFor(const NodeId& node) const {
+  return InRange(node, 0, UINT64_MAX);
+}
+
+const Authenticator* AuthenticatorStore::Latest(const NodeId& node) const {
+  auto it = by_node_.find(node);
+  if (it == by_node_.end() || it->second.empty()) {
+    return nullptr;
+  }
+  return &it->second.rbegin()->second;
+}
+
+size_t AuthenticatorStore::CountFor(const NodeId& node) const {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? 0 : it->second.size();
+}
+
+}  // namespace avm

@@ -1,0 +1,41 @@
+// Time sources. Experiments run against a simulated microsecond clock
+// (reproducible); benches additionally measure real elapsed time.
+#ifndef SRC_UTIL_CLOCK_H_
+#define SRC_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace avm {
+
+// Simulated time in microseconds since the start of a scenario.
+using SimTime = uint64_t;
+
+constexpr SimTime kMicrosPerMilli = 1000;
+constexpr SimTime kMicrosPerSecond = 1000 * 1000;
+constexpr SimTime kMicrosPerMinute = 60 * kMicrosPerSecond;
+
+// Wall-clock stopwatch for measuring real processing cost.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     std::chrono::steady_clock::now() - start_)
+                                     .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace avm
+
+#endif  // SRC_UTIL_CLOCK_H_

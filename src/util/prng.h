@@ -1,0 +1,65 @@
+// Deterministic PRNG (xoshiro256**). Used for workload generation and
+// failure injection so every experiment is reproducible from a seed.
+#ifndef SRC_UTIL_PRNG_H_
+#define SRC_UTIL_PRNG_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace avm {
+
+class Prng {
+ public:
+  explicit Prng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Bernoulli trial with probability p (0..1).
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  Bytes RandomBytes(size_t n) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; i++) {
+      out[i] = static_cast<uint8_t>(Next());
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace avm
+
+#endif  // SRC_UTIL_PRNG_H_

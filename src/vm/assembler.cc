@@ -1,0 +1,487 @@
+#include "src/vm/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "src/vm/isa.h"
+
+namespace avm {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// Splits one source line into lowercase-insensitive tokens. Commas,
+// brackets and '+' act as separators; string literals are one token.
+std::vector<std::string> Tokenize(const std::string& line, size_t lineno) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < line.size(); i++) {
+    char c = line[i];
+    if (c == ';' || c == '#') {
+      break;
+    }
+    if (c == '"') {
+      flush();
+      std::string s = "\"";
+      i++;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          s.push_back(line[i]);
+          i++;
+        }
+        s.push_back(line[i]);
+        i++;
+      }
+      if (i >= line.size()) {
+        throw AsmError(lineno, "unterminated string literal");
+      }
+      s.push_back('"');
+      out.push_back(s);
+      continue;
+    }
+    if (c == '\'') {
+      flush();
+      std::string s = "'";
+      i++;
+      while (i < line.size() && line[i] != '\'') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          s.push_back(line[i]);
+          i++;
+        }
+        s.push_back(line[i]);
+        i++;
+      }
+      if (i >= line.size()) {
+        throw AsmError(lineno, "unterminated char literal");
+      }
+      s.push_back('\'');
+      out.push_back(s);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',' || c == '[' || c == ']' ||
+        c == '+') {
+      flush();
+      continue;
+    }
+    if (c == ':') {
+      cur.push_back(':');
+      flush();
+      continue;
+    }
+    cur.push_back(c);
+  }
+  flush();
+  return out;
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::optional<uint8_t> ParseReg(const std::string& t) {
+  std::string s = Lower(t);
+  if (s == "sp") {
+    return kRegSp;
+  }
+  if (s == "lr") {
+    return kRegLr;
+  }
+  if (s.size() >= 2 && s[0] == 'r') {
+    int n = 0;
+    for (size_t i = 1; i < s.size(); i++) {
+      if (!std::isdigit(static_cast<unsigned char>(s[i]))) {
+        return std::nullopt;
+      }
+      n = n * 10 + (s[i] - '0');
+    }
+    if (n >= 0 && n < kNumRegs) {
+      return static_cast<uint8_t>(n);
+    }
+  }
+  return std::nullopt;
+}
+
+char Unescape(char c, size_t lineno) {
+  switch (c) {
+    case 'n':
+      return '\n';
+    case 't':
+      return '\t';
+    case '0':
+      return '\0';
+    case '\\':
+      return '\\';
+    case '"':
+      return '"';
+    case '\'':
+      return '\'';
+    default:
+      throw AsmError(lineno, std::string("bad escape \\") + c);
+  }
+}
+
+const std::map<std::string, int64_t>& Builtins() {
+  static const std::map<std::string, int64_t> kBuiltins = {
+      {"CLOCK_LO", kPortClockLo},   {"CLOCK_HI", kPortClockHi},
+      {"RAND", kPortRand},          {"INPUT", kPortInput},
+      {"NET_RXLEN", kPortNetRxLen}, {"IRQ_CAUSE", kPortIrqCause},
+      {"CONSOLE", kPortConsole},    {"FRAME", kPortFrame},
+      {"NET_TXLEN", kPortNetTxLen}, {"NET_RXDONE", kPortNetRxDone},
+      {"DEBUG", kPortDebug},        {"TX_BUF", kNetTxBuf},
+      {"RX_BUF", kNetRxBuf},        {"NET_BUF_SIZE", kNetBufSize},
+      {"IRQ_NET_RX", kIrqNetRx},    {"IRQ_INPUT", kIrqInput},
+      {"IRQ_TIMER", kIrqTimer},
+  };
+  return kBuiltins;
+}
+
+}  // namespace
+
+Bytes Assemble(std::string_view source) {
+  struct Item {
+    size_t lineno;
+    std::vector<std::string> tokens;  // Mnemonic + operands (labels removed).
+    uint32_t addr = 0;
+    uint32_t size = 0;
+  };
+
+  std::map<std::string, int64_t> symbols;  // Labels and .equ constants.
+
+  // ---- Pass 1: sizes and label addresses. ----
+  std::vector<Item> items;
+  {
+    std::istringstream in{std::string(source)};
+    std::string line;
+    size_t lineno = 0;
+    uint32_t cursor = 0;
+    while (std::getline(in, line)) {
+      lineno++;
+      std::vector<std::string> toks = Tokenize(line, lineno);
+      // Peel off leading labels.
+      while (!toks.empty() && toks.front().size() > 1 && toks.front().back() == ':') {
+        std::string name = toks.front().substr(0, toks.front().size() - 1);
+        if (symbols.count(name) != 0) {
+          throw AsmError(lineno, "duplicate label " + name);
+        }
+        symbols[name] = cursor;
+        toks.erase(toks.begin());
+      }
+      if (toks.empty()) {
+        continue;
+      }
+      std::string m = Lower(toks[0]);
+      Item item{lineno, toks, cursor, 0};
+      if (m == ".equ") {
+        // Handled in pass 1 directly (constants must not be forward refs).
+        if (toks.size() != 3) {
+          throw AsmError(lineno, ".equ needs name and value");
+        }
+        // Value may reference earlier symbols; evaluated below via a
+        // temporary resolver that only sees what exists so far.
+        item.size = 0;
+        items.push_back(item);
+        // Fall through; evaluation happens in the shared resolver at the
+        // end of pass 1 for simplicity: we instead evaluate now.
+      } else if (m == ".org") {
+        if (toks.size() != 2) {
+          throw AsmError(lineno, ".org needs one value");
+        }
+        items.push_back(item);
+      } else if (m == ".word") {
+        item.size = static_cast<uint32_t>((toks.size() - 1) * 4);
+        items.push_back(item);
+      } else if (m == ".byte") {
+        item.size = static_cast<uint32_t>(toks.size() - 1);
+        items.push_back(item);
+      } else if (m == ".ascii") {
+        if (toks.size() != 2 || toks[1].size() < 2 || toks[1].front() != '"') {
+          throw AsmError(lineno, ".ascii needs a string literal");
+        }
+        // Unescaped length.
+        const std::string& lit = toks[1];
+        uint32_t n = 0;
+        for (size_t i = 1; i + 1 < lit.size(); i++) {
+          if (lit[i] == '\\') {
+            i++;
+          }
+          n++;
+        }
+        item.size = n;
+        items.push_back(item);
+      } else if (m == ".space") {
+        if (toks.size() != 2) {
+          throw AsmError(lineno, ".space needs one value");
+        }
+        items.push_back(item);
+      } else if (m == "la") {
+        item.size = 8;  // movhi + ori
+        items.push_back(item);
+      } else {
+        item.size = 4;  // Every real instruction is one word.
+        items.push_back(item);
+      }
+
+      Item& it = items.back();
+      // Resolve .org/.space/.equ sizes immediately (they may not use
+      // forward references).
+      auto eval_now = [&](const std::string& t) -> int64_t {
+        // Numeric only or already-defined symbol.
+        if (!t.empty() && (std::isdigit(static_cast<unsigned char>(t[0])) || t[0] == '-')) {
+          return std::stoll(t, nullptr, 0);
+        }
+        auto s = symbols.find(t);
+        if (s != symbols.end()) {
+          return s->second;
+        }
+        auto b = Builtins().find(t);
+        if (b != Builtins().end()) {
+          return b->second;
+        }
+        throw AsmError(lineno, "undefined symbol in directive: " + t);
+      };
+      if (m == ".org") {
+        int64_t target = eval_now(toks[1]);
+        if (target < cursor) {
+          throw AsmError(lineno, ".org may only move forward");
+        }
+        it.size = static_cast<uint32_t>(target - cursor);
+        it.tokens = {".space_resolved"};  // Emits zeros in pass 2.
+      } else if (m == ".space") {
+        it.size = static_cast<uint32_t>(eval_now(toks[1]));
+        it.tokens = {".space_resolved"};
+      } else if (m == ".equ") {
+        symbols[toks[1]] = eval_now(toks[2]);
+        it.tokens = {".nothing"};
+      }
+      it.addr = cursor;
+      cursor += it.size;
+    }
+  }
+
+  // ---- Pass 2: emit. ----
+  auto eval = [&](const std::string& t, size_t lineno) -> int64_t {
+    if (t.size() >= 2 && t.front() == '\'') {
+      // Char literal.
+      if (t[1] == '\\') {
+        return Unescape(t[2], lineno);
+      }
+      return t[1];
+    }
+    if (!t.empty() && (std::isdigit(static_cast<unsigned char>(t[0])) || t[0] == '-')) {
+      try {
+        return std::stoll(t, nullptr, 0);
+      } catch (const std::exception&) {
+        throw AsmError(lineno, "bad number: " + t);
+      }
+    }
+    auto s = symbols.find(t);
+    if (s != symbols.end()) {
+      return s->second;
+    }
+    auto b = Builtins().find(t);
+    if (b != Builtins().end()) {
+      return b->second;
+    }
+    throw AsmError(lineno, "undefined symbol: " + t);
+  };
+
+  Bytes image;
+  auto emit32 = [&](uint32_t w) { PutU32(image, w); };
+
+  for (const Item& it : items) {
+    if (image.size() != it.addr) {
+      // .org gaps are materialized by .space_resolved items, so sizes
+      // always line up; a mismatch is an assembler bug.
+      throw AsmError(it.lineno, "internal: address mismatch");
+    }
+    const auto& t = it.tokens;
+    std::string m = Lower(t[0]);
+    size_t ln = it.lineno;
+
+    auto reg = [&](size_t i) -> uint8_t {
+      if (i >= t.size()) {
+        throw AsmError(ln, "missing register operand");
+      }
+      auto r = ParseReg(t[i]);
+      if (!r) {
+        throw AsmError(ln, "bad register: " + t[i]);
+      }
+      return *r;
+    };
+    auto imm16s = [&](size_t i) -> uint16_t {
+      if (i >= t.size()) {
+        throw AsmError(ln, "missing immediate operand");
+      }
+      int64_t v = eval(t[i], ln);
+      if (v < -32768 || v > 65535) {
+        throw AsmError(ln, "immediate out of 16-bit range: " + t[i]);
+      }
+      return static_cast<uint16_t>(v);
+    };
+    auto branch_off = [&](size_t i) -> uint16_t {
+      int64_t target = eval(t[i], ln);
+      int64_t off = (target - (static_cast<int64_t>(it.addr) + 4)) / 4;
+      if ((target - (static_cast<int64_t>(it.addr) + 4)) % 4 != 0) {
+        throw AsmError(ln, "branch target not word aligned");
+      }
+      if (off < -32768 || off > 32767) {
+        throw AsmError(ln, "branch target out of range");
+      }
+      return static_cast<uint16_t>(static_cast<int16_t>(off));
+    };
+
+    if (m == ".nothing") {
+      continue;
+    }
+    if (m == ".space_resolved") {
+      image.resize(image.size() + it.size, 0);
+      continue;
+    }
+    if (m == ".word") {
+      for (size_t i = 1; i < t.size(); i++) {
+        emit32(static_cast<uint32_t>(eval(t[i], ln)));
+      }
+      continue;
+    }
+    if (m == ".byte") {
+      for (size_t i = 1; i < t.size(); i++) {
+        image.push_back(static_cast<uint8_t>(eval(t[i], ln)));
+      }
+      continue;
+    }
+    if (m == ".ascii") {
+      const std::string& lit = t[1];
+      for (size_t i = 1; i + 1 < lit.size(); i++) {
+        if (lit[i] == '\\') {
+          i++;
+          image.push_back(static_cast<uint8_t>(Unescape(lit[i], ln)));
+        } else {
+          image.push_back(static_cast<uint8_t>(lit[i]));
+        }
+      }
+      continue;
+    }
+
+    // Pseudo-instructions.
+    if (m == "la") {
+      uint32_t v = static_cast<uint32_t>(eval(t[2], ln));
+      uint8_t ra = reg(1);
+      emit32(Encode(Op::kMovhi, ra, 0, static_cast<uint16_t>(v >> 16)));
+      emit32(Encode(Op::kOri, ra, 0, static_cast<uint16_t>(v & 0xffff)));
+      continue;
+    }
+    if (m == "call") {
+      emit32(Encode(Op::kJal, kRegLr, 0, branch_off(1)));
+      continue;
+    }
+    if (m == "ret") {
+      emit32(Encode(Op::kJr, kRegLr, 0, 0));
+      continue;
+    }
+
+    struct Fmt {
+      Op op;
+      enum Kind { kNone, kRaImm, kRaRb, kRaRbImm, kImmOnly, kRa, kRaRbBranch, kPort } kind;
+    };
+    static const std::map<std::string, Fmt> kTable = {
+        {"nop", {Op::kNop, Fmt::kNone}},
+        {"halt", {Op::kHalt, Fmt::kNone}},
+        {"movi", {Op::kMovi, Fmt::kRaImm}},
+        {"movhi", {Op::kMovhi, Fmt::kRaImm}},
+        {"ori", {Op::kOri, Fmt::kRaImm}},
+        {"mov", {Op::kMov, Fmt::kRaRb}},
+        {"add", {Op::kAdd, Fmt::kRaRb}},
+        {"sub", {Op::kSub, Fmt::kRaRb}},
+        {"mul", {Op::kMul, Fmt::kRaRb}},
+        {"divu", {Op::kDivu, Fmt::kRaRb}},
+        {"remu", {Op::kRemu, Fmt::kRaRb}},
+        {"and", {Op::kAnd, Fmt::kRaRb}},
+        {"or", {Op::kOr, Fmt::kRaRb}},
+        {"xor", {Op::kXor, Fmt::kRaRb}},
+        {"shl", {Op::kShl, Fmt::kRaRb}},
+        {"shr", {Op::kShr, Fmt::kRaRb}},
+        {"sra", {Op::kSra, Fmt::kRaRb}},
+        {"addi", {Op::kAddi, Fmt::kRaImm}},
+        {"slt", {Op::kSlt, Fmt::kRaRb}},
+        {"sltu", {Op::kSltu, Fmt::kRaRb}},
+        {"lw", {Op::kLw, Fmt::kRaRbImm}},
+        {"sw", {Op::kSw, Fmt::kRaRbImm}},
+        {"lb", {Op::kLb, Fmt::kRaRbImm}},
+        {"sb", {Op::kSb, Fmt::kRaRbImm}},
+        {"beq", {Op::kBeq, Fmt::kRaRbBranch}},
+        {"bne", {Op::kBne, Fmt::kRaRbBranch}},
+        {"blt", {Op::kBlt, Fmt::kRaRbBranch}},
+        {"bge", {Op::kBge, Fmt::kRaRbBranch}},
+        {"bltu", {Op::kBltu, Fmt::kRaRbBranch}},
+        {"bgeu", {Op::kBgeu, Fmt::kRaRbBranch}},
+        {"jmp", {Op::kJmp, Fmt::kImmOnly}},
+        {"jal", {Op::kJal, Fmt::kRaImm}},  // imm is a label (branch target)
+        {"jr", {Op::kJr, Fmt::kRa}},
+        {"jalr", {Op::kJalr, Fmt::kRaRb}},
+        {"in", {Op::kIn, Fmt::kPort}},
+        {"out", {Op::kOut, Fmt::kPort}},
+        {"ei", {Op::kEi, Fmt::kNone}},
+        {"di", {Op::kDi, Fmt::kNone}},
+        {"iret", {Op::kIret, Fmt::kNone}},
+    };
+
+    auto f = kTable.find(m);
+    if (f == kTable.end()) {
+      throw AsmError(ln, "unknown mnemonic: " + m);
+    }
+    const Fmt& fmt = f->second;
+    switch (fmt.kind) {
+      case Fmt::kNone:
+        emit32(Encode(fmt.op, 0, 0, 0));
+        break;
+      case Fmt::kRaImm:
+        if (fmt.op == Op::kJal) {
+          emit32(Encode(fmt.op, reg(1), 0, branch_off(2)));
+        } else {
+          emit32(Encode(fmt.op, reg(1), 0, imm16s(2)));
+        }
+        break;
+      case Fmt::kRaRb:
+        emit32(Encode(fmt.op, reg(1), reg(2), 0));
+        break;
+      case Fmt::kRaRbImm: {
+        uint8_t ra = reg(1);
+        uint8_t rb = reg(2);
+        uint16_t imm = (t.size() > 3) ? imm16s(3) : 0;
+        emit32(Encode(fmt.op, ra, rb, imm));
+        break;
+      }
+      case Fmt::kImmOnly:
+        emit32(Encode(fmt.op, 0, 0, branch_off(1)));
+        break;
+      case Fmt::kRa:
+        emit32(Encode(fmt.op, reg(1), 0, 0));
+        break;
+      case Fmt::kRaRbBranch:
+        emit32(Encode(fmt.op, reg(1), reg(2), branch_off(3)));
+        break;
+      case Fmt::kPort:
+        emit32(Encode(fmt.op, reg(1), 0, imm16s(2)));
+        break;
+    }
+  }
+
+  return image;
+}
+
+}  // namespace avm

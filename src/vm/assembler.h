@@ -1,0 +1,53 @@
+// Two-pass assembler for AVM-32. Guest images (the game, the key-value
+// store) are written in this assembly and assembled at run time, playing
+// the role of the paper's "agreed-upon VM image" (§5.2).
+#ifndef SRC_VM_ASSEMBLER_H_
+#define SRC_VM_ASSEMBLER_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+
+namespace avm {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(size_t line, const std::string& what)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " + what), line_(line) {}
+  size_t line() const { return line_; }
+
+ private:
+  size_t line_;
+};
+
+// Assembles `source` into a binary image loaded at address 0.
+//
+// Syntax summary:
+//   label:                      ; labels (also on their own line)
+//   movi r1, 42                 ; imm: decimal, 0xhex, 'c', label, .equ name
+//   la   r1, buffer             ; pseudo, 2 words (movhi+ori), any 32-bit value
+//   add  r1, r2                 ; ALU ops: ra = ra op rb
+//   lw   r1, [r2+8]             ; memory; offset optional
+//   beq  r1, r2, target         ; branches to labels
+//   call func / ret             ; pseudos for jal lr / jr lr
+//   in   r1, CLOCK_LO           ; named or numeric ports
+//   out  r1, CONSOLE
+//   ei / di / iret / halt / nop
+//   .org 0x100                  ; move assembly cursor (forward only)
+//   .word 1, 2, label           ; 32-bit data
+//   .byte 1, 2                  ; 8-bit data
+//   .ascii "text"               ; raw bytes, supports \n \0 \\ \" escapes
+//   .space 64                   ; zero fill
+//   .equ NAME, value            ; assembly-time constant
+// Registers: r0..r15, sp (=r13), lr (=r14). Comments start with ';' or '#'.
+//
+// Built-in constants: port names (CLOCK_LO, CLOCK_HI, RAND, INPUT,
+// NET_RXLEN, IRQ_CAUSE, CONSOLE, FRAME, NET_TXLEN, NET_RXDONE, DEBUG) and
+// memory map (TX_BUF, RX_BUF, NET_BUF_SIZE).
+Bytes Assemble(std::string_view source);
+
+}  // namespace avm
+
+#endif  // SRC_VM_ASSEMBLER_H_

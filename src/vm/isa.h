@@ -1,0 +1,132 @@
+// AVM-32: the instruction-set architecture of the guest machine.
+//
+// A deliberately small 32-bit RISC that provides everything the paper's
+// accountability layer needs from a VMM substrate: instruction-granular
+// deterministic execution, explicit nondeterministic input ports, async
+// interrupt delivery with instruction-count landmarks, and a flat paged
+// memory suitable for incremental Merkle snapshots.
+//
+// Encoding: one 32-bit little-endian word per instruction:
+//   [31:24] opcode   [23:20] ra   [19:16] rb   [15:0] imm16
+// Branch/jump offsets are in words, relative to the *next* instruction.
+#ifndef SRC_VM_ISA_H_
+#define SRC_VM_ISA_H_
+
+#include <cstdint>
+
+namespace avm {
+
+constexpr int kNumRegs = 16;
+// Register conventions (enforced only by the assembler's mnemonics):
+// r13 = sp (stack pointer), r14 = lr (link register), r15 = scratch.
+constexpr int kRegSp = 13;
+constexpr int kRegLr = 14;
+
+constexpr uint32_t kResetVector = 0x0000;  // pc at power-on.
+constexpr uint32_t kIrqVector = 0x0004;    // pc on interrupt entry.
+
+constexpr uint32_t kPageSize = 4096;
+
+// Fixed DMA regions for the virtual NIC (inside guest RAM).
+constexpr uint32_t kNetTxBuf = 0xE000;
+constexpr uint32_t kNetRxBuf = 0xE800;
+constexpr uint32_t kNetBufSize = 0x0800;  // 2 KiB each.
+constexpr uint32_t kMaxPacket = kNetBufSize;
+
+enum class Op : uint8_t {
+  kNop = 0x00,
+  kHalt = 0x01,
+
+  // Data movement.
+  kMovi = 0x10,   // ra = signext(imm16)
+  kMovhi = 0x11,  // ra = imm16 << 16
+  kOri = 0x12,    // ra |= zeroext(imm16)
+  kMov = 0x13,    // ra = rb
+
+  // ALU (ra = ra op rb).
+  kAdd = 0x20,
+  kSub = 0x21,
+  kMul = 0x22,
+  kDivu = 0x23,  // division by zero yields 0xffffffff
+  kRemu = 0x24,  // remainder by zero yields ra (dividend)
+  kAnd = 0x25,
+  kOr = 0x26,
+  kXor = 0x27,
+  kShl = 0x28,  // shift amounts are taken mod 32
+  kShr = 0x29,
+  kSra = 0x2a,
+  kAddi = 0x2b,  // ra += signext(imm16)
+  kSlt = 0x2c,   // ra = (ra < rb) signed ? 1 : 0
+  kSltu = 0x2d,  // ra = (ra < rb) unsigned ? 1 : 0
+
+  // Memory. Effective address = rb + signext(imm16).
+  kLw = 0x30,  // 32-bit load (address must be 4-aligned)
+  kSw = 0x31,
+  kLb = 0x32,  // 8-bit zero-extending load
+  kSb = 0x33,
+
+  // Control flow. Targets are word offsets from the next instruction.
+  kBeq = 0x40,
+  kBne = 0x41,
+  kBlt = 0x42,   // signed
+  kBge = 0x43,   // signed
+  kBltu = 0x44,  // unsigned
+  kBgeu = 0x45,  // unsigned
+  kJmp = 0x46,   // pc-relative jump
+  kJal = 0x47,   // ra = byte address of next instruction; jump
+  kJr = 0x48,    // pc = ra
+  kJalr = 0x49,  // ra = return address; pc = rb
+
+  // I/O: the *only* place nondeterminism can enter or output can leave.
+  kIn = 0x50,   // ra = port[imm16]  (nondeterministic, logged)
+  kOut = 0x51,  // port[imm16] = ra  (deterministic output, checked on replay)
+
+  // Interrupt control.
+  kEi = 0x60,    // enable interrupts
+  kDi = 0x61,    // disable interrupts
+  kIret = 0x62,  // pc = saved pc; enable interrupts
+};
+
+// Port numbers for IN.
+constexpr uint16_t kPortClockLo = 0;   // low 32 bits of the virtual TSC (µs)
+constexpr uint16_t kPortClockHi = 1;   // high 32 bits
+constexpr uint16_t kPortRand = 2;      // hardware RNG
+constexpr uint16_t kPortInput = 3;     // next input event, 0 when empty
+constexpr uint16_t kPortNetRxLen = 4;  // length of the packet in the RX buffer, 0 if none
+constexpr uint16_t kPortIrqCause = 5;  // cause of the last taken interrupt
+
+// Port numbers for OUT.
+constexpr uint16_t kPortConsole = 8;    // write one byte of console output
+constexpr uint16_t kPortFrame = 9;      // "frame rendered" marker (fps metric)
+constexpr uint16_t kPortNetTxLen = 10;  // send kNetTxBuf[0..value) as a packet
+constexpr uint16_t kPortNetRxDone = 11; // guest consumed the RX buffer
+constexpr uint16_t kPortDebug = 12;     // debug value sink (deterministic output)
+
+// Interrupt causes.
+constexpr uint32_t kIrqNetRx = 1;
+constexpr uint32_t kIrqInput = 2;
+constexpr uint32_t kIrqTimer = 3;
+
+// Instruction encode/decode.
+struct Insn {
+  Op op;
+  uint8_t ra;
+  uint8_t rb;
+  uint16_t imm;
+
+  int32_t SImm() const { return static_cast<int16_t>(imm); }
+};
+
+constexpr uint32_t Encode(Op op, uint8_t ra, uint8_t rb, uint16_t imm) {
+  return static_cast<uint32_t>(op) << 24 | static_cast<uint32_t>(ra & 0xf) << 20 |
+         static_cast<uint32_t>(rb & 0xf) << 16 | imm;
+}
+
+constexpr Insn Decode(uint32_t word) {
+  return Insn{static_cast<Op>(word >> 24), static_cast<uint8_t>((word >> 20) & 0xf),
+              static_cast<uint8_t>((word >> 16) & 0xf), static_cast<uint16_t>(word & 0xffff)};
+}
+
+}  // namespace avm
+
+#endif  // SRC_VM_ISA_H_

@@ -1,0 +1,393 @@
+#include "src/vm/machine.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/util/serde.h"
+
+namespace avm {
+
+Bytes CpuState::Serialize() const {
+  Writer w;
+  for (uint32_t r : regs) {
+    w.U32(r);
+  }
+  w.U32(pc);
+  w.U32(saved_pc);
+  w.U32(irq_cause);
+  w.U32(pending_irqs);
+  w.U8(int_enabled ? 1 : 0);
+  w.U8(halted ? 1 : 0);
+  w.U64(icount);
+  return w.Take();
+}
+
+CpuState CpuState::Deserialize(ByteView data) {
+  Reader r(data);
+  CpuState s;
+  for (auto& reg : s.regs) {
+    reg = r.U32();
+  }
+  s.pc = r.U32();
+  s.saved_pc = r.U32();
+  s.irq_cause = r.U32();
+  s.pending_irqs = r.U32();
+  s.int_enabled = r.U8() != 0;
+  s.halted = r.U8() != 0;
+  s.icount = r.U64();
+  r.ExpectEnd();
+  return s;
+}
+
+bool CpuState::operator==(const CpuState& o) const {
+  for (int i = 0; i < kNumRegs; i++) {
+    if (regs[i] != o.regs[i]) {
+      return false;
+    }
+  }
+  return pc == o.pc && saved_pc == o.saved_pc && irq_cause == o.irq_cause &&
+         pending_irqs == o.pending_irqs && int_enabled == o.int_enabled && halted == o.halted &&
+         icount == o.icount;
+}
+
+Machine::Machine(size_t mem_size, DeviceBackend* backend) : backend_(backend) {
+  if (mem_size % kPageSize != 0 || mem_size < kNetRxBuf + kNetBufSize) {
+    throw std::invalid_argument("Machine: bad memory size");
+  }
+  mem_.assign(mem_size, 0);
+  dirty_.assign(mem_size / kPageSize, false);
+}
+
+void Machine::LoadImage(ByteView image, uint32_t addr) {
+  if (addr + image.size() > mem_.size()) {
+    throw std::invalid_argument("Machine::LoadImage: image does not fit");
+  }
+  std::memcpy(mem_.data() + addr, image.data(), image.size());
+  MarkAllDirty();
+}
+
+void Machine::Fault(const std::string& why) {
+  faulted_ = true;
+  cpu_.halted = true;
+  fault_reason_ = why + " at pc=0x" + HexEncode(Bytes{static_cast<uint8_t>(cpu_.pc >> 24),
+                                                      static_cast<uint8_t>(cpu_.pc >> 16),
+                                                      static_cast<uint8_t>(cpu_.pc >> 8),
+                                                      static_cast<uint8_t>(cpu_.pc)});
+}
+
+void Machine::RaiseIrq(uint32_t cause) {
+  if (cause == 0 || cause > 31) {
+    throw std::invalid_argument("Machine::RaiseIrq: bad cause");
+  }
+  cpu_.pending_irqs |= 1u << cause;
+}
+
+void Machine::TakeIrqIfPending() {
+  if (!cpu_.int_enabled || cpu_.pending_irqs == 0) {
+    return;
+  }
+  uint32_t cause = static_cast<uint32_t>(__builtin_ctz(cpu_.pending_irqs));
+  cpu_.pending_irqs &= ~(1u << cause);
+  cpu_.irq_cause = cause;
+  cpu_.saved_pc = cpu_.pc;
+  cpu_.pc = kIrqVector;
+  cpu_.int_enabled = false;
+}
+
+uint32_t Machine::ReadMem32(uint32_t addr) const {
+  if (addr % 4 != 0 || addr + 4 > mem_.size()) {
+    throw std::out_of_range("ReadMem32: bad address");
+  }
+  uint32_t v;
+  std::memcpy(&v, mem_.data() + addr, 4);
+  return v;
+}
+
+uint8_t Machine::ReadMem8(uint32_t addr) const {
+  if (addr >= mem_.size()) {
+    throw std::out_of_range("ReadMem8: bad address");
+  }
+  return mem_[addr];
+}
+
+void Machine::WriteMem32(uint32_t addr, uint32_t value) {
+  if (addr % 4 != 0 || addr + 4 > mem_.size()) {
+    throw std::out_of_range("WriteMem32: bad address");
+  }
+  std::memcpy(mem_.data() + addr, &value, 4);
+  dirty_[addr / kPageSize] = true;
+}
+
+void Machine::WriteMem8(uint32_t addr, uint8_t value) {
+  if (addr >= mem_.size()) {
+    throw std::out_of_range("WriteMem8: bad address");
+  }
+  mem_[addr] = value;
+  dirty_[addr / kPageSize] = true;
+}
+
+void Machine::WriteMemRange(uint32_t addr, ByteView data) {
+  if (addr + data.size() > mem_.size()) {
+    throw std::out_of_range("WriteMemRange: bad range");
+  }
+  std::memcpy(mem_.data() + addr, data.data(), data.size());
+  for (size_t p = addr / kPageSize; p <= (addr + data.size() - 1) / kPageSize && !data.empty();
+       p++) {
+    dirty_[p] = true;
+  }
+}
+
+Bytes Machine::ReadMemRange(uint32_t addr, size_t len) const {
+  if (addr + len > mem_.size()) {
+    throw std::out_of_range("ReadMemRange: bad range");
+  }
+  return Bytes(mem_.begin() + addr, mem_.begin() + addr + len);
+}
+
+ByteView Machine::PageData(size_t page_index) const {
+  return ByteView(mem_.data() + page_index * kPageSize, kPageSize);
+}
+
+std::vector<uint32_t> Machine::CollectDirtyPages() const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < dirty_.size(); i++) {
+    if (dirty_[i]) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+void Machine::ClearDirtyPages() {
+  dirty_.assign(dirty_.size(), false);
+}
+
+void Machine::MarkAllDirty() {
+  dirty_.assign(dirty_.size(), true);
+}
+
+bool Machine::Step() {
+  TakeIrqIfPending();
+
+  if (observer_ != nullptr) {
+    return StepObserved();
+  }
+
+  if (cpu_.pc % 4 != 0 || cpu_.pc + 4 > mem_.size()) {
+    Fault("instruction fetch out of bounds");
+    return false;
+  }
+  uint32_t word;
+  std::memcpy(&word, mem_.data() + cpu_.pc, 4);
+  Insn in = Decode(word);
+  uint32_t next_pc = cpu_.pc + 4;
+  uint32_t* r = cpu_.regs;
+  auto branch = [&](bool taken) {
+    if (taken) {
+      next_pc = cpu_.pc + 4 + static_cast<uint32_t>(in.SImm() * 4);
+    }
+  };
+
+  switch (in.op) {
+    case Op::kNop:
+      break;
+    case Op::kHalt:
+      cpu_.halted = true;
+      cpu_.icount++;
+      cpu_.pc = next_pc;
+      return false;
+
+    case Op::kMovi:
+      r[in.ra] = static_cast<uint32_t>(in.SImm());
+      break;
+    case Op::kMovhi:
+      r[in.ra] = static_cast<uint32_t>(in.imm) << 16;
+      break;
+    case Op::kOri:
+      r[in.ra] |= in.imm;
+      break;
+    case Op::kMov:
+      r[in.ra] = r[in.rb];
+      break;
+
+    case Op::kAdd:
+      r[in.ra] += r[in.rb];
+      break;
+    case Op::kSub:
+      r[in.ra] -= r[in.rb];
+      break;
+    case Op::kMul:
+      r[in.ra] *= r[in.rb];
+      break;
+    case Op::kDivu:
+      r[in.ra] = (r[in.rb] == 0) ? 0xffffffffu : r[in.ra] / r[in.rb];
+      break;
+    case Op::kRemu:
+      r[in.ra] = (r[in.rb] == 0) ? r[in.ra] : r[in.ra] % r[in.rb];
+      break;
+    case Op::kAnd:
+      r[in.ra] &= r[in.rb];
+      break;
+    case Op::kOr:
+      r[in.ra] |= r[in.rb];
+      break;
+    case Op::kXor:
+      r[in.ra] ^= r[in.rb];
+      break;
+    case Op::kShl:
+      r[in.ra] <<= (r[in.rb] & 31);
+      break;
+    case Op::kShr:
+      r[in.ra] >>= (r[in.rb] & 31);
+      break;
+    case Op::kSra:
+      r[in.ra] = static_cast<uint32_t>(static_cast<int32_t>(r[in.ra]) >> (r[in.rb] & 31));
+      break;
+    case Op::kAddi:
+      r[in.ra] += static_cast<uint32_t>(in.SImm());
+      break;
+    case Op::kSlt:
+      r[in.ra] = static_cast<int32_t>(r[in.ra]) < static_cast<int32_t>(r[in.rb]) ? 1 : 0;
+      break;
+    case Op::kSltu:
+      r[in.ra] = r[in.ra] < r[in.rb] ? 1 : 0;
+      break;
+
+    case Op::kLw: {
+      uint32_t addr = r[in.rb] + static_cast<uint32_t>(in.SImm());
+      if (addr % 4 != 0 || addr + 4 > mem_.size()) {
+        Fault("LW out of bounds");
+        return false;
+      }
+      std::memcpy(&r[in.ra], mem_.data() + addr, 4);
+      break;
+    }
+    case Op::kSw: {
+      uint32_t addr = r[in.rb] + static_cast<uint32_t>(in.SImm());
+      if (addr % 4 != 0 || addr + 4 > mem_.size()) {
+        Fault("SW out of bounds");
+        return false;
+      }
+      std::memcpy(mem_.data() + addr, &r[in.ra], 4);
+      dirty_[addr / kPageSize] = true;
+      break;
+    }
+    case Op::kLb: {
+      uint32_t addr = r[in.rb] + static_cast<uint32_t>(in.SImm());
+      if (addr >= mem_.size()) {
+        Fault("LB out of bounds");
+        return false;
+      }
+      r[in.ra] = mem_[addr];
+      break;
+    }
+    case Op::kSb: {
+      uint32_t addr = r[in.rb] + static_cast<uint32_t>(in.SImm());
+      if (addr >= mem_.size()) {
+        Fault("SB out of bounds");
+        return false;
+      }
+      mem_[addr] = static_cast<uint8_t>(r[in.ra]);
+      dirty_[addr / kPageSize] = true;
+      break;
+    }
+
+    case Op::kBeq:
+      branch(r[in.ra] == r[in.rb]);
+      break;
+    case Op::kBne:
+      branch(r[in.ra] != r[in.rb]);
+      break;
+    case Op::kBlt:
+      branch(static_cast<int32_t>(r[in.ra]) < static_cast<int32_t>(r[in.rb]));
+      break;
+    case Op::kBge:
+      branch(static_cast<int32_t>(r[in.ra]) >= static_cast<int32_t>(r[in.rb]));
+      break;
+    case Op::kBltu:
+      branch(r[in.ra] < r[in.rb]);
+      break;
+    case Op::kBgeu:
+      branch(r[in.ra] >= r[in.rb]);
+      break;
+    case Op::kJmp:
+      branch(true);
+      break;
+    case Op::kJal:
+      r[in.ra] = cpu_.pc + 4;
+      branch(true);
+      break;
+    case Op::kJr:
+      next_pc = r[in.ra];
+      break;
+    case Op::kJalr: {
+      uint32_t target = r[in.rb];
+      r[in.ra] = cpu_.pc + 4;
+      next_pc = target;
+      break;
+    }
+
+    case Op::kIn:
+      r[in.ra] = backend_->PortIn(*this, in.imm);
+      break;
+    case Op::kOut:
+      backend_->PortOut(*this, in.imm, r[in.ra]);
+      break;
+
+    case Op::kEi:
+      cpu_.int_enabled = true;
+      break;
+    case Op::kDi:
+      cpu_.int_enabled = false;
+      break;
+    case Op::kIret:
+      next_pc = cpu_.saved_pc;
+      cpu_.int_enabled = true;
+      break;
+
+    default:
+      Fault("illegal opcode");
+      return false;
+  }
+
+  cpu_.pc = next_pc;
+  cpu_.icount++;
+  return !cpu_.halted && !faulted_;
+}
+
+bool Machine::StepObserved() {
+  // Slow path for replay-time analysis: snapshot the architectural state,
+  // execute one instruction via the fast path, then notify the observer.
+  CpuState before = cpu_;
+  if (before.pc % 4 != 0 || before.pc + 4 > mem_.size()) {
+    Fault("instruction fetch out of bounds");
+    return false;
+  }
+  uint32_t word;
+  std::memcpy(&word, mem_.data() + before.pc, 4);
+  Insn insn = Decode(word);
+  InstructionObserver* obs = observer_;
+  observer_ = nullptr;  // Reenter Step() on the fast path.
+  bool cont = Step();
+  observer_ = obs;
+  observer_->OnRetired(*this, before, insn);
+  return cont;
+}
+
+RunExit Machine::Run(uint64_t max_instructions) {
+  return RunUntilIcount(cpu_.icount + max_instructions);
+}
+
+RunExit Machine::RunUntilIcount(uint64_t target_icount) {
+  if (cpu_.halted || faulted_) {
+    return faulted_ ? RunExit::kFault : RunExit::kHalted;
+  }
+  while (cpu_.icount < target_icount) {
+    if (!Step()) {
+      return faulted_ ? RunExit::kFault : RunExit::kHalted;
+    }
+  }
+  return RunExit::kIcountReached;
+}
+
+}  // namespace avm

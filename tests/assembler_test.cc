@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "src/vm/assembler.h"
+#include "src/vm/isa.h"
+
+namespace avm {
+namespace {
+
+Insn First(const Bytes& image, size_t word = 0) {
+  return Decode(GetU32(image, word * 4));
+}
+
+TEST(Assembler, BasicInstruction) {
+  Bytes img = Assemble("movi r1, 42");
+  ASSERT_EQ(img.size(), 4u);
+  Insn in = First(img);
+  EXPECT_EQ(in.op, Op::kMovi);
+  EXPECT_EQ(in.ra, 1);
+  EXPECT_EQ(in.imm, 42);
+}
+
+TEST(Assembler, NegativeAndHexAndCharImmediates) {
+  Bytes img = Assemble("movi r1, -1\nmovi r2, 0xff\nmovi r3, 'A'");
+  EXPECT_EQ(First(img, 0).imm, 0xffff);
+  EXPECT_EQ(First(img, 1).imm, 0xff);
+  EXPECT_EQ(First(img, 2).imm, 'A');
+}
+
+TEST(Assembler, RegisterAliases) {
+  Bytes img = Assemble("mov sp, lr");
+  Insn in = First(img);
+  EXPECT_EQ(in.ra, kRegSp);
+  EXPECT_EQ(in.rb, kRegLr);
+}
+
+TEST(Assembler, MemoryOperandSyntax) {
+  Bytes img = Assemble("lw r1, [r2+8]\nsw r3, [r4]\nlb r5, [r6+-4]");
+  EXPECT_EQ(First(img, 0).op, Op::kLw);
+  EXPECT_EQ(First(img, 0).SImm(), 8);
+  EXPECT_EQ(First(img, 1).SImm(), 0);
+  EXPECT_EQ(First(img, 2).SImm(), -4);
+}
+
+TEST(Assembler, ForwardAndBackwardBranches) {
+  Bytes img = Assemble(R"(
+start:
+    beq r1, r2, fwd
+    jmp start
+fwd:
+    halt
+  )");
+  // beq at word 0 targets word 2: offset = 2 - 1 = 1.
+  EXPECT_EQ(First(img, 0).SImm(), 1);
+  // jmp at word 1 targets word 0: offset = 0 - 2 = -2.
+  EXPECT_EQ(First(img, 1).SImm(), -2);
+}
+
+TEST(Assembler, CallRetPseudo) {
+  Bytes img = Assemble("call f\nhalt\nf: ret");
+  EXPECT_EQ(First(img, 0).op, Op::kJal);
+  EXPECT_EQ(First(img, 0).ra, kRegLr);
+  EXPECT_EQ(First(img, 2).op, Op::kJr);
+  EXPECT_EQ(First(img, 2).ra, kRegLr);
+}
+
+TEST(Assembler, LaExpandsToTwoWords) {
+  Bytes img = Assemble("la r1, 0xdeadbeef\nhalt");
+  ASSERT_EQ(img.size(), 12u);
+  EXPECT_EQ(First(img, 0).op, Op::kMovhi);
+  EXPECT_EQ(First(img, 0).imm, 0xdead);
+  EXPECT_EQ(First(img, 1).op, Op::kOri);
+  EXPECT_EQ(First(img, 1).imm, 0xbeef);
+}
+
+TEST(Assembler, LaCountsInLabelArithmetic) {
+  Bytes img = Assemble(R"(
+    la r1, target
+    jmp target
+target:
+    halt
+  )");
+  // la = 2 words, jmp at word 2 targets word 3: offset 0.
+  EXPECT_EQ(First(img, 2).SImm(), 0);
+  // la loads byte address 12.
+  EXPECT_EQ(First(img, 1).imm, 12);
+}
+
+TEST(Assembler, PortNamesResolve) {
+  Bytes img = Assemble("in r1, CLOCK_LO\nout r2, NET_TXLEN");
+  EXPECT_EQ(First(img, 0).imm, kPortClockLo);
+  EXPECT_EQ(First(img, 1).imm, kPortNetTxLen);
+}
+
+TEST(Assembler, BuiltinMemoryConstants) {
+  Bytes img = Assemble("la r1, TX_BUF\nla r2, RX_BUF");
+  EXPECT_EQ((static_cast<uint32_t>(First(img, 0).imm) << 16) | First(img, 1).imm, kNetTxBuf);
+}
+
+TEST(Assembler, DataDirectives) {
+  Bytes img = Assemble(R"(
+    .word 1, 2, 0xffffffff
+    .byte 7, 8
+    .ascii "hi\n"
+    .space 3
+  )");
+  ASSERT_EQ(img.size(), 12u + 2 + 3 + 3);
+  EXPECT_EQ(GetU32(img, 0), 1u);
+  EXPECT_EQ(GetU32(img, 8), 0xffffffffu);
+  EXPECT_EQ(img[12], 7);
+  EXPECT_EQ(img[14], 'h');
+  EXPECT_EQ(img[16], '\n');
+  EXPECT_EQ(img[17], 0);
+}
+
+TEST(Assembler, OrgMovesForward) {
+  Bytes img = Assemble(".org 0x10\n.word 5");
+  ASSERT_EQ(img.size(), 0x14u);
+  EXPECT_EQ(GetU32(img, 0x10), 5u);
+}
+
+TEST(Assembler, OrgBackwardThrows) {
+  EXPECT_THROW(Assemble(".word 1, 2\n.org 0"), AsmError);
+}
+
+TEST(Assembler, EquConstants) {
+  Bytes img = Assemble(".equ LIMIT, 99\nmovi r1, LIMIT");
+  EXPECT_EQ(First(img).imm, 99);
+}
+
+TEST(Assembler, WordWithLabel) {
+  Bytes img = Assemble(R"(
+    jmp start
+    .word start
+start:
+    halt
+  )");
+  EXPECT_EQ(GetU32(img, 4), 8u);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  Bytes img = Assemble("; full line comment\n# hash comment\n\nmovi r1, 1 ; trailing\n");
+  EXPECT_EQ(img.size(), 4u);
+}
+
+TEST(Assembler, LabelOnOwnLine) {
+  Bytes img = Assemble("top:\n    jmp top");
+  EXPECT_EQ(First(img).SImm(), -1);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(Assemble("movi r1"), AsmError);                  // Missing operand.
+  EXPECT_THROW(Assemble("movi r99, 1"), AsmError);              // Bad register.
+  EXPECT_THROW(Assemble("frobnicate r1, r2"), AsmError);        // Unknown mnemonic.
+  EXPECT_THROW(Assemble("movi r1, 70000"), AsmError);           // Immediate too large.
+  EXPECT_THROW(Assemble("jmp nowhere"), AsmError);              // Undefined label.
+  EXPECT_THROW(Assemble("a: nop\na: nop"), AsmError);           // Duplicate label.
+  EXPECT_THROW(Assemble(".ascii \"unterminated"), AsmError);    // Bad string.
+}
+
+TEST(Assembler, ErrorCarriesLineNumber) {
+  try {
+    Assemble("nop\nnop\nbogus r1");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+#include "src/compress/lzss.h"
+#include "src/util/prng.h"
+
+namespace avm {
+namespace {
+
+TEST(Lzss, EmptyInput) {
+  Bytes c = LzssCompress(Bytes());
+  EXPECT_EQ(LzssDecompress(c), Bytes());
+}
+
+TEST(Lzss, ShortLiteralOnly) {
+  Bytes data = ToBytes("abc");
+  EXPECT_EQ(LzssDecompress(LzssCompress(data)), data);
+}
+
+TEST(Lzss, HighlyRepetitiveCompressesWell) {
+  Bytes data(10000, 'a');
+  Bytes c = LzssCompress(data);
+  EXPECT_EQ(LzssDecompress(c), data);
+  EXPECT_LT(c.size(), data.size() / 10);
+}
+
+TEST(Lzss, RepeatedStructure) {
+  Bytes data;
+  for (int i = 0; i < 500; i++) {
+    Append(data, ToBytes("TIMETRACKER entry #x with fixed structure; "));
+  }
+  Bytes c = LzssCompress(data);
+  EXPECT_EQ(LzssDecompress(c), data);
+  EXPECT_LT(c.size(), data.size() / 4);
+}
+
+TEST(Lzss, IncompressibleRandomSurvives) {
+  Prng rng(1);
+  Bytes data = rng.RandomBytes(50000);
+  Bytes c = LzssCompress(data);
+  EXPECT_EQ(LzssDecompress(c), data);
+  // Overhead is bounded: one flag bit per literal plus header.
+  EXPECT_LT(c.size(), data.size() * 9 / 8 + 64);
+}
+
+TEST(Lzss, RoundTripPropertySweep) {
+  Prng rng(2);
+  for (int trial = 0; trial < 60; trial++) {
+    // Mix of random and repeated chunks to hit matches of many lengths.
+    Bytes data;
+    int chunks = static_cast<int>(rng.Below(12)) + 1;
+    for (int i = 0; i < chunks; i++) {
+      if (rng.Chance(0.5) && !data.empty()) {
+        size_t start = rng.Below(data.size());
+        size_t len = std::min<size_t>(rng.Below(500), data.size() - start);
+        Bytes repeat(data.begin() + static_cast<ptrdiff_t>(start),
+                     data.begin() + static_cast<ptrdiff_t>(start + len));
+        Append(data, repeat);
+      } else {
+        Append(data, rng.RandomBytes(rng.Below(300)));
+      }
+    }
+    EXPECT_EQ(LzssDecompress(LzssCompress(data)), data) << "trial " << trial;
+  }
+}
+
+TEST(Lzss, OverlappingMatchRle) {
+  // "abab..." forces overlapping copies (offset < length).
+  Bytes data;
+  for (int i = 0; i < 1000; i++) {
+    data.push_back(i % 2 == 0 ? 'a' : 'b');
+  }
+  EXPECT_EQ(LzssDecompress(LzssCompress(data)), data);
+}
+
+TEST(Lzss, CorruptInputThrows) {
+  Bytes data = ToBytes("hello world hello world hello world");
+  Bytes c = LzssCompress(data);
+  EXPECT_THROW(LzssDecompress(Bytes{1, 2, 3}), std::invalid_argument);
+  Bytes truncated(c.begin(), c.begin() + static_cast<ptrdiff_t>(c.size() / 2));
+  EXPECT_THROW(LzssDecompress(truncated), std::invalid_argument);
+}
+
+TEST(Varint, RoundTrip) {
+  Bytes buf;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 300, 1u << 20, UINT64_MAX};
+  for (uint64_t v : values) {
+    PutVarint(buf, v);
+  }
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    EXPECT_EQ(GetVarint(buf, &pos), v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, TruncatedThrows) {
+  Bytes buf;
+  PutVarint(buf, 1u << 30);
+  buf.pop_back();
+  size_t pos = 0;
+  EXPECT_THROW(GetVarint(buf, &pos), std::invalid_argument);
+}
+
+TEST(ZigZag, RoundTrip) {
+  for (int64_t v : std::vector<int64_t>{0, 1, -1, 2, -2, 1000000, -1000000, INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  // Small magnitudes map to small codes.
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(DeltaVarint, RoundTrip) {
+  std::vector<uint64_t> values = {100, 150, 200, 190, 1000000, 1000001};
+  EXPECT_EQ(DecodeDeltaVarint(EncodeDeltaVarint(values)), values);
+  EXPECT_TRUE(DecodeDeltaVarint(EncodeDeltaVarint({})).empty());
+}
+
+TEST(DeltaVarint, NearArithmeticSequencesCompressWell) {
+  // Timestamps at ~fixed cadence: the VMM-specific preprocessing target.
+  std::vector<uint64_t> ts;
+  Prng rng(3);
+  uint64_t t = 1000000;
+  for (int i = 0; i < 10000; i++) {
+    t += 950 + rng.Below(100);
+    ts.push_back(t);
+  }
+  Bytes enc = EncodeDeltaVarint(ts);
+  EXPECT_LT(enc.size(), ts.size() * 3);  // ~2 bytes per 8-byte value.
+  EXPECT_EQ(DecodeDeltaVarint(enc), ts);
+}
+
+TEST(DeltaVarint, RandomSequenceRoundTrips) {
+  Prng rng(4);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 500; i++) {
+    values.push_back(rng.Next());
+  }
+  EXPECT_EQ(DecodeDeltaVarint(EncodeDeltaVarint(values)), values);
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,180 @@
+// Robustness of every wire-format parser against malformed input.
+//
+// Auditors parse logs, frames, snapshots and evidence produced by
+// machines they explicitly do not trust (§3.1), so every deserializer
+// must fail cleanly (SerdeError or a validation error), never crash or
+// accept garbage.
+#include <gtest/gtest.h>
+
+#include "src/audit/evidence.h"
+#include "src/avmm/message.h"
+#include "src/util/serde.h"
+#include "src/avmm/partial_snapshot.h"
+#include "src/avmm/snapshot.h"
+#include "src/tel/log.h"
+#include "src/util/prng.h"
+#include "src/vm/trace.h"
+
+namespace avm {
+namespace {
+
+// Parses `data` with every deserializer; none may crash.
+void ParseEverything(ByteView data) {
+  auto swallow = [&](auto&& fn) {
+    try {
+      fn();
+    } catch (const SerdeError&) {
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  };
+  swallow([&] { (void)LogSegment::Deserialize(data); });
+  swallow([&] { (void)Authenticator::Deserialize(data); });
+  swallow([&] { (void)TraceEvent::Deserialize(data); });
+  swallow([&] { (void)MessageRecord::Deserialize(data); });
+  swallow([&] { (void)DataFrame::Deserialize(data); });
+  swallow([&] { (void)AckFrame::Deserialize(data); });
+  swallow([&] { (void)ChallengeFrame::Deserialize(data); });
+  swallow([&] { (void)SnapshotMeta::Deserialize(data); });
+  swallow([&] { (void)SnapshotDelta::Deserialize(data); });
+  swallow([&] { (void)PartialSnapshot::Deserialize(data); });
+  swallow([&] { (void)Evidence::Deserialize(data); });
+  swallow([&] { (void)CpuState::Deserialize(data); });
+  swallow([&] { (void)MerkleProof::Deserialize(data); });
+}
+
+class RandomInputFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomInputFuzz, NoCrashOnRandomBytes) {
+  Prng rng(GetParam());
+  for (int i = 0; i < 50; i++) {
+    ParseEverything(rng.RandomBytes(rng.Below(300)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInputFuzz, ::testing::Range<uint64_t>(0, 8));
+
+class MutatedInputFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutatedInputFuzz, NoCrashOnMutatedValidStructures) {
+  Prng rng(GetParam() + 1000);
+
+  // Build valid serializations of each structure, then mutate them.
+  std::vector<Bytes> valid;
+  {
+    TraceEvent e;
+    e.kind = TraceKind::kDmaPacket;
+    e.icount = 12345;
+    e.data = rng.RandomBytes(40);
+    valid.push_back(e.Serialize());
+
+    MessageRecord m{"alice", "bob", 7, rng.RandomBytes(24)};
+    valid.push_back(m.Serialize());
+
+    Authenticator a;
+    a.node = "bob";
+    a.seq = 3;
+    a.hash = Sha256::Digest("x");
+    a.signature = rng.RandomBytes(96);
+    valid.push_back(a.Serialize());
+
+    DataFrame f{m, rng.RandomBytes(96), Sha256::Digest("p"), a};
+    valid.push_back(f.Serialize());
+
+    SnapshotMeta meta;
+    meta.snapshot_id = 2;
+    meta.root = Sha256::Digest("r");
+    valid.push_back(meta.Serialize());
+
+    TamperEvidentLog log("bob");
+    log.Append(EntryType::kInfo, ToBytes("a"));
+    log.Append(EntryType::kSend, ToBytes("b"));
+    valid.push_back(log.Extract(1, 2).Serialize());
+  }
+
+  for (const Bytes& base : valid) {
+    for (int trial = 0; trial < 40; trial++) {
+      Bytes mutated = base;
+      switch (rng.Below(4)) {
+        case 0:  // Flip random bytes.
+          for (int k = 0; k < 3 && !mutated.empty(); k++) {
+            mutated[rng.Below(mutated.size())] ^= static_cast<uint8_t>(rng.Next());
+          }
+          break;
+        case 1:  // Truncate.
+          mutated.resize(rng.Below(mutated.size() + 1));
+          break;
+        case 2:  // Extend with garbage.
+          Append(mutated, rng.RandomBytes(rng.Below(32) + 1));
+          break;
+        case 3: {  // Splice two structures together.
+          const Bytes& other = valid[rng.Below(valid.size())];
+          size_t cut = rng.Below(mutated.size() + 1);
+          mutated.resize(cut);
+          Append(mutated, other);
+          break;
+        }
+      }
+      ParseEverything(mutated);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutatedInputFuzz, ::testing::Range<uint64_t>(0, 8));
+
+TEST(TraceEventSerde, RoundTripAllKinds) {
+  Prng rng(9);
+  for (TraceKind kind : {TraceKind::kPortIn, TraceKind::kDmaPacket, TraceKind::kAsyncIrq,
+                         TraceKind::kOutConsole, TraceKind::kOutDebug, TraceKind::kOutPacket}) {
+    TraceEvent e;
+    e.kind = kind;
+    e.icount = rng.Next();
+    e.port = static_cast<uint16_t>(rng.Next());
+    e.value = static_cast<uint32_t>(rng.Next());
+    e.data = rng.RandomBytes(rng.Below(64));
+    TraceEvent restored = TraceEvent::Deserialize(e.Serialize());
+    EXPECT_TRUE(restored == e) << TraceKindName(kind);
+  }
+}
+
+TEST(TraceEventSerde, ClassificationMatchesFigure4Streams) {
+  TraceEvent clock;
+  clock.kind = TraceKind::kPortIn;
+  clock.port = kPortClockLo;
+  EXPECT_EQ(ClassifyTraceEvent(clock), EntryType::kTraceTime);
+  clock.port = kPortClockHi;
+  EXPECT_EQ(ClassifyTraceEvent(clock), EntryType::kTraceTime);
+
+  TraceEvent rxlen;
+  rxlen.kind = TraceKind::kPortIn;
+  rxlen.port = kPortNetRxLen;
+  EXPECT_EQ(ClassifyTraceEvent(rxlen), EntryType::kTraceMac);
+
+  TraceEvent input;
+  input.kind = TraceKind::kPortIn;
+  input.port = kPortInput;
+  EXPECT_EQ(ClassifyTraceEvent(input), EntryType::kTraceOther);
+
+  TraceEvent dma;
+  dma.kind = TraceKind::kDmaPacket;
+  EXPECT_EQ(ClassifyTraceEvent(dma), EntryType::kTraceMac);
+
+  TraceEvent tx;
+  tx.kind = TraceKind::kOutPacket;
+  EXPECT_EQ(ClassifyTraceEvent(tx), EntryType::kTraceMac);
+
+  TraceEvent console;
+  console.kind = TraceKind::kOutConsole;
+  EXPECT_EQ(ClassifyTraceEvent(console), EntryType::kTraceOther);
+}
+
+TEST(FrameParsing, BadTypesRejected) {
+  EXPECT_THROW(PeekFrameType(Bytes{}), SerdeError);
+  EXPECT_THROW(PeekFrameType(Bytes{0}), SerdeError);
+  EXPECT_THROW(PeekFrameType(Bytes{99}), SerdeError);
+  EXPECT_EQ(PeekFrameType(Bytes{1, 2, 3}), FrameType::kData);
+  EXPECT_EQ(UnwrapFrame(Bytes{1, 2, 3}), (Bytes{2, 3}));
+}
+
+}  // namespace
+}  // namespace avm

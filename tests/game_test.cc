@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/cheats.h"
+#include "src/apps/game.h"
+#include "src/apps/kvstore.h"
+#include "src/sim/scenario.h"
+
+namespace avm {
+namespace {
+
+TEST(GameImages, AllVariantsAssemble) {
+  GameClientParams p;
+  for (auto v : {GameClientParams::Variant::kReference, GameClientParams::Variant::kAimbot,
+                 GameClientParams::Variant::kWallhack}) {
+    p.variant = v;
+    Bytes image = BuildGameClientImage(p);
+    EXPECT_GT(image.size(), 100u);
+  }
+  EXPECT_GT(BuildGameServerImage(GameServerParams{}).size(), 100u);
+  EXPECT_GT(BuildKvServerImage(KvServerParams{}).size(), 100u);
+  EXPECT_GT(BuildKvClientImage(KvClientParams{}).size(), 100u);
+}
+
+TEST(GameImages, VariantsDifferFromReference) {
+  GameClientParams ref;
+  GameClientParams aim = ref;
+  aim.variant = GameClientParams::Variant::kAimbot;
+  GameClientParams wall = ref;
+  wall.variant = GameClientParams::Variant::kWallhack;
+  Bytes a = BuildGameClientImage(ref);
+  Bytes b = BuildGameClientImage(aim);
+  Bytes c = BuildGameClientImage(wall);
+  EXPECT_FALSE(BytesEqual(a, b));
+  EXPECT_FALSE(BytesEqual(a, c));
+  EXPECT_FALSE(BytesEqual(b, c));
+}
+
+TEST(GameImages, ParamsChangeImage) {
+  GameClientParams a, b;
+  b.render_iters = a.render_iters + 1;
+  EXPECT_FALSE(BytesEqual(BuildGameClientImage(a), BuildGameClientImage(b)));
+  GameClientParams c = a;
+  c.frame_cap = true;
+  EXPECT_FALSE(BytesEqual(BuildGameClientImage(a), BuildGameClientImage(c)));
+}
+
+struct GameBehavior : public ::testing::Test {
+  GameScenarioConfig Cfg(uint64_t seed) {
+    GameScenarioConfig cfg;
+    cfg.run = RunConfig::AvmmNoSig();
+    cfg.num_players = 2;
+    cfg.seed = seed;
+    cfg.client.render_iters = 300;
+    return cfg;
+  }
+};
+
+TEST_F(GameBehavior, PlayersRenderAndCommunicate) {
+  GameScenario game(Cfg(1));
+  game.Start();
+  game.RunFor(2 * kMicrosPerSecond);
+  game.Finish();
+  for (int i = 0; i < 2; i++) {
+    const Avmm& p = game.player(i);
+    EXPECT_GT(p.stats().frames_rendered, 100u);
+    EXPECT_GT(p.stats().guest_packets_sent, 10u);       // STATE packets.
+    EXPECT_GT(p.stats().guest_packets_delivered, 10u);  // WORLD packets.
+    EXPECT_FALSE(p.machine().faulted()) << p.machine().fault_reason();
+  }
+  EXPECT_GT(game.server().stats().guest_packets_delivered, 20u);
+  EXPECT_GT(game.server().stats().guest_packets_sent, 20u);
+}
+
+TEST_F(GameBehavior, FiringConsumesAmmo) {
+  GameScenarioConfig cfg = Cfg(2);
+  cfg.fire_fraction = 1.0;  // Every input is FIRE.
+  cfg.input_mean_gap_us = 20 * kMicrosPerMilli;
+  GameScenario game(cfg);
+  game.Start();
+  game.RunFor(2 * kMicrosPerSecond);
+  game.Finish();
+  const Machine& m = game.player(0).machine();
+  uint32_t ammo = m.ReadMem32(kGameStateAmmo);
+  uint32_t shots = m.ReadMem32(kGameStateShots);
+  EXPECT_EQ(ammo + shots, cfg.client.ammo_init);
+  EXPECT_GT(shots, 0u);
+}
+
+TEST_F(GameBehavior, AmmoBoundsFiring) {
+  GameScenarioConfig cfg = Cfg(3);
+  cfg.fire_fraction = 1.0;
+  cfg.input_mean_gap_us = 5 * kMicrosPerMilli;  // Fire much more than 30x.
+  GameScenario game(cfg);
+  game.Start();
+  game.RunFor(3 * kMicrosPerSecond);
+  game.Finish();
+  const Machine& m = game.player(0).machine();
+  // No correct execution can fire more than the initial ammo.
+  EXPECT_EQ(m.ReadMem32(kGameStateShots), cfg.client.ammo_init);
+  EXPECT_EQ(m.ReadMem32(kGameStateAmmo), 0u);
+}
+
+TEST_F(GameBehavior, UnlimitedAmmoCheatBreaksTheBound) {
+  GameScenarioConfig cfg = Cfg(4);
+  cfg.fire_fraction = 1.0;
+  cfg.input_mean_gap_us = 5 * kMicrosPerMilli;
+  GameScenario game(cfg);
+  game.SetCheat(0, RunnableCheat::kUnlimitedAmmo);
+  game.Start();
+  game.RunFor(3 * kMicrosPerSecond);
+  game.Finish();
+  const Machine& m = game.player(0).machine();
+  EXPECT_GT(m.ReadMem32(kGameStateShots), cfg.client.ammo_init);
+}
+
+TEST_F(GameBehavior, MovementFollowsInputs) {
+  GameScenarioConfig cfg = Cfg(5);
+  cfg.fire_fraction = 0.0;  // Only movement inputs.
+  GameScenario game(cfg);
+  game.Start();
+  game.RunFor(2 * kMicrosPerSecond);
+  game.Finish();
+  const Machine& m = game.player(0).machine();
+  // Started at (100,100); random walk should have moved somewhere.
+  uint32_t x = m.ReadMem32(kGameStateX);
+  uint32_t y = m.ReadMem32(kGameStateY);
+  EXPECT_TRUE(x != 100 || y != 100);
+}
+
+TEST_F(GameBehavior, WorldStatePropagates) {
+  GameScenario game(Cfg(6));
+  game.Start();
+  game.RunFor(2 * kMicrosPerSecond);
+  game.Finish();
+  // Player 1's world table should contain entries broadcast by the server.
+  const Machine& m = game.player(0).machine();
+  EXPECT_GT(m.ReadMem32(kGameWorldAddr), 0u);
+}
+
+TEST_F(GameBehavior, DeterministicGivenSeed) {
+  auto run = [&](uint64_t seed) {
+    GameScenario game(Cfg(seed));
+    game.Start();
+    game.RunFor(kMicrosPerSecond);
+    game.Finish();
+    return game.player(0).log().LastHash();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST_F(GameBehavior, TeleportCheatMovesPlayer) {
+  GameScenario game(Cfg(9));
+  game.SetCheat(0, RunnableCheat::kTeleport);
+  game.Start();
+  game.RunFor(kMicrosPerSecond);
+  game.Finish();
+  EXPECT_EQ(game.player(0).machine().ReadMem32(kGameStateX), 9999u);
+}
+
+TEST(CheatCatalogTable, MatchesPaperCounts) {
+  const auto& catalog = CheatCatalog();
+  EXPECT_EQ(catalog.size(), 26u);
+  int class1 = 0, class2 = 0;
+  for (const CheatInfo& c : catalog) {
+    class1 += c.class1_install ? 1 : 0;
+    class2 += c.class2_network ? 1 : 0;
+  }
+  EXPECT_EQ(class1, 26);  // All must be installed in the image.
+  EXPECT_EQ(class2, 4);   // Exactly four are network-visible in any impl.
+}
+
+TEST(CheatCatalogTable, RunnableCheatsHaveMechanisms) {
+  EXPECT_TRUE(MakeCheatHook(RunnableCheat::kUnlimitedAmmo).has_value());
+  EXPECT_TRUE(MakeCheatHook(RunnableCheat::kTeleport).has_value());
+  EXPECT_FALSE(MakeCheatHook(RunnableCheat::kAimbotImage).has_value());
+  EXPECT_TRUE(CheatImageVariant(RunnableCheat::kAimbotImage).has_value());
+  EXPECT_TRUE(CheatImageVariant(RunnableCheat::kWallhackImage).has_value());
+  EXPECT_FALSE(CheatImageVariant(RunnableCheat::kUnlimitedAmmo).has_value());
+  EXPECT_TRUE(CheatDetectableByAvm(RunnableCheat::kTeleport));
+  EXPECT_FALSE(CheatDetectableByAvm(RunnableCheat::kForgedInputAimbot));
+  EXPECT_FALSE(CheatDetectableByAvm(RunnableCheat::kNone));
+}
+
+}  // namespace
+}  // namespace avm

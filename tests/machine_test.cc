@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include "src/vm/assembler.h"
+#include "src/vm/machine.h"
+
+namespace avm {
+namespace {
+
+constexpr size_t kMem = 64 * 1024;
+
+// Runs an assembly snippet until HALT and returns the machine for
+// inspection. The snippet must set up its own registers.
+struct RunResult {
+  CpuState cpu;
+  bool faulted;
+  std::string fault_reason;
+};
+
+RunResult RunAsm(const std::string& body, uint64_t max_instr = 100000) {
+  NullBackend backend;
+  Machine m(kMem, &backend);
+  m.LoadImage(Assemble(body));
+  m.Run(max_instr);
+  return {m.cpu(), m.faulted(), m.fault_reason()};
+}
+
+uint32_t Reg(const RunResult& r, int i) { return r.cpu.regs[i]; }
+
+TEST(Machine, MoviSignExtends) {
+  auto r = RunAsm("movi r1, -5\n movi r2, 42\n halt");
+  EXPECT_EQ(Reg(r, 1), 0xfffffffbu);
+  EXPECT_EQ(Reg(r, 2), 42u);
+}
+
+TEST(Machine, MovhiOriBuild32Bit) {
+  auto r = RunAsm("movhi r1, 0xdead\n ori r1, 0xbeef\n halt");
+  EXPECT_EQ(Reg(r, 1), 0xdeadbeefu);
+}
+
+TEST(Machine, LaPseudoLoadsFullWord) {
+  auto r = RunAsm("la r1, 0x12345678\n halt");
+  EXPECT_EQ(Reg(r, 1), 0x12345678u);
+}
+
+TEST(Machine, AluOps) {
+  auto r = RunAsm(R"(
+    movi r1, 21
+    movi r2, 2
+    mul r1, r2        ; r1 = 42
+    movi r3, 100
+    movi r4, 7
+    divu r3, r4       ; r3 = 14
+    movi r5, 100
+    remu r5, r4       ; r5 = 2
+    movi r6, 0xf0
+    movi r7, 0x0f
+    or r6, r7         ; r6 = 0xff
+    movi r8, 0xff
+    movi r9, 0x0f
+    and r8, r9        ; r8 = 0x0f
+    movi r10, 0xff
+    xor r10, r9       ; r10 = 0xf0
+    halt
+  )");
+  EXPECT_EQ(Reg(r, 1), 42u);
+  EXPECT_EQ(Reg(r, 3), 14u);
+  EXPECT_EQ(Reg(r, 5), 2u);
+  EXPECT_EQ(Reg(r, 6), 0xffu);
+  EXPECT_EQ(Reg(r, 8), 0x0fu);
+  EXPECT_EQ(Reg(r, 10), 0xf0u);
+}
+
+TEST(Machine, DivRemByZeroDefined) {
+  auto r = RunAsm(R"(
+    movi r1, 7
+    movi r2, 0
+    divu r1, r2       ; -> 0xffffffff
+    movi r3, 9
+    remu r3, r2       ; -> 9 (dividend)
+    halt
+  )");
+  EXPECT_EQ(Reg(r, 1), 0xffffffffu);
+  EXPECT_EQ(Reg(r, 3), 9u);
+}
+
+TEST(Machine, ShiftsMaskAmount) {
+  auto r = RunAsm(R"(
+    movi r1, 1
+    movi r2, 33       ; 33 & 31 == 1
+    shl r1, r2        ; r1 = 2
+    movi r3, -8
+    movi r4, 2
+    sra r3, r4        ; r3 = -2
+    movi r5, -8
+    shr r5, r4        ; logical
+    halt
+  )");
+  EXPECT_EQ(Reg(r, 1), 2u);
+  EXPECT_EQ(Reg(r, 3), 0xfffffffeu);
+  EXPECT_EQ(Reg(r, 5), 0x3ffffffeu);
+}
+
+TEST(Machine, SltSignedVsUnsigned) {
+  auto r = RunAsm(R"(
+    movi r1, -1
+    movi r2, 1
+    mov r3, r1
+    slt r3, r2        ; signed: -1 < 1 -> 1
+    mov r4, r1
+    sltu r4, r2       ; unsigned: 0xffffffff < 1 -> 0
+    halt
+  )");
+  EXPECT_EQ(Reg(r, 3), 1u);
+  EXPECT_EQ(Reg(r, 4), 0u);
+}
+
+TEST(Machine, LoadStoreWordAndByte) {
+  auto r = RunAsm(R"(
+    la r1, 0x1000
+    movi r2, 0x1234
+    sw r2, [r1+4]
+    lw r3, [r1+4]
+    movi r4, 0xab
+    sb r4, [r1+9]
+    lb r5, [r1+9]
+    lw r6, [r1+8]     ; word containing the byte
+    halt
+  )");
+  EXPECT_EQ(Reg(r, 3), 0x1234u);
+  EXPECT_EQ(Reg(r, 5), 0xabu);
+  EXPECT_EQ(Reg(r, 6), 0xab00u);
+}
+
+TEST(Machine, BranchesTakenAndNotTaken) {
+  auto r = RunAsm(R"(
+    movi r1, 5
+    movi r2, 5
+    movi r3, 0
+    beq r1, r2, eq_taken
+    movi r3, 99
+eq_taken:
+    movi r4, 3
+    movi r5, 4
+    blt r4, r5, lt_taken
+    movi r3, 98
+lt_taken:
+    movi r6, -1
+    movi r7, 1
+    bltu r7, r6, ltu_taken    ; 1 < 0xffffffff unsigned
+    movi r3, 97
+ltu_taken:
+    halt
+  )");
+  EXPECT_EQ(Reg(r, 3), 0u);
+}
+
+TEST(Machine, BackwardBranchLoop) {
+  auto r = RunAsm(R"(
+    movi r1, 0
+    movi r2, 10
+loop:
+    addi r1, 1
+    bne r1, r2, loop
+    halt
+  )");
+  EXPECT_EQ(Reg(r, 1), 10u);
+  EXPECT_EQ(r.cpu.icount, 2 + 10 * 2 + 1u);  // 2 setup + 10*(addi,bne) + halt
+}
+
+TEST(Machine, CallRetLinkage) {
+  auto r = RunAsm(R"(
+    movi r1, 0
+    call func
+    addi r1, 100
+    halt
+func:
+    addi r1, 1
+    ret
+  )");
+  EXPECT_EQ(Reg(r, 1), 101u);
+}
+
+TEST(Machine, JalrIndirectCall) {
+  auto r = RunAsm(R"(
+    la r2, func
+    movi r1, 0
+    jalr lr, r2
+    addi r1, 10
+    halt
+func:
+    addi r1, 1
+    jr lr
+  )");
+  EXPECT_EQ(Reg(r, 1), 11u);
+}
+
+TEST(Machine, HaltStopsExecution) {
+  auto r = RunAsm("movi r1, 1\n halt\n movi r1, 2\n halt");
+  EXPECT_EQ(Reg(r, 1), 1u);
+  EXPECT_TRUE(r.cpu.halted);
+  EXPECT_FALSE(r.faulted);
+}
+
+TEST(Machine, IllegalOpcodeFaults) {
+  NullBackend backend;
+  Machine m(kMem, &backend);
+  Bytes image;
+  PutU32(image, 0xee000000u);  // No such opcode.
+  m.LoadImage(image);
+  EXPECT_EQ(m.Run(10), RunExit::kFault);
+  EXPECT_TRUE(m.faulted());
+}
+
+TEST(Machine, OutOfBoundsLoadFaults) {
+  auto r = RunAsm("la r1, 0xFFFFFF0\n lw r2, [r1]\n halt");
+  EXPECT_TRUE(r.faulted);
+  EXPECT_NE(r.fault_reason.find("LW"), std::string::npos);
+}
+
+TEST(Machine, MisalignedLoadFaults) {
+  auto r = RunAsm("movi r1, 0x1002\n lw r2, [r1+1]\n halt");
+  EXPECT_TRUE(r.faulted);
+}
+
+TEST(Machine, RunUntilIcountStopsExactly) {
+  NullBackend backend;
+  Machine m(kMem, &backend);
+  m.LoadImage(Assemble("loop: jmp loop"));
+  EXPECT_EQ(m.RunUntilIcount(1000), RunExit::kIcountReached);
+  EXPECT_EQ(m.cpu().icount, 1000u);
+  EXPECT_EQ(m.RunUntilIcount(1001), RunExit::kIcountReached);
+  EXPECT_EQ(m.cpu().icount, 1001u);
+}
+
+TEST(Machine, DirtyPageTracking) {
+  NullBackend backend;
+  Machine m(kMem, &backend);
+  m.LoadImage(Assemble(R"(
+    la r1, 0x5000
+    movi r2, 1
+    sw r2, [r1]
+    halt
+  )"));
+  m.ClearDirtyPages();  // Loading marked everything dirty.
+  m.Run(10);
+  auto dirty = m.CollectDirtyPages();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], 0x5000u / kPageSize);
+}
+
+TEST(Machine, HostMemoryAccessMarksDirty) {
+  NullBackend backend;
+  Machine m(kMem, &backend);
+  m.ClearDirtyPages();
+  m.WriteMem32(0x2000, 7);
+  m.WriteMem8(0x3000, 8);
+  m.WriteMemRange(0x4ffc, Bytes{1, 2, 3, 4, 5, 6, 7, 8});  // Spans two pages.
+  auto dirty = m.CollectDirtyPages();
+  EXPECT_EQ(dirty.size(), 4u);
+  EXPECT_EQ(m.ReadMem32(0x2000), 7u);
+  EXPECT_EQ(m.ReadMem8(0x3000), 8u);
+}
+
+TEST(Machine, CpuStateSerializationRoundTrip) {
+  CpuState s;
+  s.regs[3] = 42;
+  s.pc = 0x100;
+  s.saved_pc = 0x8;
+  s.irq_cause = 2;
+  s.pending_irqs = 0x6;
+  s.int_enabled = true;
+  s.icount = 123456789;
+  CpuState restored = CpuState::Deserialize(s.Serialize());
+  EXPECT_TRUE(restored == s);
+}
+
+TEST(Machine, InterruptDelivery) {
+  NullBackend backend;
+  Machine m(kMem, &backend);
+  // Vector layout: reset jmp -> main; irq vector at 0x4.
+  m.LoadImage(Assemble(R"(
+    jmp main
+    jmp irqh
+irqh:
+    in r5, IRQ_CAUSE
+    addi r6, 1
+    iret
+main:
+    movi r0, 0
+    movi r6, 0
+    ei
+loop:
+    addi r7, 1
+    jmp loop
+  )"));
+  m.Run(10);
+  m.RaiseIrq(kIrqNetRx);
+  m.Run(100);
+  EXPECT_EQ(m.cpu().regs[6], 1u);  // Handler ran once.
+  EXPECT_EQ(m.pending_irqs(), 0u);
+}
+
+TEST(Machine, InterruptDeferredWhileDisabled) {
+  NullBackend backend;
+  Machine m(kMem, &backend);
+  m.LoadImage(Assemble(R"(
+    jmp main
+    jmp irqh
+irqh:
+    addi r6, 1
+    iret
+main:
+    movi r6, 0
+    di
+    addi r7, 1
+    addi r7, 1
+    ei
+loop:
+    addi r7, 1
+    jmp loop
+  )"));
+  m.Run(3);  // Still before EI.
+  m.RaiseIrq(kIrqInput);
+  EXPECT_EQ(m.pending_irqs(), 1u << kIrqInput);
+  m.Run(2);  // Executes the remaining pre-EI instructions.
+  m.Run(50);
+  EXPECT_EQ(m.cpu().regs[6], 1u);  // Taken only after EI.
+}
+
+TEST(Machine, NestedIrqMaskedUntilIret) {
+  NullBackend backend;
+  Machine m(kMem, &backend);
+  m.LoadImage(Assemble(R"(
+    jmp main
+    jmp irqh
+irqh:
+    addi r6, 1
+    iret
+main:
+    movi r6, 0
+    ei
+loop:
+    addi r7, 1
+    jmp loop
+  )"));
+  m.Run(10);
+  m.RaiseIrq(kIrqNetRx);
+  m.Run(1);  // Takes the IRQ; handler starts, interrupts now disabled.
+  m.RaiseIrq(kIrqInput);
+  EXPECT_NE(m.pending_irqs(), 0u);  // Second IRQ stays pending.
+  m.Run(100);                       // Handler finishes; pending IRQ taken.
+  EXPECT_EQ(m.cpu().regs[6], 2u);
+  EXPECT_EQ(m.pending_irqs(), 0u);
+}
+
+TEST(Machine, PortInOutReachBackend) {
+  class Recorder : public DeviceBackend {
+   public:
+    uint32_t PortIn(Machine&, uint16_t port) override {
+      ins.push_back(port);
+      return 77;
+    }
+    void PortOut(Machine&, uint16_t port, uint32_t value) override {
+      outs.emplace_back(port, value);
+    }
+    std::vector<uint16_t> ins;
+    std::vector<std::pair<uint16_t, uint32_t>> outs;
+  };
+  Recorder backend;
+  Machine m(kMem, &backend);
+  m.LoadImage(Assemble(R"(
+    in r1, CLOCK_LO
+    out r1, DEBUG
+    halt
+  )"));
+  m.Run(10);
+  ASSERT_EQ(backend.ins.size(), 1u);
+  EXPECT_EQ(backend.ins[0], kPortClockLo);
+  ASSERT_EQ(backend.outs.size(), 1u);
+  EXPECT_EQ(backend.outs[0], std::make_pair(kPortDebug, 77u));
+}
+
+TEST(Machine, BadMemSizeRejected) {
+  NullBackend backend;
+  EXPECT_THROW(Machine(1000, &backend), std::invalid_argument);       // Not page aligned.
+  EXPECT_THROW(Machine(2 * kPageSize, &backend), std::invalid_argument);  // Too small for NIC.
+}
+
+TEST(Machine, EncodeDecodeRoundTrip) {
+  for (Op op : {Op::kAdd, Op::kLw, Op::kBeq, Op::kIn, Op::kJal}) {
+    uint32_t w = Encode(op, 3, 12, 0xbeef);
+    Insn in = Decode(w);
+    EXPECT_EQ(in.op, op);
+    EXPECT_EQ(in.ra, 3);
+    EXPECT_EQ(in.rb, 12);
+    EXPECT_EQ(in.imm, 0xbeef);
+  }
+}
+
+TEST(Machine, SImmSignExtension) {
+  Insn in = Decode(Encode(Op::kAddi, 1, 0, 0xffff));
+  EXPECT_EQ(in.SImm(), -1);
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/merkle.h"
+#include "src/util/prng.h"
+
+namespace avm {
+namespace {
+
+std::vector<Bytes> MakeLeaves(size_t n, uint64_t seed = 1) {
+  Prng rng(seed);
+  std::vector<Bytes> leaves;
+  for (size_t i = 0; i < n; i++) {
+    leaves.push_back(rng.RandomBytes(16 + rng.Below(48)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeRootIsZero) {
+  MerkleTree t({});
+  EXPECT_TRUE(t.Root().IsZero());
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  Bytes leaf = ToBytes("data");
+  MerkleTree t = MerkleTree::FromLeafData({leaf});
+  EXPECT_EQ(t.Root(), MerkleLeafHash(leaf));
+}
+
+TEST(Merkle, LeafAndNodeHashesAreDomainSeparated) {
+  // H_leaf(x) must differ from H_node applied to the same bytes.
+  Bytes x(64, 0xaa);
+  Hash256 l = MerkleLeafHash(x);
+  Hash256 a = Hash256::FromBytes(ByteView(x.data(), 32));
+  Hash256 b = Hash256::FromBytes(ByteView(x.data() + 32, 32));
+  EXPECT_NE(l, MerkleNodeHash(a, b));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = MakeLeaves(8);
+  Hash256 root = MerkleTree::FromLeafData(leaves).Root();
+  for (size_t i = 0; i < leaves.size(); i++) {
+    auto modified = leaves;
+    modified[i][0] ^= 1;
+    EXPECT_NE(MerkleTree::FromLeafData(modified).Root(), root) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = MakeLeaves(4);
+  Hash256 root = MerkleTree::FromLeafData(leaves).Root();
+  std::swap(leaves[1], leaves[2]);
+  EXPECT_NE(MerkleTree::FromLeafData(leaves).Root(), root);
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleProofTest, AllProofsVerify) {
+  size_t n = GetParam();
+  auto leaves = MakeLeaves(n, n);
+  MerkleTree t = MerkleTree::FromLeafData(leaves);
+  for (size_t i = 0; i < n; i++) {
+    MerkleProof proof = t.ProveLeaf(i);
+    EXPECT_TRUE(MerkleTree::VerifyProof(t.Root(), MerkleLeafHash(leaves[i]), proof))
+        << "n=" << n << " i=" << i;
+  }
+}
+
+TEST_P(MerkleProofTest, ProofRejectsWrongLeaf) {
+  size_t n = GetParam();
+  if (n < 2) {
+    return;
+  }
+  auto leaves = MakeLeaves(n, n * 7);
+  MerkleTree t = MerkleTree::FromLeafData(leaves);
+  MerkleProof proof = t.ProveLeaf(0);
+  EXPECT_FALSE(MerkleTree::VerifyProof(t.Root(), MerkleLeafHash(leaves[1]), proof));
+}
+
+TEST_P(MerkleProofTest, ProofRejectsWrongRoot) {
+  size_t n = GetParam();
+  auto leaves = MakeLeaves(n, n * 13);
+  MerkleTree t = MerkleTree::FromLeafData(leaves);
+  MerkleProof proof = t.ProveLeaf(n - 1);
+  Hash256 wrong = Sha256::Digest("not the root");
+  EXPECT_FALSE(MerkleTree::VerifyProof(wrong, MerkleLeafHash(leaves[n - 1]), proof));
+}
+
+// Odd sizes exercise the promoted-node path.
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 33, 64, 100));
+
+TEST(Merkle, UpdateLeafMatchesRebuild) {
+  auto leaves = MakeLeaves(13, 3);
+  MerkleTree t = MerkleTree::FromLeafData(leaves);
+  Prng rng(4);
+  for (int iter = 0; iter < 20; iter++) {
+    size_t i = rng.Below(leaves.size());
+    leaves[i] = rng.RandomBytes(20);
+    t.UpdateLeaf(i, MerkleLeafHash(leaves[i]));
+    EXPECT_EQ(t.Root(), MerkleTree::FromLeafData(leaves).Root());
+  }
+}
+
+TEST(Merkle, UpdateOutOfRangeThrows) {
+  MerkleTree t = MerkleTree::FromLeafData(MakeLeaves(4));
+  EXPECT_THROW(t.UpdateLeaf(4, Hash256::Zero()), std::out_of_range);
+  EXPECT_THROW(t.ProveLeaf(4), std::out_of_range);
+}
+
+TEST(Merkle, ProofSerializationRoundTrip) {
+  auto leaves = MakeLeaves(9, 5);
+  MerkleTree t = MerkleTree::FromLeafData(leaves);
+  MerkleProof proof = t.ProveLeaf(5);
+  MerkleProof restored = MerkleProof::Deserialize(proof.Serialize());
+  EXPECT_EQ(restored.leaf_index, proof.leaf_index);
+  EXPECT_EQ(restored.leaf_count, proof.leaf_count);
+  EXPECT_EQ(restored.siblings.size(), proof.siblings.size());
+  EXPECT_TRUE(MerkleTree::VerifyProof(t.Root(), MerkleLeafHash(leaves[5]), restored));
+}
+
+TEST(Merkle, TruncatedProofRejected) {
+  auto leaves = MakeLeaves(16, 6);
+  MerkleTree t = MerkleTree::FromLeafData(leaves);
+  MerkleProof proof = t.ProveLeaf(3);
+  proof.siblings.pop_back();
+  EXPECT_FALSE(MerkleTree::VerifyProof(t.Root(), MerkleLeafHash(leaves[3]), proof));
+  // Extra sibling also rejected.
+  MerkleProof proof2 = t.ProveLeaf(3);
+  proof2.siblings.push_back(Hash256::Zero());
+  EXPECT_FALSE(MerkleTree::VerifyProof(t.Root(), MerkleLeafHash(leaves[3]), proof2));
+}
+
+TEST(Merkle, IndexBeyondCountRejected) {
+  MerkleProof p;
+  p.leaf_index = 5;
+  p.leaf_count = 5;
+  EXPECT_FALSE(MerkleTree::VerifyProof(Hash256::Zero(), Hash256::Zero(), p));
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+
+namespace avm {
+namespace {
+
+struct Sink : public NetworkDelegate {
+  void OnFrame(SimTime now, const NodeId& src, ByteView frame) override {
+    received.push_back({now, src, Bytes(frame.begin(), frame.end())});
+  }
+  struct Rx {
+    SimTime at;
+    NodeId src;
+    Bytes frame;
+  };
+  std::vector<Rx> received;
+};
+
+TEST(SimNetwork, DeliversAfterLatency) {
+  SimNetwork net;
+  net.SetDefaultLatency(100);
+  Sink a, b;
+  net.AttachHost("a", &a);
+  net.AttachHost("b", &b);
+  net.SendFrame(1000, "a", "b", ToBytes("hello"));
+  net.DeliverUntil(1099);
+  EXPECT_TRUE(b.received.empty());
+  net.DeliverUntil(1100);
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].at, 1100u);
+  EXPECT_EQ(b.received[0].src, "a");
+  EXPECT_EQ(ToString(b.received[0].frame), "hello");
+}
+
+TEST(SimNetwork, FifoOrderForEqualTimestamps) {
+  SimNetwork net;
+  net.SetDefaultLatency(10);
+  Sink b;
+  net.AttachHost("b", &b);
+  for (int i = 0; i < 5; i++) {
+    net.SendFrame(0, "a", "b", Bytes{static_cast<uint8_t>(i)});
+  }
+  net.DeliverUntil(10);
+  ASSERT_EQ(b.received.size(), 5u);
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(b.received[static_cast<size_t>(i)].frame[0], i);
+  }
+}
+
+TEST(SimNetwork, PerLinkLatencyOverride) {
+  SimNetwork net;
+  net.SetDefaultLatency(100);
+  net.SetLinkLatency("a", "b", 5);
+  Sink b, c;
+  net.AttachHost("b", &b);
+  net.AttachHost("c", &c);
+  net.SendFrame(0, "a", "b", ToBytes("x"));
+  net.SendFrame(0, "a", "c", ToBytes("y"));
+  net.DeliverUntil(5);
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(c.received.empty());
+  net.DeliverUntil(100);
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(SimNetwork, DropRateDropsFrames) {
+  SimNetwork net(99);
+  net.SetDropRate(1.0);
+  Sink b;
+  net.AttachHost("b", &b);
+  for (int i = 0; i < 10; i++) {
+    net.SendFrame(0, "a", "b", ToBytes("x"));
+  }
+  net.DeliverUntil(1000000);
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.StatsFor("a").frames_dropped, 10u);
+}
+
+TEST(SimNetwork, PartialDropRateStatistics) {
+  SimNetwork net(7);
+  net.SetDropRate(0.5);
+  Sink b;
+  net.AttachHost("b", &b);
+  for (int i = 0; i < 1000; i++) {
+    net.SendFrame(0, "a", "b", ToBytes("x"));
+  }
+  net.DeliverUntil(1000000);
+  EXPECT_GT(b.received.size(), 350u);
+  EXPECT_LT(b.received.size(), 650u);
+}
+
+TEST(SimNetwork, PartitionBlocksBothDirections) {
+  SimNetwork net;
+  Sink a, b;
+  net.AttachHost("a", &a);
+  net.AttachHost("b", &b);
+  net.SetPartitioned("a", "b", true);
+  net.SendFrame(0, "a", "b", ToBytes("x"));
+  net.SendFrame(0, "b", "a", ToBytes("y"));
+  net.DeliverUntil(1000000);
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+  net.SetPartitioned("a", "b", false);
+  net.SendFrame(2000000, "a", "b", ToBytes("z"));
+  net.DeliverUntil(3000000);
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimNetwork, TrafficAccounting) {
+  SimNetwork net;
+  Sink b;
+  net.AttachHost("b", &b);
+  net.SendFrame(0, "a", "b", Bytes(100, 0));
+  net.SendFrame(0, "a", "b", Bytes(50, 0));
+  net.DeliverUntil(1000);
+  const TrafficStats& sa = net.StatsFor("a");
+  EXPECT_EQ(sa.frames_sent, 2u);
+  EXPECT_EQ(sa.bytes_sent, 150u);
+  const TrafficStats& sb = net.StatsFor("b");
+  EXPECT_EQ(sb.frames_received, 2u);
+  EXPECT_EQ(sb.bytes_received, 150u);
+  TrafficStats total = net.TotalStats();
+  EXPECT_EQ(total.bytes_sent, 150u);
+}
+
+TEST(SimNetwork, FrameToUnknownHostIsLost) {
+  SimNetwork net;
+  net.SendFrame(0, "a", "ghost", ToBytes("x"));
+  EXPECT_NO_THROW(net.DeliverUntil(1000000));
+}
+
+TEST(SimNetwork, DetachedHostStopsReceiving) {
+  SimNetwork net;
+  Sink b;
+  net.AttachHost("b", &b);
+  net.SendFrame(0, "a", "b", ToBytes("x"));
+  net.DetachHost("b");
+  net.DeliverUntil(1000000);
+  EXPECT_TRUE(b.received.empty());
+}
+
+TEST(SimNetwork, NextDeliveryTime) {
+  SimNetwork net;
+  net.SetDefaultLatency(42);
+  Sink b;
+  net.AttachHost("b", &b);
+  EXPECT_FALSE(net.HasPending());
+  EXPECT_THROW(net.NextDeliveryTime(), std::logic_error);
+  net.SendFrame(10, "a", "b", ToBytes("x"));
+  EXPECT_TRUE(net.HasPending());
+  EXPECT_EQ(net.NextDeliveryTime(), 52u);
+}
+
+}  // namespace
+}  // namespace avm

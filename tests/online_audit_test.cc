@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/audit/online.h"
+#include "src/sim/scenario.h"
+
+namespace avm {
+namespace {
+
+GameScenarioConfig Cfg(uint64_t seed) {
+  GameScenarioConfig cfg;
+  cfg.run = RunConfig::AvmmNoSig();
+  cfg.num_players = 2;
+  cfg.seed = seed;
+  cfg.client.render_iters = 300;
+  return cfg;
+}
+
+TEST(OnlineAudit, FollowsHonestGameWithoutDivergence) {
+  GameScenario game(Cfg(1));
+  game.Start();
+  OnlineAuditor auditor(&game.player(0).log(), game.reference_client_image(),
+                        game.config().run.mem_size);
+  for (int step = 0; step < 10; step++) {
+    game.RunFor(200 * kMicrosPerMilli);
+    ReplayResult r = auditor.Poll();
+    ASSERT_TRUE(r.ok) << "step " << step << ": " << r.reason;
+  }
+  game.Finish();
+  ReplayResult final = auditor.Poll();
+  EXPECT_TRUE(final.ok);
+  EXPECT_EQ(auditor.LagEntries(), 0u);
+  EXPECT_EQ(final.replay_icount, game.player(0).machine().cpu().icount);
+}
+
+TEST(OnlineAudit, DetectsCheatMidGame) {
+  // The cheat activates 1s into the game; the online auditor notices on
+  // the first poll after the cheater's output diverges -- well before
+  // the game ends (§6.11's motivation).
+  GameScenario game(Cfg(2));
+  game.Start();
+  bool armed = false;
+  game.player(0).SetCheatHook([&armed](Machine& m, SimTime now) {
+    if (now >= kMicrosPerSecond) {
+      m.WriteMem32(kGameStateAmmo, 30);
+      armed = true;
+    }
+  });
+  OnlineAuditor auditor(&game.player(0).log(), game.reference_client_image(),
+                        game.config().run.mem_size);
+
+  int detected_at_step = -1;
+  for (int step = 0; step < 20; step++) {
+    game.RunFor(200 * kMicrosPerMilli);
+    ReplayResult r = auditor.Poll();
+    if (!r.ok) {
+      detected_at_step = step;
+      break;
+    }
+  }
+  ASSERT_TRUE(armed);
+  ASSERT_GE(detected_at_step, 4);  // Not before the cheat started...
+  EXPECT_LT(detected_at_step, 20);  // ...but while the game is running.
+}
+
+TEST(OnlineAudit, DivergenceIsSticky) {
+  GameScenario game(Cfg(3));
+  game.Start();
+  game.player(0).SetCheatHook(*MakeCheatHook(RunnableCheat::kTeleport));
+  OnlineAuditor auditor(&game.player(0).log(), game.reference_client_image(),
+                        game.config().run.mem_size);
+  game.RunFor(2 * kMicrosPerSecond);
+  ReplayResult first = auditor.Poll();
+  EXPECT_FALSE(first.ok);
+  game.RunFor(200 * kMicrosPerMilli);
+  ReplayResult second = auditor.Poll();
+  EXPECT_FALSE(second.ok);
+  EXPECT_EQ(first.reason, second.reason);
+}
+
+TEST(OnlineAudit, LagTracksUnconsumedEntries) {
+  GameScenario game(Cfg(4));
+  game.Start();
+  OnlineAuditor auditor(&game.player(0).log(), game.reference_client_image(),
+                        game.config().run.mem_size);
+  game.RunFor(kMicrosPerSecond);
+  EXPECT_GT(auditor.LagEntries(), 0u);  // Entries accumulated, not polled.
+  auditor.Poll();
+  EXPECT_EQ(auditor.LagEntries(), 0u);
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/avmm/partial_snapshot.h"
+#include "src/vm/assembler.h"
+
+namespace avm {
+namespace {
+
+constexpr size_t kMem = 64 * 1024;
+
+struct PartialFixture : public ::testing::Test {
+  PartialFixture() : machine(kMem, &backend), mgr(&store) {
+    machine.LoadImage(Assemble(R"(
+      la r1, 0x5000
+      movi r2, 7
+      sw r2, [r1]
+      la r1, 0x9000
+      sw r2, [r1]
+      halt
+    )"));
+    mgr.Take(machine, 0);
+    machine.Run(100);
+    meta = mgr.Take(machine, 1000);
+    state = store.Materialize(1, kMem);
+  }
+
+  NullBackend backend;
+  Machine machine;
+  SnapshotStore store;
+  SnapshotManager mgr;
+  SnapshotMeta meta;
+  MaterializedState state;
+};
+
+TEST_F(PartialFixture, RootMatchesCommittedRoot) {
+  PartialSnapshot ps = MakePartialSnapshot(state, {0, 5});
+  EXPECT_EQ(ps.root, meta.root);
+}
+
+TEST_F(PartialFixture, VerifiesAgainstLoggedRoot) {
+  PartialSnapshot ps = MakePartialSnapshot(state, {0, 5, 9});
+  EXPECT_TRUE(VerifyPartialSnapshot(ps, meta.root));
+}
+
+TEST_F(PartialFixture, SerializationRoundTrip) {
+  PartialSnapshot ps = MakePartialSnapshot(state, {5});
+  PartialSnapshot restored = PartialSnapshot::Deserialize(ps.Serialize());
+  EXPECT_TRUE(VerifyPartialSnapshot(restored, meta.root));
+  EXPECT_EQ(restored.pages.size(), 1u);
+  EXPECT_EQ(restored.pages[0].index, 5u);
+}
+
+TEST_F(PartialFixture, RedactionShrinksTransfer) {
+  PartialSnapshot full = MakePartialSnapshot(state, [&] {
+    std::vector<uint32_t> all;
+    for (uint32_t i = 0; i < kMem / kPageSize; i++) {
+      all.push_back(i);
+    }
+    return all;
+  }());
+  PartialSnapshot redacted = MakePartialSnapshot(state, {5});
+  EXPECT_LT(redacted.TransferSize(), full.TransferSize() / 8);
+  EXPECT_TRUE(VerifyPartialSnapshot(redacted, meta.root));
+}
+
+TEST_F(PartialFixture, TamperedPageRejected) {
+  PartialSnapshot ps = MakePartialSnapshot(state, {5});
+  ps.pages[0].data[10] ^= 1;
+  EXPECT_FALSE(VerifyPartialSnapshot(ps, meta.root));
+}
+
+TEST_F(PartialFixture, TamperedCpuRejected) {
+  PartialSnapshot ps = MakePartialSnapshot(state, {5});
+  ps.cpu_state[0] ^= 1;
+  EXPECT_FALSE(VerifyPartialSnapshot(ps, meta.root));
+}
+
+TEST_F(PartialFixture, SwappedPageIndexRejected) {
+  // A page presented under a different index must fail even though the
+  // page data itself is authentic.
+  PartialSnapshot ps = MakePartialSnapshot(state, {5, 9});
+  std::swap(ps.pages[0].index, ps.pages[1].index);
+  EXPECT_FALSE(VerifyPartialSnapshot(ps, meta.root));
+}
+
+TEST_F(PartialFixture, WrongRootRejected) {
+  PartialSnapshot ps = MakePartialSnapshot(state, {5});
+  EXPECT_FALSE(VerifyPartialSnapshot(ps, Sha256::Digest("other")));
+}
+
+TEST_F(PartialFixture, MaterializePartialProducesAuthenticPages) {
+  PartialSnapshot ps = MakePartialSnapshot(state, {5});
+  auto st = MaterializePartial(ps, meta.root);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(st->cpu == state.cpu);
+  EXPECT_TRUE(st->present_pages[5]);
+  EXPECT_FALSE(st->present_pages[6]);
+  // Page 5 contains the guest's write at 0x5000.
+  EXPECT_EQ(GetU32(st->memory, 0x5000), 7u);
+  // Redacted page 9 is zeroed, not leaked.
+  EXPECT_EQ(GetU32(st->memory, 0x9000), 0u);
+}
+
+TEST_F(PartialFixture, MaterializeRejectsTampered) {
+  PartialSnapshot ps = MakePartialSnapshot(state, {5});
+  ps.pages[0].data[0] ^= 1;
+  EXPECT_FALSE(MaterializePartial(ps, meta.root).has_value());
+}
+
+TEST_F(PartialFixture, OutOfRangePageThrows) {
+  EXPECT_THROW(MakePartialSnapshot(state, {kMem / kPageSize}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace avm

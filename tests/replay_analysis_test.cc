@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "src/audit/replay_analysis.h"
+#include "src/avmm/recorder.h"
+#include "src/vm/assembler.h"
+
+namespace avm {
+namespace {
+
+// A guest with a "vulnerability": it copies a network-derived length of
+// words into a fixed 4-word buffer at 0x6000 without a bounds check, so
+// a hostile packet overwrites the adjacent function pointer at 0x6010
+// (initially pointing to `good_handler`) -- the classic overflow. The
+// AVM model calls this execution *correct* (the reference image really
+// behaves this way on that input, §4.8); replay-time analysis flags it.
+constexpr char kVulnGuest[] = R"(
+    jmp main
+    jmp irqh
+irqh:
+    iret
+
+good_handler:
+    movi r1, 111
+    out r1, DEBUG
+    ret
+
+evil_target:                 ; attacker-chosen jump target ("shellcode")
+    movi r1, 666
+    out r1, DEBUG
+    jmp spin
+
+main:
+    movi r0, 0
+    la r1, 0x6010            ; function pointer slot
+    la r2, good_handler
+    sw r2, [r1+0]
+
+poll:
+    in r1, NET_RXLEN
+    beq r1, r0, poll
+    ; packet: [src][n][w0][w1]... ; copy n words into buf at 0x6000
+    la r2, RX_BUF
+    lw r3, [r2+4]            ; n (attacker controlled, no bounds check!)
+    addi r2, 8
+    la r4, 0x6000
+copy:
+    beq r3, r0, copy_done
+    lw r5, [r2+0]
+    sw r5, [r4+0]
+    addi r2, 4
+    addi r4, 4
+    addi r3, -1
+    jmp copy
+copy_done:
+    out r0, NET_RXDONE
+    la r6, 0x6010            ; call through the (possibly clobbered) pointer
+    lw r6, [r6+0]
+    jalr lr, r6
+spin:
+    addi r7, 1
+    jmp spin
+)";
+
+struct AnalysisFixture : public ::testing::Test {
+  AnalysisFixture() : rng(7), signer("host", SignatureScheme::kNone, rng) {
+    registry.RegisterSigner(signer);
+  }
+
+  // Runs the vulnerable guest with one crafted packet of n payload words.
+  LogSegment RecordWithPacket(const Bytes& image, uint32_t n_words, uint32_t fill) {
+    Avmm node("host", RunConfig::AvmmNoSig(), image, &signer, &net, &registry);
+    node.AddPeer("host");
+    // Deliver a packet straight through the rx queue (bypassing the
+    // transport keeps the test focused): [src][n][payload...].
+    Bytes pkt;
+    PutU32(pkt, 1);        // src index
+    PutU32(pkt, n_words);  // attacker-controlled count
+    for (uint32_t i = 0; i < n_words; i++) {
+      PutU32(pkt, fill);
+    }
+    node.transport().OnFrame(0, "peer", Bytes{});  // No-op; keeps transport untouched.
+    // Use the public input path: enqueue via the packet handler by
+    // sending through the network is overkill; push directly.
+    // (Avmm exposes no raw rx injection; emulate via SimNetwork.)
+    (void)0;
+    // Simplest route: a plain-mode peer transport.
+    RunConfig plain = RunConfig::BareHw();
+    TamperEvidentLog plog("peer");
+    AuthenticatorStore pauths;
+    Signer psign("peer", SignatureScheme::kNone, rng);
+    registry.Register("peer", SignatureScheme::kNone, Bytes());
+    Transport peer("peer", &plain, &plog, &psign, &net, &registry, &pauths);
+    net.AttachHost("peer", &peer);
+    peer.SendPacket(0, "host", pkt);
+    net.DeliverUntil(1000);
+
+    SimTime now = 0;
+    for (int i = 0; i < 10; i++) {
+      node.RunQuantum(now, 1000);
+      now += 1000;
+    }
+    node.Finish(now);
+    last_debug = node.debug_values();
+    return node.log().Extract(1, node.log().LastSeq());
+  }
+
+  std::vector<std::unique_ptr<AnalysisPass>> MakePasses(const Bytes& image) {
+    std::vector<std::unique_ptr<AnalysisPass>> passes;
+    // The function-pointer slot must only be written during init (we
+    // watch it for writes after the guest's own setup; for simplicity
+    // the watch covers the slot and fires on any store, so the guest's
+    // init write also appears -- the interesting signal is the *count*).
+    passes.push_back(std::make_unique<WriteWatchpointPass>(0x6010, 0x6014, "fnptr"));
+    passes.push_back(std::make_unique<ExecRangePass>(0, static_cast<uint32_t>(image.size())));
+    return passes;
+  }
+
+  Prng rng;
+  Signer signer;
+  KeyRegistry registry;
+  SimNetwork net;
+  std::vector<uint32_t> last_debug;
+};
+
+TEST_F(AnalysisFixture, BenignInputOneFnptrWrite) {
+  Bytes image = Assemble(kVulnGuest);
+  LogSegment seg = RecordWithPacket(image, 2, 0x42);  // Within the buffer.
+  ASSERT_FALSE(last_debug.empty());
+  EXPECT_EQ(last_debug[0], 111u);  // good_handler ran.
+
+  AnalysisReport report = AnalyzeSegment(seg, image, RunConfig().mem_size, MakePasses(image));
+  EXPECT_TRUE(report.replay.ok) << report.replay.reason;
+  // Only the guest's own init write touches the pointer slot.
+  int fnptr_writes = 0;
+  for (const auto& f : report.findings) {
+    if (f.pass.find("fnptr") != std::string::npos) {
+      fnptr_writes++;
+    }
+  }
+  EXPECT_EQ(fnptr_writes, 1);
+}
+
+TEST_F(AnalysisFixture, OverflowHijacksControlAndIsFlagged) {
+  Bytes image = Assemble(kVulnGuest);
+  // 5 words: 4 fill the buffer, the 5th lands on the function pointer.
+  // Point it at `evil_target` (word offset known from the image layout:
+  // find it by scanning for the distinctive "movi r1, 666").
+  uint32_t evil_addr = 0;
+  for (uint32_t off = 0; off + 4 <= image.size(); off += 4) {
+    Insn in = Decode(GetU32(image, off));
+    if (in.op == Op::kMovi && in.ra == 1 && in.imm == 666) {
+      evil_addr = off;
+      break;
+    }
+  }
+  ASSERT_NE(evil_addr, 0u);
+
+  LogSegment seg = RecordWithPacket(image, 5, evil_addr);
+  ASSERT_FALSE(last_debug.empty());
+  EXPECT_EQ(last_debug[0], 666u);  // The hijack really happened...
+
+  // ...and the *audit* still passes: the reference image does behave
+  // this way on this input (the §4.8 limitation).
+  AnalysisReport report = AnalyzeSegment(seg, image, RunConfig().mem_size, MakePasses(image));
+  EXPECT_TRUE(report.replay.ok) << report.replay.reason;
+
+  // But replay-time analysis flags the second write to the pointer slot.
+  int fnptr_writes = 0;
+  for (const auto& f : report.findings) {
+    if (f.pass.find("fnptr") != std::string::npos) {
+      fnptr_writes++;
+    }
+  }
+  EXPECT_EQ(fnptr_writes, 2);
+  EXPECT_GT(report.instructions_analyzed, 0u);
+}
+
+TEST_F(AnalysisFixture, ExecRangePassFlagsDataExecution) {
+  // A guest that jumps into its data region.
+  constexpr char kJumper[] = R"(
+      jmp main
+      jmp irqh
+  irqh:
+      iret
+  main:
+      movi r0, 0
+      la r1, 0x3000
+      la r2, 0x01000000      ; encoded HALT (opcode 0x01 in the top byte)
+      sw r2, [r1+0]
+      jr r1
+  )";
+  Bytes image = Assemble(kJumper);
+  Prng prng2(9);
+  Signer s2("host", SignatureScheme::kNone, prng2);
+  Avmm node("host", RunConfig::AvmmNoSig(), image, &signer, &net, &registry, 11);
+  node.AddPeer("host");
+  node.RunQuantum(0, 1000);
+  node.Finish(1000);
+  LogSegment seg = node.log().Extract(1, node.log().LastSeq());
+
+  std::vector<std::unique_ptr<AnalysisPass>> passes;
+  passes.push_back(std::make_unique<ExecRangePass>(0, static_cast<uint32_t>(image.size())));
+  AnalysisReport report = AnalyzeSegment(seg, image, RunConfig().mem_size, std::move(passes));
+  EXPECT_TRUE(report.replay.ok) << report.replay.reason;
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].pc, 0x3000u);
+}
+
+}  // namespace
+}  // namespace avm

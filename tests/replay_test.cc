@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "src/audit/replayer.h"
+#include "src/avmm/recorder.h"
+#include "src/vm/assembler.h"
+
+namespace avm {
+namespace {
+
+// A single recording AVMM with no peers: exercises the record->replay
+// loop on guest programs that consume every kind of nondeterminism.
+struct ReplayFixture : public ::testing::Test {
+  ReplayFixture() : rng(3), signer("solo", SignatureScheme::kNone, rng) {
+    registry.RegisterSigner(signer);
+  }
+
+  std::unique_ptr<Avmm> MakeAvmm(const Bytes& image, RunConfig cfg = RunConfig::AvmmNoSig()) {
+    auto node = std::make_unique<Avmm>("solo", cfg, image, &signer, &net, &registry);
+    node->AddPeer("solo");
+    return node;
+  }
+
+  // Records `quanta` x 1ms and finishes the log.
+  void Record(Avmm& node, int quanta) {
+    SimTime now = 0;
+    for (int i = 0; i < quanta; i++) {
+      node.RunQuantum(now, 1000);
+      now += 1000;
+    }
+    node.Finish(now);
+  }
+
+  ReplayResult ReplayAll(const Avmm& node, const Bytes& image) {
+    LogSegment seg = node.log().Extract(1, node.log().LastSeq());
+    return ReplaySegment(seg, image, node.config().mem_size);
+  }
+
+  Prng rng;
+  Signer signer;
+  KeyRegistry registry;
+  SimNetwork net;
+};
+
+// Guest that reads the clock, input, and RNG, and emits debug values
+// derived from them: replay must reproduce every value exactly.
+constexpr char kNoisyGuest[] = R"(
+    jmp main
+    jmp irqh
+irqh:
+    iret
+main:
+    movi r0, 0
+loop:
+    in r1, CLOCK_LO
+    in r2, RAND
+    in r3, INPUT
+    add r1, r2
+    add r1, r3
+    out r1, DEBUG
+    movi r4, 200
+work:
+    addi r4, -1
+    bne r4, r0, work
+    jmp loop
+)";
+
+TEST_F(ReplayFixture, HonestRunReplaysCleanly) {
+  Bytes image = Assemble(kNoisyGuest);
+  auto node = MakeAvmm(image);
+  for (int i = 0; i < 20; i++) {
+    node->PushInput(static_cast<uint32_t>(i + 1));
+  }
+  Record(*node, 50);
+  ASSERT_GT(node->log().size(), 50u);
+
+  ReplayResult r = ReplayAll(*node, image);
+  EXPECT_TRUE(r.ok) << r.reason << " at seq " << r.diverged_seq;
+  EXPECT_EQ(r.replay_icount, node->machine().cpu().icount);
+}
+
+TEST_F(ReplayFixture, ReplayIsDeterministicTwice) {
+  Bytes image = Assemble(kNoisyGuest);
+  auto node = MakeAvmm(image);
+  Record(*node, 20);
+  ReplayResult a = ReplayAll(*node, image);
+  ReplayResult b = ReplayAll(*node, image);
+  EXPECT_TRUE(a.ok);
+  EXPECT_TRUE(b.ok);
+  EXPECT_EQ(a.replay_icount, b.replay_icount);
+}
+
+TEST_F(ReplayFixture, WrongReferenceImageDetected) {
+  Bytes image = Assemble(kNoisyGuest);
+  auto node = MakeAvmm(image);
+  Record(*node, 10);
+
+  // The auditor replays with a different (patched) image.
+  std::string patched = kNoisyGuest;
+  size_t pos = patched.find("movi r4, 200");
+  ASSERT_NE(pos, std::string::npos);
+  patched.replace(pos, 12, "movi r4, 201");
+  ReplayResult r = ReplayAll(*node, Assemble(patched));
+  EXPECT_FALSE(r.ok);
+  // The very first snapshot commitment (the initial image) already differs.
+  EXPECT_NE(r.reason.find("snapshot root mismatch"), std::string::npos);
+}
+
+TEST_F(ReplayFixture, HostMemoryPokeDetected) {
+  Bytes image = Assemble(kNoisyGuest);
+  auto node = MakeAvmm(image);
+  // Poke guest memory mid-execution (data page 0x5000 unused by the guest
+  // logic but covered by the snapshot tree).
+  node->SetCheatHook([](Machine& m, SimTime now) {
+    if (now == 5000) {
+      m.WriteMem32(0x5000, 0xdeadbeef);
+    }
+  });
+  Record(*node, 10);
+  ReplayResult r = ReplayAll(*node, image);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("snapshot root mismatch"), std::string::npos);
+}
+
+TEST_F(ReplayFixture, TamperedTraceValueDetected) {
+  Bytes image = Assemble(kNoisyGuest);
+  auto node = MakeAvmm(image);
+  Record(*node, 10);
+  LogSegment seg = node->log().Extract(1, node->log().LastSeq());
+
+  // Bob rewrites one recorded clock value and rebuilds the chain (so only
+  // replay can catch it). The guest's DEBUG output depends on the value,
+  // so replay diverges at the next output event.
+  bool patched = false;
+  for (LogEntry& e : seg.entries) {
+    if (e.type == EntryType::kTraceTime && !patched) {
+      TraceEvent ev = TraceEvent::Deserialize(e.content);
+      ev.value += 1;
+      e.content = ev.Serialize();
+      patched = true;
+    }
+  }
+  ASSERT_TRUE(patched);
+  Hash256 prev = seg.prior_hash;
+  for (LogEntry& e : seg.entries) {
+    e.hash = ChainHash(prev, e.seq, e.type, e.content);
+    prev = e.hash;
+  }
+  ReplayResult r = ReplaySegment(seg, image, node->config().mem_size);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(ReplayFixture, DroppedTraceEventDetected) {
+  Bytes image = Assemble(kNoisyGuest);
+  auto node = MakeAvmm(image);
+  Record(*node, 10);
+  LogSegment seg = node->log().Extract(1, node->log().LastSeq());
+
+  // Remove one trace entry and re-chain (rewriting seqs).
+  size_t victim = 0;
+  for (size_t i = 0; i < seg.entries.size(); i++) {
+    if (seg.entries[i].type == EntryType::kTraceOther) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_GT(victim, 0u);
+  seg.entries.erase(seg.entries.begin() + static_cast<ptrdiff_t>(victim));
+  Hash256 prev = seg.prior_hash;
+  uint64_t seq = seg.entries.front().seq;
+  for (LogEntry& e : seg.entries) {
+    e.seq = seq++;
+    e.hash = ChainHash(prev, e.seq, e.type, e.content);
+    prev = e.hash;
+  }
+  ReplayResult r = ReplaySegment(seg, image, node->config().mem_size);
+  EXPECT_FALSE(r.ok);
+}
+
+// Interrupt-driven guest: async DMA + IRQ injection at exact landmarks.
+constexpr char kIrqGuest[] = R"(
+    jmp main
+    jmp irqh
+irqh:
+    in r1, IRQ_CAUSE
+    in r2, NET_RXLEN
+    la r3, RX_BUF
+    lw r4, [r3+0]
+    out r4, DEBUG
+    out r0, NET_RXDONE
+    iret
+main:
+    movi r0, 0
+    ei
+loop:
+    addi r5, 1
+    jmp loop
+)";
+
+TEST_F(ReplayFixture, AsyncIrqDeliveryReplays) {
+  Bytes image = Assemble(kIrqGuest);
+  RunConfig cfg = RunConfig::AvmmNoSig();
+  cfg.rx_irq = true;
+  auto node = MakeAvmm(image, cfg);
+
+  // Inject packets directly into the rx path via a local-loop: use the
+  // transport handler by enqueueing guest packets from a fake peer. The
+  // simplest faithful route: deliver via the network from a plain sender.
+  RunConfig plain = RunConfig::BareHw();
+  TamperEvidentLog sender_log("peer");
+  AuthenticatorStore sender_auths;
+  // Register the peer so addressing checks pass.
+  Signer peer_signer("peer", SignatureScheme::kNone, rng);
+  registry.RegisterSigner(peer_signer);
+  Transport sender("peer", &plain, &sender_log, &peer_signer, &net, &registry, &sender_auths);
+  net.AttachHost("peer", &sender);
+
+  SimTime now = 0;
+  for (int i = 0; i < 30; i++) {
+    if (i % 5 == 2) {
+      Bytes pkt;
+      PutU32(pkt, static_cast<uint32_t>(0x100 + i));
+      sender.SendPacket(now, "solo", pkt);
+    }
+    net.DeliverUntil(now);
+    node->RunQuantum(now, 1000);
+    now += 1000;
+  }
+  node->Finish(now);
+  EXPECT_GT(node->stats().guest_packets_delivered, 3u);
+  EXPECT_FALSE(node->debug_values().empty());
+
+  ReplayResult r = ReplayAll(*node, image);
+  EXPECT_TRUE(r.ok) << r.reason << " at seq " << r.diverged_seq;
+}
+
+TEST_F(ReplayFixture, StreamingFeedMatchesBatch) {
+  Bytes image = Assemble(kNoisyGuest);
+  auto node = MakeAvmm(image);
+  for (int i = 0; i < 5; i++) {
+    node->PushInput(7);
+  }
+  Record(*node, 30);
+
+  LogSegment seg = node->log().Extract(1, node->log().LastSeq());
+  StreamingReplayer streaming(image, node->config().mem_size);
+  // Feed in small chunks, as an online auditor would.
+  size_t pos = 0;
+  while (pos < seg.entries.size()) {
+    size_t n = std::min<size_t>(17, seg.entries.size() - pos);
+    std::span<const LogEntry> chunk(seg.entries.data() + pos, n);
+    ReplayResult r = streaming.Feed(chunk);
+    ASSERT_TRUE(r.ok) << r.reason;
+    pos += n;
+  }
+  ReplayResult final = streaming.Finish();
+  EXPECT_TRUE(final.ok);
+  EXPECT_EQ(final.replay_icount, node->machine().cpu().icount);
+}
+
+TEST_F(ReplayFixture, ClockOptimizationStillReplays) {
+  // Busy-wait guest with the §6.5 optimization enabled: delayed clock
+  // values are recorded and must replay exactly.
+  constexpr char kBusyGuest[] = R"(
+      jmp main
+      jmp irqh
+  irqh:
+      iret
+  main:
+      movi r0, 0
+  loop:
+      in r1, CLOCK_LO
+      la r2, 100000
+      bltu r1, r2, loop
+      out r1, DEBUG
+  done:
+      in r1, CLOCK_LO
+      jmp done
+  )";
+  Bytes image = Assemble(kBusyGuest);
+  RunConfig cfg = RunConfig::AvmmNoSig();
+  cfg.clock_read_optimization = true;
+  auto node = MakeAvmm(image, cfg);
+  Record(*node, 20);
+  EXPECT_GT(node->stats().clock_reads_delayed, 0u);
+  ReplayResult r = ReplayAll(*node, image);
+  EXPECT_TRUE(r.ok) << r.reason;
+}
+
+TEST_F(ReplayFixture, VmRecModeRecordsNothingTamperEvident) {
+  Bytes image = Assemble(kNoisyGuest);
+  RunConfig cfg = RunConfig::VmRec();
+  auto node = MakeAvmm(image, cfg);
+  Record(*node, 5);
+  EXPECT_EQ(node->log().size(), 0u);           // No TE log...
+  EXPECT_GT(node->vmware_equiv_bytes(), 0u);   // ...but plain recording happened.
+}
+
+TEST_F(ReplayFixture, SpotCheckFromMidSnapshot) {
+  Bytes image = Assemble(kNoisyGuest);
+  RunConfig cfg = RunConfig::AvmmNoSig();
+  cfg.snapshot_interval = 10 * kMicrosPerMilli;
+  auto node = MakeAvmm(image, cfg);
+  for (int i = 0; i < 40; i++) {
+    node->PushInput(static_cast<uint32_t>(i % 5 + 1));
+  }
+  Record(*node, 50);
+
+  // Find two mid-log snapshots and replay only the chunk between them.
+  std::vector<std::pair<uint64_t, SnapshotMeta>> snaps;
+  for (const LogEntry& e : node->log().entries()) {
+    if (e.type == EntryType::kSnapshot) {
+      snaps.emplace_back(e.seq, SnapshotMeta::Deserialize(e.content));
+    }
+  }
+  ASSERT_GE(snaps.size(), 4u);
+  const auto& from = snaps[1];
+  const auto& to = snaps[3];
+  LogSegment seg = node->log().Extract(from.first, to.first);
+  MaterializedState start =
+      node->snapshot_store().Materialize(from.second.snapshot_id, cfg.mem_size);
+  ReplayResult r = ReplaySegment(seg, start);
+  EXPECT_TRUE(r.ok) << r.reason << " at seq " << r.diverged_seq;
+  EXPECT_EQ(r.instructions_replayed, to.second.icount - from.second.icount);
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/keys.h"
+#include "src/crypto/rsa.h"
+
+namespace avm {
+namespace {
+
+// Small keys keep the test fast; the scheme is identical at any size.
+RsaKeypair TestKeypair(uint64_t seed = 1, size_t bits = 512) {
+  Prng rng(seed);
+  return RsaKeypair::Generate(rng, bits);
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  RsaKeypair kp = TestKeypair();
+  Bytes msg = ToBytes("the quick brown fox");
+  Bytes sig = RsaSign(kp.priv, msg);
+  EXPECT_EQ(sig.size(), kp.pub.ByteLength());
+  EXPECT_TRUE(RsaVerify(kp.pub, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsModifiedMessage) {
+  RsaKeypair kp = TestKeypair();
+  Bytes sig = RsaSign(kp.priv, ToBytes("message A"));
+  EXPECT_FALSE(RsaVerify(kp.pub, ToBytes("message B"), sig));
+}
+
+TEST(Rsa, VerifyRejectsModifiedSignature) {
+  RsaKeypair kp = TestKeypair();
+  Bytes msg = ToBytes("message");
+  Bytes sig = RsaSign(kp.priv, msg);
+  for (size_t i = 0; i < sig.size(); i += 13) {
+    Bytes bad = sig;
+    bad[i] ^= 1;
+    EXPECT_FALSE(RsaVerify(kp.pub, msg, bad));
+  }
+}
+
+TEST(Rsa, VerifyRejectsWrongKey) {
+  RsaKeypair a = TestKeypair(1), b = TestKeypair(2);
+  Bytes msg = ToBytes("message");
+  EXPECT_FALSE(RsaVerify(b.pub, msg, RsaSign(a.priv, msg)));
+}
+
+TEST(Rsa, VerifyRejectsWrongLengthAndOversized) {
+  RsaKeypair kp = TestKeypair();
+  Bytes msg = ToBytes("m");
+  EXPECT_FALSE(RsaVerify(kp.pub, msg, Bytes(10, 0)));
+  // s >= n must be rejected.
+  Bytes huge = kp.pub.n.ToBytes(kp.pub.ByteLength());
+  EXPECT_FALSE(RsaVerify(kp.pub, msg, huge));
+}
+
+TEST(Rsa, EmptyMessageSigns) {
+  RsaKeypair kp = TestKeypair();
+  Bytes sig = RsaSign(kp.priv, Bytes());
+  EXPECT_TRUE(RsaVerify(kp.pub, Bytes(), sig));
+}
+
+TEST(Rsa, DeterministicSignature) {
+  // PKCS#1 v1.5 signing is deterministic: same key + message -> same sig.
+  RsaKeypair kp = TestKeypair();
+  Bytes m = ToBytes("stable");
+  EXPECT_EQ(RsaSign(kp.priv, m), RsaSign(kp.priv, m));
+}
+
+TEST(Rsa, KeygenModulusExactBits) {
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    RsaKeypair kp = TestKeypair(seed, 512);
+    EXPECT_EQ(kp.pub.n.BitLength(), 512u);
+  }
+}
+
+TEST(Rsa, Keygen768LikePaper) {
+  RsaKeypair kp = TestKeypair(6, 768);
+  EXPECT_EQ(kp.pub.n.BitLength(), 768u);
+  Bytes msg = ToBytes("paper-sized key");
+  EXPECT_TRUE(RsaVerify(kp.pub, msg, RsaSign(kp.priv, msg)));
+}
+
+TEST(Rsa, DeterministicKeygenFromSeed) {
+  Prng r1(99), r2(99);
+  RsaKeypair a = RsaKeypair::Generate(r1, 256);
+  RsaKeypair b = RsaKeypair::Generate(r2, 256);
+  EXPECT_EQ(a.pub.n, b.pub.n);
+}
+
+TEST(Rsa, PublicKeySerializationRoundTrip) {
+  RsaKeypair kp = TestKeypair();
+  RsaPublicKey restored = RsaPublicKey::Deserialize(kp.pub.Serialize());
+  EXPECT_EQ(restored.n, kp.pub.n);
+  EXPECT_EQ(restored.e, kp.pub.e);
+  EXPECT_EQ(restored.Fingerprint(), kp.pub.Fingerprint());
+}
+
+TEST(Rsa, ModulusTooSmallThrows) {
+  Prng rng(1);
+  RsaKeypair kp = RsaKeypair::Generate(rng, 128);
+  // 128-bit modulus cannot hold the SHA-256 DigestInfo.
+  EXPECT_THROW(RsaSign(kp.priv, ToBytes("x")), std::invalid_argument);
+}
+
+TEST(Signer, SchemeNone) {
+  Prng rng(1);
+  Signer s("alice", SignatureScheme::kNone, rng);
+  EXPECT_TRUE(s.Sign(ToBytes("m")).empty());
+  KeyRegistry reg;
+  reg.RegisterSigner(s);
+  EXPECT_TRUE(reg.Verify("alice", ToBytes("m"), Bytes()));
+  // A non-empty "signature" is rejected even in nosig mode.
+  EXPECT_FALSE(reg.Verify("alice", ToBytes("m"), Bytes{1}));
+}
+
+TEST(Signer, SchemeRsaThroughRegistry) {
+  Prng rng(2);
+  Signer alice("alice", SignatureScheme::kRsa768, rng);
+  Signer bob("bob", SignatureScheme::kRsa768, rng);
+  KeyRegistry reg;
+  reg.RegisterSigner(alice);
+  reg.RegisterSigner(bob);
+
+  Bytes msg = ToBytes("hello");
+  Bytes sig = alice.Sign(msg);
+  EXPECT_TRUE(reg.Verify("alice", msg, sig));
+  EXPECT_FALSE(reg.Verify("bob", msg, sig));     // Wrong principal.
+  EXPECT_FALSE(reg.Verify("carol", msg, sig));   // Unknown principal.
+}
+
+TEST(KeyRegistry, SchemeOf) {
+  Prng rng(3);
+  Signer s("alice", SignatureScheme::kRsa768, rng);
+  KeyRegistry reg;
+  reg.RegisterSigner(s);
+  EXPECT_EQ(reg.SchemeOf("alice"), SignatureScheme::kRsa768);
+  EXPECT_TRUE(reg.Knows("alice"));
+  EXPECT_FALSE(reg.Knows("mallory"));
+  EXPECT_THROW(reg.SchemeOf("mallory"), std::out_of_range);
+}
+
+TEST(SignatureScheme, Names) {
+  EXPECT_STREQ(SignatureSchemeName(SignatureScheme::kNone), "nosig");
+  EXPECT_STREQ(SignatureSchemeName(SignatureScheme::kRsa768), "rsa768");
+  EXPECT_EQ(SignatureSchemeBits(SignatureScheme::kRsa2048), 2048u);
+}
+
+}  // namespace
+}  // namespace avm

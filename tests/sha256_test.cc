@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha256.h"
+#include "src/util/prng.h"
+
+namespace avm {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::Digest("").Hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::Digest("abc").Hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::Digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").Hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; i++) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(h.Finish().Hex(), "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: padding must spill into a second block.
+  std::string m(64, 'x');
+  Hash256 one = Sha256::Digest(m);
+  Sha256 h;
+  h.Update(std::string_view(m).substr(0, 31));
+  h.Update(std::string_view(m).substr(31));
+  EXPECT_EQ(h.Finish(), one);
+}
+
+TEST(Sha256, StreamingMatchesOneShotRandomSplits) {
+  Prng rng(77);
+  for (int trial = 0; trial < 50; trial++) {
+    Bytes data = rng.RandomBytes(rng.Below(512));
+    Hash256 one = Sha256::Digest(data);
+    Sha256 h;
+    size_t pos = 0;
+    while (pos < data.size()) {
+      size_t n = std::min<size_t>(rng.Below(97) + 1, data.size() - pos);
+      h.Update(ByteView(data.data() + pos, n));
+      pos += n;
+    }
+    EXPECT_EQ(h.Finish(), one);
+  }
+}
+
+TEST(Sha256, UpdateAfterFinishThrows) {
+  Sha256 h;
+  h.Finish();
+  EXPECT_THROW(h.Update("x"), std::logic_error);
+  Sha256 h2;
+  h2.Finish();
+  EXPECT_THROW(h2.Finish(), std::logic_error);
+}
+
+TEST(Sha256, UpdateU64LittleEndian) {
+  Sha256 a;
+  a.UpdateU64(0x0102030405060708ULL);
+  uint8_t le[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+  Sha256 b;
+  b.Update(ByteView(le, 8));
+  EXPECT_EQ(a.Finish(), b.Finish());
+}
+
+TEST(Hash256, ZeroAndComparisons) {
+  Hash256 z = Hash256::Zero();
+  EXPECT_TRUE(z.IsZero());
+  Hash256 h = Sha256::Digest("x");
+  EXPECT_FALSE(h.IsZero());
+  EXPECT_NE(h, z);
+  EXPECT_EQ(h, Sha256::Digest("x"));
+}
+
+TEST(Hash256, FromBytesValidatesLength) {
+  Bytes short_buf(31, 0);
+  EXPECT_THROW(Hash256::FromBytes(short_buf), std::invalid_argument);
+  Bytes ok(32, 7);
+  EXPECT_EQ(Hash256::FromBytes(ok).v[0], 7);
+}
+
+TEST(Hash256, ShortHexIsPrefix) {
+  Hash256 h = Sha256::Digest("y");
+  EXPECT_EQ(h.ShortHex(), h.Hex().substr(0, 8));
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HmacSha256(key, ToBytes("Hi There")).Hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(HmacSha256(ToBytes("Jefe"), ToBytes("what do ya want for nothing?")).Hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(HmacSha256(key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key First")).Hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  Bytes m = ToBytes("message");
+  EXPECT_NE(HmacSha256(ToBytes("k1"), m), HmacSha256(ToBytes("k2"), m));
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/util/bytes.h"
+#include "src/util/prng.h"
+#include "src/util/serde.h"
+
+namespace avm {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(b), "0001abff");
+  EXPECT_EQ(HexDecode("0001abff"), b);
+  EXPECT_EQ(HexDecode("0001ABFF"), b);
+}
+
+TEST(Bytes, HexDecodeRejectsBadInput) {
+  EXPECT_THROW(HexDecode("abc"), std::invalid_argument);
+  EXPECT_THROW(HexDecode("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(HexEncode(Bytes{}), "");
+  EXPECT_TRUE(HexDecode("").empty());
+}
+
+TEST(Bytes, PutGetIntegers) {
+  Bytes b;
+  PutU16(b, 0x1234);
+  PutU32(b, 0xdeadbeef);
+  PutU64(b, 0x0123456789abcdefULL);
+  EXPECT_EQ(b.size(), 14u);
+  EXPECT_EQ(GetU16(b, 0), 0x1234);
+  EXPECT_EQ(GetU32(b, 2), 0xdeadbeefu);
+  EXPECT_EQ(GetU64(b, 6), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  Bytes b;
+  PutU32(b, 0x01020304);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(Bytes, EqualAndAppend) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2};
+  EXPECT_TRUE(BytesEqual(a, b));
+  EXPECT_FALSE(BytesEqual(a, c));
+  Append(c, Bytes{3});
+  EXPECT_TRUE(BytesEqual(a, c));
+}
+
+TEST(Bytes, StringConversion) {
+  EXPECT_EQ(ToString(ToBytes("hello")), "hello");
+  EXPECT_EQ(ToBytes("").size(), 0u);
+}
+
+TEST(Serde, RoundTripAllTypes) {
+  Writer w;
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(42);
+  w.Blob(ToBytes("payload"));
+  w.Str("name");
+  Bytes data = w.Take();
+
+  Reader r(data);
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 42u);
+  EXPECT_EQ(ToString(r.Blob()), "payload");
+  EXPECT_EQ(r.Str(), "name");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_NO_THROW(r.ExpectEnd());
+}
+
+TEST(Serde, TruncationThrows) {
+  Writer w;
+  w.U32(7);
+  Bytes data = w.Take();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_THROW(r.U32(), SerdeError);
+}
+
+TEST(Serde, BlobLengthBeyondBufferThrows) {
+  Writer w;
+  w.U32(1000);  // Length prefix with no payload behind it.
+  Bytes data = w.Take();
+  Reader r(data);
+  EXPECT_THROW(r.Blob(), SerdeError);
+}
+
+TEST(Serde, TrailingBytesDetected) {
+  Writer w;
+  w.U8(1);
+  w.U8(2);
+  Bytes data = w.Take();
+  Reader r(data);
+  r.U8();
+  EXPECT_THROW(r.ExpectEnd(), SerdeError);
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.Next() == b.Next()) {
+      same++;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Prng p(9);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(p.Below(17), 17u);
+  }
+}
+
+TEST(Prng, RangeInclusive) {
+  Prng p(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; i++) {
+    uint64_t v = p.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng p(4);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(p.Chance(0.0));
+    EXPECT_TRUE(p.Chance(1.0));
+  }
+}
+
+TEST(Prng, ChanceRoughlyCalibrated) {
+  Prng p(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (p.Chance(0.25)) {
+      hits++;
+    }
+  }
+  EXPECT_GT(hits, 2200);
+  EXPECT_LT(hits, 2800);
+}
+
+}  // namespace
+}  // namespace avm
