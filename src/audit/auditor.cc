@@ -1,6 +1,7 @@
 #include "src/audit/auditor.h"
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <sstream>
 
@@ -26,10 +27,76 @@ bool ParseMessageEntry(const LogEntry& e, MessageRecord* msg, Bytes* sig) {
   }
 }
 
+// Signature verdicts for one segment, indexed by entry position:
+// -1 = nothing precomputed (the sequential scan verifies inline),
+// 0/1 = the entry's RSA check failed/passed.
+using SigVerdicts = std::vector<int8_t>;
+
+// Fans the per-entry RSA verifications — SEND/RECV payload signatures
+// and ACK authenticators — across the pool. Only entries that parse and
+// pass their node check are precomputed; those are exactly the entries
+// whose signatures the sequential scan would reach, so consuming the
+// verdicts in order yields an identical result. (For a segment that
+// fails earlier for a non-signature reason this does some wasted
+// verifications; verdict-changing it is not.)
+SigVerdicts PrecomputeSignatureChecks(const LogSegment& segment, const KeyRegistry& registry,
+                                      ThreadPool& pool) {
+  struct SigJob {
+    size_t entry;
+    bool is_ack;
+    MessageRecord msg;  // Parsed once here; valid when !is_ack.
+    Bytes sig;
+    Authenticator ack_auth;  // Valid when is_ack.
+  };
+  SigVerdicts verdicts(segment.entries.size(), -1);
+  std::vector<SigJob> jobs;
+  for (size_t i = 0; i < segment.entries.size(); i++) {
+    const LogEntry& e = segment.entries[i];
+    switch (e.type) {
+      case EntryType::kSend:
+      case EntryType::kRecv: {
+        SigJob job{i, false, {}, {}, {}};
+        if (ParseMessageEntry(e, &job.msg, &job.sig) &&
+            (e.type == EntryType::kSend ? job.msg.src : job.msg.dst) == segment.node) {
+          jobs.push_back(std::move(job));
+        }
+        break;
+      }
+      case EntryType::kAck: {
+        try {
+          AckFrame ack = AckFrame::Deserialize(e.content);
+          if (ack.orig_src == segment.node) {
+            jobs.push_back({i, true, {}, {}, std::move(ack.auth)});
+          }
+        } catch (const SerdeError&) {
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  pool.ParallelFor(jobs.size(), [&](size_t k) {
+    const SigJob& job = jobs[k];
+    bool ok = job.is_ack ? job.ack_auth.VerifySignature(registry)
+                         : registry.Verify(job.msg.src, job.msg.Serialize(), job.sig);
+    verdicts[job.entry] = ok ? 1 : 0;
+  });
+  return verdicts;
+}
+
 }  // namespace
 
 CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& registry,
-                                  const AuditConfig& cfg) {
+                                  const AuditConfig& cfg, ThreadPool* pool) {
+  SigVerdicts precomputed;
+  if (pool != nullptr && pool->thread_count() > 1) {
+    precomputed = PrecomputeSignatureChecks(segment, registry, *pool);
+  }
+  // Consults the parallel pre-pass when it ran, else verifies inline.
+  auto sig_ok = [&](size_t i, const std::function<bool()>& verify_inline) {
+    return i < precomputed.size() && precomputed[i] >= 0 ? precomputed[i] == 1 : verify_inline();
+  };
   // RECV payloads waiting to be delivered into the guest (FIFO).
   std::deque<Bytes> recv_queue;
   // Tail (bytes after the 4-byte dst header) of the latest guest TX.
@@ -38,7 +105,8 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
   // msg_ids this node has sent (for ack pairing).
   std::map<std::pair<NodeId, uint64_t>, bool> sent_ids;
 
-  for (const LogEntry& e : segment.entries) {
+  for (size_t i = 0; i < segment.entries.size(); i++) {
+    const LogEntry& e = segment.entries[i];
     switch (e.type) {
       case EntryType::kSend: {
         MessageRecord msg;
@@ -49,7 +117,7 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
         if (msg.src != segment.node) {
           return CheckResult::Fail("SEND entry with foreign source", e.seq);
         }
-        if (!registry.Verify(msg.src, msg.Serialize(), sig)) {
+        if (!sig_ok(i, [&] { return registry.Verify(msg.src, msg.Serialize(), sig); })) {
           return CheckResult::Fail("SEND payload signature invalid", e.seq);
         }
         // Cross-reference: the sent payload must be derived from the most
@@ -72,7 +140,7 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
         if (msg.dst != segment.node) {
           return CheckResult::Fail("RECV entry with foreign destination", e.seq);
         }
-        if (!registry.Verify(msg.src, msg.Serialize(), sig)) {
+        if (!sig_ok(i, [&] { return registry.Verify(msg.src, msg.Serialize(), sig); })) {
           return CheckResult::Fail("RECV payload signature invalid", e.seq);
         }
         recv_queue.push_back(msg.payload);
@@ -92,7 +160,7 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
             sent_ids.find({ack.acker, ack.msg_id}) == sent_ids.end()) {
           return CheckResult::Fail("ACK for a message never sent", e.seq);
         }
-        if (!ack.auth.VerifySignature(registry)) {
+        if (!sig_ok(i, [&] { return ack.auth.VerifySignature(registry); })) {
           return CheckResult::Fail("ACK carries an invalid authenticator", e.seq);
         }
         break;
@@ -170,17 +238,17 @@ std::string AuditOutcome::Describe() const {
 AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
                           std::span<const Authenticator> auths, ByteView reference_image,
                           const MaterializedState* start_state, uint64_t snapshot_bytes,
-                          bool strict_crossref) {
+                          bool strict_crossref, ThreadPool* pool) {
   AuditOutcome out;
   out.log_bytes = segment.Serialize().size();
   out.snapshot_bytes = snapshot_bytes;
 
   WallTimer syn_timer;
-  out.syntactic = VerifyAgainstAuthenticators(segment, auths, *registry_);
+  out.syntactic = VerifyAgainstAuthenticators(segment, auths, *registry_, pool);
   if (out.syntactic.ok) {
     AuditConfig cfg = cfg_;
     cfg.strict_message_crossref = strict_crossref;
-    out.syntactic = SyntacticMessageCheck(segment, *registry_, cfg);
+    out.syntactic = SyntacticMessageCheck(segment, *registry_, cfg, pool);
   }
   if (out.syntactic.ok && cfg_.attested_input) {
     out.syntactic = VerifyAttestedInputs(segment, *registry_);
@@ -236,11 +304,38 @@ AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
 AuditOutcome Auditor::AuditFull(const Avmm& target, ByteView reference_image,
                                 std::span<const Authenticator> auths) {
   LogSegment segment = target.log().Extract(1, target.log().LastSeq());
-  return Run(target, segment, auths, reference_image, nullptr, 0, /*strict_crossref=*/true);
+  return Run(target, segment, auths, reference_image, nullptr, 0, /*strict_crossref=*/true,
+             EnsurePool());
 }
 
 AuditOutcome Auditor::SpotCheck(const Avmm& target, uint64_t from_snapshot_id,
                                 uint64_t to_snapshot_id, std::span<const Authenticator> auths) {
+  return SpotCheckImpl(target, from_snapshot_id, to_snapshot_id, auths, EnsurePool());
+}
+
+std::vector<AuditOutcome> Auditor::SpotCheckMany(
+    const Avmm& target, std::span<const std::pair<uint64_t, uint64_t>> windows,
+    std::span<const Authenticator> auths) {
+  std::vector<AuditOutcome> out(windows.size());
+  ThreadPool* pool = EnsurePool();
+  if (pool == nullptr) {
+    for (size_t i = 0; i < windows.size(); i++) {
+      out[i] = SpotCheckImpl(target, windows[i].first, windows[i].second, auths, nullptr);
+    }
+    return out;
+  }
+  // One window per worker; within a window the audit runs sequentially
+  // (no nested fan-out), since independent replays parallelize far
+  // better than the per-signature checks inside one window do.
+  pool->ParallelFor(windows.size(), [&](size_t i) {
+    out[i] = SpotCheckImpl(target, windows[i].first, windows[i].second, auths, nullptr);
+  });
+  return out;
+}
+
+AuditOutcome Auditor::SpotCheckImpl(const Avmm& target, uint64_t from_snapshot_id,
+                                    uint64_t to_snapshot_id, std::span<const Authenticator> auths,
+                                    ThreadPool* pool) {
   std::vector<SnapshotIndexEntry> snaps = IndexSnapshots(target.log());
   const SnapshotIndexEntry* from = nullptr;
   const SnapshotIndexEntry* to = nullptr;
@@ -271,7 +366,7 @@ AuditOutcome Auditor::SpotCheck(const Avmm& target, uint64_t from_snapshot_id,
       target.snapshot_store().Materialize(from_snapshot_id, cfg_.mem_size);
   uint64_t snapshot_bytes = target.snapshot_store().TransferBytesUpTo(from_snapshot_id);
   return Run(target, segment, all_auths, ByteView(), &start, snapshot_bytes,
-             /*strict_crossref=*/false);
+             /*strict_crossref=*/false, pool);
 }
 
 }  // namespace avm

@@ -4,18 +4,28 @@
 #ifndef SRC_AUDIT_AUDITOR_H_
 #define SRC_AUDIT_AUDITOR_H_
 
+#include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 
 #include "src/audit/evidence.h"
 #include "src/audit/replayer.h"
 #include "src/avmm/recorder.h"
 #include "src/tel/verifier.h"
+#include "src/util/threadpool.h"
 
 namespace avm {
 
 struct AuditConfig {
   size_t mem_size = 256 * 1024;
+  // Worker threads for the verification hot path (hash-chain links,
+  // per-authenticator and per-message RSA checks, independent segment
+  // audits in SpotCheckMany). 0 = one per hardware thread; 1 = run
+  // everything on the calling thread, reproducing the sequential code
+  // path bit-for-bit. Verdicts are identical at every setting; only
+  // wall-clock time changes.
+  unsigned threads = 0;
   // §7.2 extension: the audited node's inputs are signed by a trusted
   // input device whose key is registered as "<node>/input"; the
   // syntactic check then verifies every consumed input event.
@@ -37,8 +47,12 @@ struct AuditConfig {
 //    packets delivered into the guest (MAC DMA) match the RECV stream —
 //    this is the cross-reference that catches an AVMM forging, dropping
 //    or modifying messages between the network and the AVM.
+// The per-entry RSA checks (SEND/RECV payload signatures, ACK
+// authenticators) dominate the cost; passing a pool precomputes them in
+// parallel before the sequential cross-reference scan consumes them, so
+// verdicts are identical to the sequential path.
 CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& registry,
-                                  const AuditConfig& cfg);
+                                  const AuditConfig& cfg, ThreadPool* pool = nullptr);
 
 struct AuditOutcome {
   bool ok = false;
@@ -73,17 +87,40 @@ class Auditor {
   AuditOutcome SpotCheck(const Avmm& target, uint64_t from_snapshot_id, uint64_t to_snapshot_id,
                          std::span<const Authenticator> auths);
 
+  // Audits several independent snapshot windows, fanning whole-window
+  // audits (verification + replay) across the worker pool. Outcomes are
+  // positionally identical to calling SpotCheck on each window in order;
+  // only the wall-clock time differs.
+  std::vector<AuditOutcome> SpotCheckMany(const Avmm& target,
+                                          std::span<const std::pair<uint64_t, uint64_t>> windows,
+                                          std::span<const Authenticator> auths);
+
   const AuditConfig& config() const { return cfg_; }
 
  private:
   AuditOutcome Run(const Avmm& target, const LogSegment& segment,
                    std::span<const Authenticator> auths, ByteView reference_image,
                    const MaterializedState* start_state, uint64_t snapshot_bytes,
-                   bool strict_crossref);
+                   bool strict_crossref, ThreadPool* pool);
+
+  AuditOutcome SpotCheckImpl(const Avmm& target, uint64_t from_snapshot_id,
+                             uint64_t to_snapshot_id, std::span<const Authenticator> auths,
+                             ThreadPool* pool);
+
+  // Constructs the worker pool on first use, so auditors created in a
+  // loop (one per audit) cost nothing until they actually audit.
+  // Returns null when the resolved thread count is 1 (sequential mode).
+  ThreadPool* EnsurePool() {
+    if (pool_ == nullptr && ResolveThreads(cfg_.threads) > 1) {
+      pool_ = std::make_unique<ThreadPool>(cfg_.threads);
+    }
+    return pool_.get();
+  }
 
   NodeId self_;
   const KeyRegistry* registry_;
   AuditConfig cfg_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 // Positions (seq) and metadata of the kSnapshot entries in a log.

@@ -1,0 +1,232 @@
+// Fixed-size worker pool for fanning independent verification work
+// (RSA signature checks, hash-chain links, whole segment audits) across
+// cores. A pool with thread_count() == 1 owns no worker threads and runs
+// everything inline on the calling thread, reproducing the sequential
+// code path bit-for-bit; that is the `threads = 1` setting of
+// AuditConfig and what callers get when they pass a null pool.
+#ifndef SRC_UTIL_THREADPOOL_H_
+#define SRC_UTIL_THREADPOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace avm {
+
+// Resolves a `threads` knob: 0 means "one per hardware thread".
+inline unsigned ResolveThreads(unsigned threads) {
+  if (threads != 0) {
+    return threads;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+class ThreadPool {
+ public:
+  // `threads` counts the calling thread too: a pool of N spawns N-1
+  // workers, because the thread that calls ParallelFor()/Wait()
+  // participates in the work.
+  explicit ThreadPool(unsigned threads) : threads_(ResolveThreads(threads)) {
+    workers_.reserve(threads_ - 1);
+    for (unsigned i = 1; i < threads_; i++) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& w : workers_) {
+      w.join();
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return threads_; }
+
+  // Enqueues one task. With thread_count() == 1 the task runs before
+  // Submit returns (execution order == submission order). Exceptions a
+  // task throws are captured; Wait() rethrows the one from the earliest
+  // submitted failing task, so the surfaced error does not depend on
+  // scheduling.
+  void Submit(std::function<void()> fn) {
+    uint64_t id;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      id = next_task_id_++;
+      pending_++;
+    }
+    if (threads_ <= 1) {
+      RunTask(id, fn);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.emplace_back(id, std::move(fn));
+    }
+    queue_cv_.notify_one();
+  }
+
+  // Blocks until every task submitted so far has finished; the calling
+  // thread drains the queue alongside the workers. Rethrows the pending
+  // exception with the smallest task id, then clears it.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (pending_ > 0) {
+      if (!queue_.empty()) {
+        auto [id, fn] = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        RunTask(id, fn);
+        lock.lock();
+        continue;
+      }
+      done_cv_.wait(lock, [this] { return pending_ == 0 || !queue_.empty(); });
+    }
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      error_task_id_ = std::numeric_limits<uint64_t>::max();
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+  // Runs fn(i) for every i in [0, n), blocking until all are done. With
+  // thread_count() == 1 this is exactly `for (i = 0; i < n; i++) fn(i);`
+  // including exception behavior. Otherwise iterations are claimed
+  // dynamically by the workers and the calling thread; if any iterations
+  // throw, the exception from the *smallest* index is rethrown after the
+  // loop drains, so failures are reported deterministically.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    if (threads_ <= 1 || n <= 1) {
+      for (size_t i = 0; i < n; i++) {
+        fn(i);
+      }
+      return;
+    }
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+    state->fn = &fn;
+    auto drive = [state] { DriveFor(*state); };
+    // One helper per spare worker; the caller drives too. Helpers that
+    // arrive after the counter is exhausted simply exit, so completion
+    // never depends on a busy worker picking the task up.
+    size_t helpers = std::min<size_t>(threads_ - 1, n - 1);
+    for (size_t i = 0; i < helpers; i++) {
+      Submit(drive);
+    }
+    DriveFor(*state);
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done == state->n; });
+    if (state->error) {
+      std::rethrow_exception(state->error);
+    }
+  }
+
+ private:
+  // Shared state of one ParallelFor call. Lives on the heap (shared_ptr)
+  // so late-arriving helper tasks can safely find the counter exhausted
+  // after the originating call returned.
+  struct ForState {
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;
+    size_t error_index = std::numeric_limits<size_t>::max();
+    std::exception_ptr error;
+  };
+
+  static void DriveFor(ForState& s) {
+    for (;;) {
+      size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s.n) {
+        return;
+      }
+      std::exception_ptr err;
+      try {
+        (*s.fn)(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lock(s.mu);
+      if (err && i < s.error_index) {
+        s.error_index = i;
+        s.error = err;
+      }
+      if (++s.done == s.n) {
+        lock.unlock();
+        s.cv.notify_all();
+      }
+    }
+  }
+
+  void RunTask(uint64_t id, const std::function<void()>& fn) {
+    std::exception_ptr err;
+    try {
+      fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (err && id < error_task_id_) {
+      error_task_id_ = id;
+      error_ = err;
+    }
+    if (--pending_ == 0) {
+      lock.unlock();
+      done_cv_.notify_all();
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::pair<uint64_t, std::function<void()>> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          return;  // stopping_ and nothing left to do.
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      RunTask(task.first, task.second);
+      done_cv_.notify_all();
+    }
+  }
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::pair<uint64_t, std::function<void()>>> queue_;
+  size_t pending_ = 0;
+  uint64_t next_task_id_ = 0;
+  bool stopping_ = false;
+  uint64_t error_task_id_ = std::numeric_limits<uint64_t>::max();
+  std::exception_ptr error_ = nullptr;
+};
+
+}  // namespace avm
+
+#endif  // SRC_UTIL_THREADPOOL_H_
