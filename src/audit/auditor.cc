@@ -87,26 +87,21 @@ SigVerdicts PrecomputeSignatureChecks(const LogSegment& segment, const KeyRegist
 
 }  // namespace
 
-CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& registry,
-                                  const AuditConfig& cfg, ThreadPool* pool) {
-  SigVerdicts precomputed;
-  if (pool != nullptr && pool->thread_count() > 1) {
-    precomputed = PrecomputeSignatureChecks(segment, registry, *pool);
-  }
-  // Consults the parallel pre-pass when it ran, else verifies inline.
-  auto sig_ok = [&](size_t i, const std::function<bool()>& verify_inline) {
-    return i < precomputed.size() && precomputed[i] >= 0 ? precomputed[i] == 1 : verify_inline();
-  };
-  // RECV payloads waiting to be delivered into the guest (FIFO).
-  std::deque<Bytes> recv_queue;
-  // Tail (bytes after the 4-byte dst header) of the latest guest TX.
-  Bytes current_tx_tail;
-  bool have_tx = false;
-  // msg_ids this node has sent (for ack pairing).
-  std::map<std::pair<NodeId, uint64_t>, bool> sent_ids;
+// The message-stream state machine, factored so the same code runs over
+// a materialized segment (SyntacticMessageCheck) and over a streaming
+// cursor (StreamingSyntacticCheck). Feed() consumes entries in log
+// order; `sig_verdict` is a precomputed RSA result (-1 = verify inline),
+// so the batch path with a pool and every streaming path produce
+// identical verdicts at identical seqs.
+class MessageCheckState {
+ public:
+  MessageCheckState(NodeId node, const KeyRegistry& registry, const AuditConfig& cfg)
+      : node_(std::move(node)), registry_(registry), cfg_(cfg) {}
 
-  for (size_t i = 0; i < segment.entries.size(); i++) {
-    const LogEntry& e = segment.entries[i];
+  CheckResult Feed(const LogEntry& e, int8_t sig_verdict) {
+    auto sig_ok = [&](const std::function<bool()>& verify_inline) {
+      return sig_verdict >= 0 ? sig_verdict == 1 : verify_inline();
+    };
     switch (e.type) {
       case EntryType::kSend: {
         MessageRecord msg;
@@ -114,21 +109,20 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
         if (!ParseMessageEntry(e, &msg, &sig)) {
           return CheckResult::Fail("malformed SEND entry", e.seq);
         }
-        if (msg.src != segment.node) {
+        if (msg.src != node_) {
           return CheckResult::Fail("SEND entry with foreign source", e.seq);
         }
-        if (!sig_ok(i, [&] { return registry.Verify(msg.src, msg.Serialize(), sig); })) {
+        if (!sig_ok([&] { return registry_.Verify(msg.src, msg.Serialize(), sig); })) {
           return CheckResult::Fail("SEND payload signature invalid", e.seq);
         }
         // Cross-reference: the sent payload must be derived from the most
         // recent packet the guest actually transmitted ([src_idx] + tail).
         if (msg.payload.size() < 4 ||
-            (cfg.strict_message_crossref &&
-             (!have_tx ||
-              !BytesEqual(ByteView(msg.payload).subspan(4), current_tx_tail)))) {
+            (cfg_.strict_message_crossref &&
+             (!have_tx_ || !BytesEqual(ByteView(msg.payload).subspan(4), current_tx_tail_)))) {
           return CheckResult::Fail("SEND does not correspond to a guest transmission", e.seq);
         }
-        sent_ids[{msg.dst, msg.msg_id}] = true;
+        sent_ids_[{msg.dst, msg.msg_id}] = true;
         break;
       }
       case EntryType::kRecv: {
@@ -137,13 +131,13 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
         if (!ParseMessageEntry(e, &msg, &sig)) {
           return CheckResult::Fail("malformed RECV entry", e.seq);
         }
-        if (msg.dst != segment.node) {
+        if (msg.dst != node_) {
           return CheckResult::Fail("RECV entry with foreign destination", e.seq);
         }
-        if (!sig_ok(i, [&] { return registry.Verify(msg.src, msg.Serialize(), sig); })) {
+        if (!sig_ok([&] { return registry_.Verify(msg.src, msg.Serialize(), sig); })) {
           return CheckResult::Fail("RECV payload signature invalid", e.seq);
         }
-        recv_queue.push_back(msg.payload);
+        recv_queue_.push_back(msg.payload);
         break;
       }
       case EntryType::kAck: {
@@ -153,14 +147,14 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
         } catch (const SerdeError&) {
           return CheckResult::Fail("malformed ACK entry", e.seq);
         }
-        if (ack.orig_src != segment.node) {
+        if (ack.orig_src != node_) {
           return CheckResult::Fail("ACK entry for a foreign message", e.seq);
         }
-        if (cfg.strict_message_crossref &&
-            sent_ids.find({ack.acker, ack.msg_id}) == sent_ids.end()) {
+        if (cfg_.strict_message_crossref &&
+            sent_ids_.find({ack.acker, ack.msg_id}) == sent_ids_.end()) {
           return CheckResult::Fail("ACK for a message never sent", e.seq);
         }
-        if (!sig_ok(i, [&] { return ack.auth.VerifySignature(registry); })) {
+        if (!sig_ok([&] { return ack.auth.VerifySignature(registry_); })) {
           return CheckResult::Fail("ACK carries an invalid authenticator", e.seq);
         }
         break;
@@ -181,18 +175,18 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
           if (ev.data.size() < 4) {
             return CheckResult::Fail("guest TX packet shorter than its header", e.seq);
           }
-          current_tx_tail.assign(ev.data.begin() + 4, ev.data.end());
-          have_tx = true;
+          current_tx_tail_.assign(ev.data.begin() + 4, ev.data.end());
+          have_tx_ = true;
         } else if (ev.kind == TraceKind::kDmaPacket) {
           // Every packet delivered into the AVM must be one the machine
           // actually received (in order).
-          if (recv_queue.empty()) {
-            if (cfg.strict_message_crossref) {
+          if (recv_queue_.empty()) {
+            if (cfg_.strict_message_crossref) {
               return CheckResult::Fail("packet delivered into AVM without matching RECV", e.seq);
             }
-          } else if (BytesEqual(recv_queue.front(), ev.data)) {
-            recv_queue.pop_front();
-          } else if (cfg.strict_message_crossref) {
+          } else if (BytesEqual(recv_queue_.front(), ev.data)) {
+            recv_queue_.pop_front();
+          } else if (cfg_.strict_message_crossref) {
             return CheckResult::Fail("delivered packet differs from received message", e.seq);
           }
         }
@@ -209,8 +203,98 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
       case EntryType::kInfo:
         break;
     }
+    return CheckResult::Ok();
+  }
+
+ private:
+  NodeId node_;
+  const KeyRegistry& registry_;
+  AuditConfig cfg_;
+  // RECV payloads waiting to be delivered into the guest (FIFO).
+  std::deque<Bytes> recv_queue_;
+  // Tail (bytes after the 4-byte dst header) of the latest guest TX.
+  Bytes current_tx_tail_;
+  bool have_tx_ = false;
+  // msg_ids this node has sent (for ack pairing).
+  std::map<std::pair<NodeId, uint64_t>, bool> sent_ids_;
+};
+
+CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& registry,
+                                  const AuditConfig& cfg, ThreadPool* pool) {
+  SigVerdicts precomputed;
+  if (pool != nullptr && pool->thread_count() > 1) {
+    precomputed = PrecomputeSignatureChecks(segment, registry, *pool);
+  }
+  MessageCheckState state(segment.node, registry, cfg);
+  for (size_t i = 0; i < segment.entries.size(); i++) {
+    int8_t verdict = i < precomputed.size() ? precomputed[i] : int8_t{-1};
+    CheckResult r = state.Feed(segment.entries[i], verdict);
+    if (!r.ok) {
+      return r;
+    }
   }
   return CheckResult::Ok();
+}
+
+CheckResult StreamingSyntacticCheck(const SegmentSource& source,
+                                    std::span<const Authenticator> auths,
+                                    const KeyRegistry& registry, const AuditConfig& cfg) {
+  uint64_t last = source.LastSeq();
+  if (last == 0) {
+    return CheckResult::Fail("empty segment");
+  }
+  // Authenticators that cover the log, keyed by seq; mirrors
+  // VerifyAgainstAuthenticators' coverage requirement.
+  std::multimap<uint64_t, const Authenticator*> by_seq;
+  for (const Authenticator& a : auths) {
+    if (a.node == source.node() && a.seq >= 1 && a.seq <= last) {
+      by_seq.emplace(a.seq, &a);
+    }
+  }
+  if (by_seq.empty()) {
+    return CheckResult::Fail("no authenticator covers the segment; cannot establish authenticity");
+  }
+  MessageCheckState state(source.node(), registry, cfg);
+  Hash256 prev = Hash256::Zero();
+  uint64_t expect_seq = 1;
+  CheckResult result = CheckResult::Ok();
+  try {
+    source.Scan(1, last, [&](const LogEntry& e) {
+      if (e.seq != expect_seq) {
+        result = CheckResult::Fail("non-consecutive sequence numbers", e.seq);
+        return false;
+      }
+      if (ChainHash(prev, e.seq, e.type, e.content) != e.hash) {
+        result = CheckResult::Fail("hash chain broken", e.seq);
+        return false;
+      }
+      auto [first, end] = by_seq.equal_range(e.seq);
+      for (auto it = first; it != end; ++it) {
+        if (!it->second->VerifySignature(registry)) {
+          result = CheckResult::Fail("authenticator signature invalid", e.seq);
+          return false;
+        }
+        if (e.hash != it->second->hash) {
+          result =
+              CheckResult::Fail("log does not match issued authenticator (tamper or fork)", e.seq);
+          return false;
+        }
+      }
+      CheckResult r = state.Feed(e, -1);
+      if (!r.ok) {
+        result = r;
+        return false;
+      }
+      prev = e.hash;
+      expect_seq++;
+      return true;
+    });
+  } catch (const std::runtime_error& err) {
+    // Store-layer corruption (CRC mismatch, truncated segment, ...): the
+    // log cannot be verified past this point.
+    return CheckResult::Fail(std::string("log store unreadable: ") + err.what(), expect_seq);
+  }
+  return result;
 }
 
 std::vector<SnapshotIndexEntry> IndexSnapshots(const TamperEvidentLog& log) {
@@ -220,6 +304,20 @@ std::vector<SnapshotIndexEntry> IndexSnapshots(const TamperEvidentLog& log) {
       out.push_back({e.seq, SnapshotMeta::Deserialize(e.content)});
     }
   }
+  return out;
+}
+
+std::vector<SnapshotIndexEntry> IndexSnapshots(const SegmentSource& source) {
+  std::vector<SnapshotIndexEntry> out;
+  if (source.LastSeq() == 0) {
+    return out;
+  }
+  source.Scan(1, source.LastSeq(), [&](const LogEntry& e) {
+    if (e.type == EntryType::kSnapshot) {
+      out.push_back({e.seq, SnapshotMeta::Deserialize(e.content)});
+    }
+    return true;
+  });
   return out;
 }
 
@@ -303,24 +401,81 @@ AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
 
 AuditOutcome Auditor::AuditFull(const Avmm& target, ByteView reference_image,
                                 std::span<const Authenticator> auths) {
-  LogSegment segment = target.log().Extract(1, target.log().LastSeq());
+  return AuditFull(target, InMemorySegmentSource(target.log()), reference_image, auths);
+}
+
+namespace {
+
+// An audit source is untrusted input: a corrupt or truncated store
+// (CRC mismatch, torn segment, garbage snapshot entry) must fail the
+// audit, not escape as an exception. Range errors (std::out_of_range,
+// a logic_error) still propagate, matching the in-memory contract.
+AuditOutcome UnreadableSourceOutcome(const std::runtime_error& e) {
+  AuditOutcome out;
+  out.syntactic = CheckResult::Fail(std::string("log source unreadable: ") + e.what());
+  return out;
+}
+
+}  // namespace
+
+AuditOutcome Auditor::AuditFull(const Avmm& target, const SegmentSource& source,
+                                ByteView reference_image, std::span<const Authenticator> auths) {
+  LogSegment segment;
+  try {
+    segment = source.Extract(1, source.LastSeq());
+  } catch (const std::runtime_error& e) {
+    return UnreadableSourceOutcome(e);
+  }
   return Run(target, segment, auths, reference_image, nullptr, 0, /*strict_crossref=*/true,
              EnsurePool());
 }
 
 AuditOutcome Auditor::SpotCheck(const Avmm& target, uint64_t from_snapshot_id,
                                 uint64_t to_snapshot_id, std::span<const Authenticator> auths) {
-  return SpotCheckImpl(target, from_snapshot_id, to_snapshot_id, auths, EnsurePool());
+  InMemorySegmentSource source(target.log());
+  return SpotCheck(target, source, from_snapshot_id, to_snapshot_id, auths);
+}
+
+AuditOutcome Auditor::SpotCheck(const Avmm& target, const SegmentSource& source,
+                                uint64_t from_snapshot_id, uint64_t to_snapshot_id,
+                                std::span<const Authenticator> auths) {
+  std::vector<SnapshotIndexEntry> snaps;
+  try {
+    snaps = IndexSnapshots(source);
+  } catch (const std::runtime_error& e) {
+    return UnreadableSourceOutcome(e);
+  }
+  return SpotCheckImpl(target, source, snaps, from_snapshot_id, to_snapshot_id, auths,
+                       EnsurePool());
 }
 
 std::vector<AuditOutcome> Auditor::SpotCheckMany(
     const Avmm& target, std::span<const std::pair<uint64_t, uint64_t>> windows,
     std::span<const Authenticator> auths) {
+  return SpotCheckMany(target, InMemorySegmentSource(target.log()), windows, auths);
+}
+
+std::vector<AuditOutcome> Auditor::SpotCheckMany(
+    const Avmm& target, const SegmentSource& source,
+    std::span<const std::pair<uint64_t, uint64_t>> windows,
+    std::span<const Authenticator> auths) {
   std::vector<AuditOutcome> out(windows.size());
+  // One snapshot-index scan for all windows: for a store-backed source
+  // the scan reads every segment from disk.
+  std::vector<SnapshotIndexEntry> snaps;
+  try {
+    snaps = IndexSnapshots(source);
+  } catch (const std::runtime_error& e) {
+    for (AuditOutcome& o : out) {
+      o = UnreadableSourceOutcome(e);
+    }
+    return out;
+  }
   ThreadPool* pool = EnsurePool();
   if (pool == nullptr) {
     for (size_t i = 0; i < windows.size(); i++) {
-      out[i] = SpotCheckImpl(target, windows[i].first, windows[i].second, auths, nullptr);
+      out[i] =
+          SpotCheckImpl(target, source, snaps, windows[i].first, windows[i].second, auths, nullptr);
     }
     return out;
   }
@@ -328,15 +483,16 @@ std::vector<AuditOutcome> Auditor::SpotCheckMany(
   // (no nested fan-out), since independent replays parallelize far
   // better than the per-signature checks inside one window do.
   pool->ParallelFor(windows.size(), [&](size_t i) {
-    out[i] = SpotCheckImpl(target, windows[i].first, windows[i].second, auths, nullptr);
+    out[i] =
+        SpotCheckImpl(target, source, snaps, windows[i].first, windows[i].second, auths, nullptr);
   });
   return out;
 }
 
-AuditOutcome Auditor::SpotCheckImpl(const Avmm& target, uint64_t from_snapshot_id,
-                                    uint64_t to_snapshot_id, std::span<const Authenticator> auths,
-                                    ThreadPool* pool) {
-  std::vector<SnapshotIndexEntry> snaps = IndexSnapshots(target.log());
+AuditOutcome Auditor::SpotCheckImpl(const Avmm& target, const SegmentSource& source,
+                                    std::span<const SnapshotIndexEntry> snaps,
+                                    uint64_t from_snapshot_id, uint64_t to_snapshot_id,
+                                    std::span<const Authenticator> auths, ThreadPool* pool) {
   const SnapshotIndexEntry* from = nullptr;
   const SnapshotIndexEntry* to = nullptr;
   for (const auto& s : snaps) {
@@ -353,7 +509,12 @@ AuditOutcome Auditor::SpotCheckImpl(const Avmm& target, uint64_t from_snapshot_i
     return out;
   }
 
-  LogSegment segment = target.log().Extract(from->seq, to->seq);
+  LogSegment segment;
+  try {
+    segment = source.Extract(from->seq, to->seq);
+  } catch (const std::runtime_error& e) {
+    return UnreadableSourceOutcome(e);
+  }
   // The auditor asks the machine to commit to the segment's endpoint
   // (the paper's "retrieve a pair of authenticators ... and challenge M
   // to produce the log segment that connects them").

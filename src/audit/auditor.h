@@ -12,6 +12,7 @@
 #include "src/audit/evidence.h"
 #include "src/audit/replayer.h"
 #include "src/avmm/recorder.h"
+#include "src/tel/segment_source.h"
 #include "src/tel/verifier.h"
 #include "src/util/threadpool.h"
 
@@ -67,6 +68,16 @@ struct AuditOutcome {
   std::string Describe() const;
 };
 
+// Positions (seq) and metadata of the kSnapshot entries in a log.
+struct SnapshotIndexEntry {
+  uint64_t seq;
+  SnapshotMeta meta;
+};
+std::vector<SnapshotIndexEntry> IndexSnapshots(const TamperEvidentLog& log);
+// Same, but streamed from any segment source (O(segment) memory when
+// the source is a disk-backed store).
+std::vector<SnapshotIndexEntry> IndexSnapshots(const SegmentSource& source);
+
 // Drives audits against a (possibly remote, here in-process) AVMM.
 // The auditor trusts only: the key registry, the reference image, and the
 // authenticators it has collected; everything read from `target` is
@@ -95,6 +106,22 @@ class Auditor {
                                           std::span<const std::pair<uint64_t, uint64_t>> windows,
                                           std::span<const Authenticator> auths);
 
+  // Store-backed variants: identical audits, but the log is read from
+  // `source` (e.g. a store::LogStore opened from disk, possibly in a
+  // different process than the one that recorded it) instead of the
+  // target's in-memory log. Since Extract yields the same entries, the
+  // verdicts are bit-for-bit those of the in-memory path. `target` still
+  // supplies what only the machine can: snapshot increments and fresh
+  // end-of-segment commitments.
+  AuditOutcome AuditFull(const Avmm& target, const SegmentSource& source,
+                         ByteView reference_image, std::span<const Authenticator> auths);
+  AuditOutcome SpotCheck(const Avmm& target, const SegmentSource& source,
+                         uint64_t from_snapshot_id, uint64_t to_snapshot_id,
+                         std::span<const Authenticator> auths);
+  std::vector<AuditOutcome> SpotCheckMany(const Avmm& target, const SegmentSource& source,
+                                          std::span<const std::pair<uint64_t, uint64_t>> windows,
+                                          std::span<const Authenticator> auths);
+
   const AuditConfig& config() const { return cfg_; }
 
  private:
@@ -103,9 +130,13 @@ class Auditor {
                    const MaterializedState* start_state, uint64_t snapshot_bytes,
                    bool strict_crossref, ThreadPool* pool);
 
-  AuditOutcome SpotCheckImpl(const Avmm& target, uint64_t from_snapshot_id,
-                             uint64_t to_snapshot_id, std::span<const Authenticator> auths,
-                             ThreadPool* pool);
+  // `snaps` is the log's snapshot index, computed once by the caller
+  // (indexing scans the whole source, which for a store-backed log
+  // means reading every segment -- too costly to repeat per window).
+  AuditOutcome SpotCheckImpl(const Avmm& target, const SegmentSource& source,
+                             std::span<const SnapshotIndexEntry> snaps,
+                             uint64_t from_snapshot_id, uint64_t to_snapshot_id,
+                             std::span<const Authenticator> auths, ThreadPool* pool);
 
   // Constructs the worker pool on first use, so auditors created in a
   // loop (one per audit) cost nothing until they actually audit.
@@ -123,12 +154,17 @@ class Auditor {
   std::unique_ptr<ThreadPool> pool_;
 };
 
-// Positions (seq) and metadata of the kSnapshot entries in a log.
-struct SnapshotIndexEntry {
-  uint64_t seq;
-  SnapshotMeta meta;
-};
-std::vector<SnapshotIndexEntry> IndexSnapshots(const TamperEvidentLog& log);
+// Streams the entire log of `source` through the §4.4/§4.5 syntactic
+// checks -- chain rule, seq continuity, authenticator matching, and the
+// full message-stream check -- without ever materializing more than one
+// store segment. This is how an auditor triages a log far larger than
+// RAM before deciding which windows are worth replaying; store-layer
+// corruption (bad CRC, truncated segment) surfaces as a failed check,
+// not an exception. Single-threaded by construction (the stream is
+// consumed in order), so there is no pool parameter.
+CheckResult StreamingSyntacticCheck(const SegmentSource& source,
+                                    std::span<const Authenticator> auths,
+                                    const KeyRegistry& registry, const AuditConfig& cfg);
 
 }  // namespace avm
 

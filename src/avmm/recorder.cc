@@ -326,6 +326,7 @@ void Avmm::Finish(SimTime now) {
     TakeSnapshot(now);
     log_.Append(EntryType::kInfo, ToBytes("END"));
   }
+  log_.FlushSink();
 }
 
 }  // namespace avm

@@ -63,6 +63,13 @@ class Avmm : public DeviceBackend {
 
   void SetCheatHook(CheatHook hook) { cheat_hook_ = std::move(hook); }
 
+  // Spills the tamper-evident log to a durable sink (e.g. a
+  // store::LogStore): entries already logged (snapshot 0 etc.) are
+  // backfilled, every later append is teed through, and Finish()
+  // flushes. The in-memory log stays authoritative, so verdicts and
+  // measurements are unchanged; the sink is what survives the process.
+  void SpillTo(LogSink* sink) { log_.SetSink(sink, /*backfill=*/true); }
+
   // Runs the guest for `quantum_us` simulated microseconds starting at
   // `now`, after delivering any queued incoming packets.
   RunExit RunQuantum(SimTime now, SimTime quantum_us);

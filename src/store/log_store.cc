@@ -1,0 +1,590 @@
+#include "src/store/log_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "src/util/serde.h"
+
+namespace fs = std::filesystem;
+
+namespace avm {
+
+namespace {
+
+constexpr char kMetaName[] = "store.meta";
+constexpr char kMetaMagic[8] = {'A', 'V', 'M', 'M', 'E', 'T', 'A', '\n'};
+
+std::string SegName(uint64_t first_seq, const char* ext) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "seg-%020" PRIu64 ".%s", first_seq, ext);
+  return buf;
+}
+
+Bytes ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw StoreError("cannot open " + path);
+  }
+  in.seekg(0, std::ios::end);
+  std::streamoff size = in.tellg();
+  in.seekg(0);
+  Bytes out(static_cast<size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(out.data()), size)) {
+    throw StoreError("short read on " + path);
+  }
+  return out;
+}
+
+// Reads just the leading magic and trailing footer of a sealed file.
+SealedFooter ReadSealedFooterFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw StoreError("cannot open " + path);
+  }
+  in.seekg(0, std::ios::end);
+  std::streamoff size = in.tellg();
+  if (size < static_cast<std::streamoff>(8 + 4 + kSegmentFooterSize)) {
+    throw StoreError("sealed segment truncated: " + path);
+  }
+  Bytes head(8);
+  Bytes tail(kSegmentFooterSize);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(head.data()), 8);
+  in.seekg(size - static_cast<std::streamoff>(kSegmentFooterSize));
+  in.read(reinterpret_cast<char*>(tail.data()), static_cast<std::streamoff>(kSegmentFooterSize));
+  if (!in) {
+    throw StoreError("short read on " + path);
+  }
+  const char expect[8] = {'A', 'V', 'M', 'S', 'E', 'A', 'L', '\n'};
+  if (std::memcmp(head.data(), expect, 8) != 0) {
+    throw StoreError("bad sealed-segment magic: " + path);
+  }
+  return ParseSealedFooter(tail);
+}
+
+// Makes directory-level operations (create/rename/unlink) durable.
+void SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void WriteFileAtomically(const std::string& path, ByteView data, bool sync) {
+  std::string tmp = path + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      throw StoreError("cannot create " + tmp);
+    }
+    size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+    int flush_err = std::fflush(f);
+    if (sync) {
+      ::fsync(::fileno(f));
+    }
+    std::fclose(f);
+    if (written != data.size() || flush_err != 0) {
+      throw StoreError("short write on " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw StoreError("rename " + tmp + " failed: " + ec.message());
+  }
+  if (sync) {
+    // The rename itself must survive a crash, not just the file bytes.
+    SyncDirectory(fs::path(path).parent_path().string());
+  }
+}
+
+struct LoadedSegment {
+  Bytes records;
+  std::vector<SparseIndexEntry> index;  // Empty for active segments.
+};
+
+// Materializes one segment file's (uncompressed) record stream.
+LoadedSegment LoadSegmentFile(const std::string& path, bool sealed) {
+  Bytes file = ReadFileBytes(path);
+  LoadedSegment loaded;
+  if (sealed) {
+    SealedInfo info = ReadSealedInfo(file);
+    loaded.records = ReadSealedRecords(file, info);
+    loaded.index = std::move(info.index);
+  } else {
+    DecodeSegmentHeader(file);
+    loaded.records.assign(file.begin() + static_cast<ptrdiff_t>(kSegmentHeaderSize), file.end());
+  }
+  return loaded;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LogStore
+// ---------------------------------------------------------------------------
+
+LogStore::LogStore(std::string dir, NodeId node, LogStoreOptions opts)
+    : dir_(std::move(dir)), node_(std::move(node)), opts_(opts) {
+  if (opts_.index_every == 0) {
+    opts_.index_every = 1;
+  }
+}
+
+std::unique_ptr<LogStore> LogStore::Open(const std::string& dir, const NodeId& node,
+                                         LogStoreOptions opts) {
+  // Constructor is private; no make_unique.
+  std::unique_ptr<LogStore> store(new LogStore(dir, node, opts));
+  store->Recover();
+  return store;
+}
+
+std::unique_ptr<LogStore> LogStore::Open(const std::string& dir, LogStoreOptions opts) {
+  return Open(dir, NodeId(), opts);
+}
+
+LogStore::~LogStore() {
+  CloseActiveFile();
+}
+
+void LogStore::Recover() {
+  fs::create_directories(dir_);
+
+  // Node identity: persisted on first open, checked on reopen.
+  std::string meta_path = (fs::path(dir_) / kMetaName).string();
+  if (fs::exists(meta_path)) {
+    Bytes meta = ReadFileBytes(meta_path);
+    if (meta.size() < 8 || std::memcmp(meta.data(), kMetaMagic, 8) != 0) {
+      throw StoreError("bad store.meta magic in " + dir_);
+    }
+    NodeId stored;
+    try {
+      Reader r(ByteView(meta).subspan(8));
+      stored = r.Str();
+      r.ExpectEnd();
+    } catch (const SerdeError& e) {
+      throw StoreError(std::string("malformed store.meta: ") + e.what());
+    }
+    if (!node_.empty() && node_ != stored) {
+      throw StoreError("store in " + dir_ + " belongs to node '" + stored + "', not '" + node_ +
+                       "'");
+    }
+    node_ = stored;
+  } else {
+    if (node_.empty()) {
+      throw StoreError("no store.meta in " + dir_ + " and no node name given");
+    }
+    Writer w;
+    w.Raw(ByteView(reinterpret_cast<const uint8_t*>(kMetaMagic), 8));
+    w.Str(node_);
+    WriteFileAtomically(meta_path, w.bytes(), opts_.sync);
+  }
+
+  // Enumerate segment files, reading each one once: whole-file bytes
+  // for the (at most one, small) active .log, footer-only for sealed
+  // segments. A leftover .tmp is an interrupted seal (the .log it was
+  // built from still exists); a .log shadowed by a .seal of the same
+  // first seq is the other half of that crash window.
+  struct FoundSegment {
+    std::string log_path;
+    Bytes log_bytes;
+    std::string seal_path;
+    SealedFooter footer;
+  };
+  std::map<uint64_t, FoundSegment> by_seq;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_)) {
+    std::string name = de.path().filename().string();
+    if (name.ends_with(".tmp")) {
+      fs::remove(de.path());
+      continue;
+    }
+    if (!name.starts_with("seg-")) {
+      continue;
+    }
+    if (name.ends_with(".log")) {
+      Bytes f = ReadFileBytes(de.path().string());
+      if (f.size() < kSegmentHeaderSize) {
+        // Torn during segment creation: no records could have been
+        // written yet, so dropping the file loses nothing.
+        fs::remove(de.path());
+        recovered_torn_tail_ = true;
+        continue;
+      }
+      FoundSegment& found = by_seq[DecodeSegmentHeader(f).first_seq];
+      found.log_path = de.path().string();
+      found.log_bytes = std::move(f);
+    } else if (name.ends_with(".seal")) {
+      SealedFooter footer = ReadSealedFooterFromFile(de.path().string());
+      FoundSegment& found = by_seq[footer.first_seq];
+      found.seal_path = de.path().string();
+      found.footer = footer;
+    }
+  }
+
+  Bytes active_bytes;
+  for (auto& [first_seq, found] : by_seq) {
+    if (!found.seal_path.empty() && !found.log_path.empty()) {
+      fs::remove(found.log_path);  // Sealed copy is complete; drop the raw one.
+      found.log_path.clear();
+    }
+    SegmentState seg;
+    seg.first_seq = first_seq;
+    if (!found.seal_path.empty()) {
+      seg.path = found.seal_path;
+      seg.sealed = true;
+      seg.last_seq = found.footer.last_seq;
+      seg.prior_hash = found.footer.prior_hash;
+      seg.chain_hash = found.footer.chain_hash;
+    } else {
+      seg.path = found.log_path;
+      active_bytes = std::move(found.log_bytes);
+    }
+    segments_.push_back(std::move(seg));
+  }
+
+  // Validate the chain of segment boundaries and recover the active one.
+  uint64_t expect_seq = 1;
+  Hash256 expect_hash = Hash256::Zero();
+  for (size_t i = 0; i < segments_.size(); i++) {
+    SegmentState& seg = segments_[i];
+    if (seg.first_seq != expect_seq) {
+      throw StoreError("store is missing a segment before seq " + std::to_string(seg.first_seq));
+    }
+    if (!seg.sealed) {
+      if (i + 1 != segments_.size()) {
+        throw StoreError("unsealed segment in the middle of the store: " + seg.path);
+      }
+      ActiveScan scan = ScanActiveSegment(active_bytes, opts_.index_every);
+      if (scan.torn) {
+        fs::resize_file(seg.path, kSegmentHeaderSize + scan.valid_bytes);
+        recovered_torn_tail_ = true;
+      }
+      seg.last_seq = scan.last_seq;
+      seg.prior_hash = scan.header.prior_hash;
+      seg.chain_hash = scan.chain_hash;
+      active_stream_bytes_ = scan.valid_bytes;
+      active_entry_count_ = scan.entry_count;
+      active_index_ = std::move(scan.index);
+      active_file_ = std::fopen(seg.path.c_str(), "ab");
+      if (active_file_ == nullptr) {
+        throw StoreError("cannot reopen active segment " + seg.path);
+      }
+    }
+    if (seg.prior_hash != expect_hash) {
+      throw StoreError("segment boundary hash mismatch at seq " + std::to_string(seg.first_seq));
+    }
+    expect_seq = seg.last_seq + 1;
+    expect_hash = seg.chain_hash;
+  }
+  last_seq_ = expect_seq - 1;
+  last_hash_ = expect_hash;
+}
+
+void LogStore::StartSegment() {
+  SegmentState seg;
+  seg.first_seq = last_seq_ + 1;
+  seg.last_seq = last_seq_;
+  seg.prior_hash = last_hash_;
+  seg.chain_hash = last_hash_;
+  seg.path = (fs::path(dir_) / SegName(seg.first_seq, "log")).string();
+  Bytes header = EncodeSegmentHeader({seg.first_seq, seg.prior_hash});
+  active_file_ = std::fopen(seg.path.c_str(), "wb");
+  if (active_file_ == nullptr) {
+    throw StoreError("cannot create segment " + seg.path);
+  }
+  if (std::fwrite(header.data(), 1, header.size(), active_file_) != header.size()) {
+    throw StoreError("short write on " + seg.path);
+  }
+  active_stream_bytes_ = 0;
+  active_entry_count_ = 0;
+  active_index_.clear();
+  segments_.push_back(std::move(seg));
+}
+
+void LogStore::Append(const LogEntry& e) {
+  if (write_failed_) {
+    throw StoreError("LogStore::Append: store is poisoned after a failed write; reopen it");
+  }
+  if (e.seq != last_seq_ + 1) {
+    throw StoreError("LogStore::Append: expected seq " + std::to_string(last_seq_ + 1) + ", got " +
+                     std::to_string(e.seq));
+  }
+  if (active_file_ == nullptr) {
+    StartSegment();
+  }
+  Bytes record;
+  EncodeRecord(e, record);
+  if (std::fwrite(record.data(), 1, record.size(), active_file_) != record.size()) {
+    // Roll the file back to the last record boundary so the partial
+    // frame cannot sit in front of a retried append (recovery would
+    // then truncate everything after it, including acknowledged
+    // entries). If even the rollback fails, poison the store.
+    std::fflush(active_file_);
+    std::error_code ec;
+    fs::resize_file(segments_.back().path, kSegmentHeaderSize + active_stream_bytes_, ec);
+    if (ec) {
+      write_failed_ = true;
+    }
+    throw StoreError("short write on " + segments_.back().path);
+  }
+  // State (including the sparse-index waypoint) advances only once the
+  // record is fully written, so a failed append leaves no residue.
+  if (active_entry_count_ % opts_.index_every == 0) {
+    active_index_.push_back({e.seq, active_stream_bytes_});
+  }
+  active_stream_bytes_ += record.size();
+  active_entry_count_++;
+  last_seq_ = e.seq;
+  last_hash_ = e.hash;
+  segments_.back().last_seq = e.seq;
+  segments_.back().chain_hash = e.hash;
+  if (active_stream_bytes_ >= opts_.seal_threshold_bytes) {
+    Seal();
+  }
+}
+
+void LogStore::Seal() {
+  if (active_file_ == nullptr) {
+    return;
+  }
+  SegmentState& seg = segments_.back();
+  if (active_entry_count_ == 0) {
+    // Nothing recorded; drop the empty file instead of sealing it.
+    CloseActiveFile();
+    fs::remove(seg.path);
+    segments_.pop_back();
+    return;
+  }
+  // ENOSPC and friends surface at flush time with buffered stdio, so a
+  // seal must not trust the in-memory counters until the bytes are
+  // verifiably on disk -- otherwise the footer would claim entries the
+  // body does not contain.
+  if (std::fflush(active_file_) != 0) {
+    write_failed_ = true;
+    throw StoreError("flush failed while sealing " + seg.path);
+  }
+  Bytes file = ReadFileBytes(seg.path);
+  if (file.size() != kSegmentHeaderSize + active_stream_bytes_) {
+    write_failed_ = true;
+    throw StoreError("on-disk size of " + seg.path + " disagrees with the appended records");
+  }
+  ByteView records = ByteView(file).subspan(kSegmentHeaderSize);
+  Bytes sealed =
+      EncodeSealedSegment({seg.first_seq, seg.prior_hash}, records, active_index_,
+                          active_entry_count_, seg.last_seq, seg.chain_hash, opts_.compress_sealed);
+  std::string sealed_path = (fs::path(dir_) / SegName(seg.first_seq, "seal")).string();
+  WriteFileAtomically(sealed_path, sealed, opts_.sync);
+  CloseActiveFile();
+  fs::remove(seg.path);
+  if (opts_.sync) {
+    SyncDirectory(dir_);
+  }
+  seg.path = sealed_path;
+  seg.sealed = true;
+}
+
+void LogStore::Flush() {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (active_file_ != nullptr) {
+    // A flush that fails has NOT made the acknowledged entries durable;
+    // callers must hear about it.
+    if (std::fflush(active_file_) != 0 ||
+        (opts_.sync && ::fsync(::fileno(active_file_)) != 0)) {
+      write_failed_ = true;
+      throw StoreError("flush failed on " + segments_.back().path);
+    }
+  }
+}
+
+void LogStore::CloseActiveFile() {
+  if (active_file_ != nullptr) {
+    std::fflush(active_file_);
+    if (opts_.sync) {
+      ::fsync(::fileno(active_file_));
+    }
+    std::fclose(active_file_);
+    active_file_ = nullptr;
+  }
+  active_stream_bytes_ = 0;
+  active_entry_count_ = 0;
+  active_index_.clear();
+}
+
+void LogStore::SyncActiveFile() const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (active_file_ != nullptr) {
+    std::fflush(active_file_);
+  }
+}
+
+size_t LogStore::SealedCount() const {
+  size_t n = 0;
+  for (const SegmentState& s : segments_) {
+    n += s.sealed ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t LogStore::DiskBytes() const {
+  uint64_t total = 0;
+  for (const SegmentState& s : segments_) {
+    if (s.sealed) {
+      std::error_code ec;
+      uint64_t sz = fs::file_size(s.path, ec);
+      total += ec ? 0 : sz;
+    } else {
+      total += kSegmentHeaderSize + active_stream_bytes_;
+    }
+  }
+  return total;
+}
+
+const LogStore::SegmentState* LogStore::SegmentContaining(uint64_t seq) const {
+  for (const SegmentState& s : segments_) {
+    if (seq >= s.first_seq && seq <= s.last_seq) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+LogEntry LogStore::ReadEntry(uint64_t seq) const {
+  const SegmentState* seg = SegmentContaining(seq);
+  if (seg == nullptr) {
+    throw StoreError("LogStore::ReadEntry: seq " + std::to_string(seq) + " not in store");
+  }
+  if (!seg->sealed) {
+    SyncActiveFile();
+  }
+  LoadedSegment loaded = LoadSegmentFile(seg->path, seg->sealed);
+  size_t offset = 0;
+  for (const SparseIndexEntry& ie : loaded.index) {
+    if (ie.seq <= seq && ie.offset < loaded.records.size()) {
+      offset = ie.offset;
+    }
+  }
+  while (offset < loaded.records.size()) {
+    LogEntry e = DecodeRecordAt(loaded.records, &offset);
+    if (e.seq == seq) {
+      return e;
+    }
+    if (e.seq > seq) {
+      break;
+    }
+  }
+  throw StoreError("LogStore::ReadEntry: seq " + std::to_string(seq) + " missing from segment");
+}
+
+SegmentCursor LogStore::Cursor(uint64_t from_seq, uint64_t to_seq) const {
+  if (from_seq == 0 || from_seq > to_seq || to_seq > last_seq_) {
+    throw std::out_of_range("LogStore::Cursor: bad range");
+  }
+  SyncActiveFile();
+  const SegmentState* first_seg = SegmentContaining(from_seq);
+  if (first_seg == nullptr) {
+    throw StoreError("LogStore::Cursor: range start not in store");
+  }
+  // h_{from-1}: the segment boundary hash when the range starts a
+  // segment, else the stored hash of the entry just before the range.
+  Hash256 prior = from_seq == first_seg->first_seq ? first_seg->prior_hash
+                                                   : ReadEntry(from_seq - 1).hash;
+  std::vector<SegmentCursor::SegRef> refs;
+  for (const SegmentState& s : segments_) {
+    if (s.last_seq >= from_seq && s.first_seq <= to_seq && s.last_seq >= s.first_seq) {
+      refs.push_back({s.path, s.sealed, s.first_seq});
+    }
+  }
+  return SegmentCursor(std::move(refs), from_seq, to_seq, prior);
+}
+
+LogSegment LogStore::Extract(uint64_t from_seq, uint64_t to_seq) const {
+  if (from_seq == 0 || from_seq > to_seq || to_seq > last_seq_) {
+    throw std::out_of_range("LogStore::Extract: bad range");
+  }
+  SegmentCursor cur = Cursor(from_seq, to_seq);
+  LogSegment seg;
+  seg.node = node_;
+  seg.prior_hash = cur.prior_hash();
+  seg.entries.reserve(to_seq - from_seq + 1);
+  while (const LogEntry* e = cur.Next()) {
+    seg.entries.push_back(*e);
+  }
+  return seg;
+}
+
+void LogStore::Scan(uint64_t from_seq, uint64_t to_seq, const EntryVisitor& visit) const {
+  SegmentCursor cur = Cursor(from_seq, to_seq);
+  while (const LogEntry* e = cur.Next()) {
+    if (!visit(*e)) {
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SegmentCursor
+// ---------------------------------------------------------------------------
+
+SegmentCursor::SegmentCursor(std::vector<SegRef> segs, uint64_t from_seq, uint64_t to_seq,
+                             Hash256 prior_hash)
+    : segs_(std::move(segs)),
+      from_seq_(from_seq),
+      to_seq_(to_seq),
+      next_seq_(from_seq),
+      prior_hash_(prior_hash) {}
+
+bool SegmentCursor::LoadNextSegment() {
+  if (next_seg_ >= segs_.size()) {
+    return false;
+  }
+  const SegRef& ref = segs_[next_seg_++];
+  LoadedSegment loaded = LoadSegmentFile(ref.path, ref.sealed);
+  records_ = std::move(loaded.records);
+  offset_ = 0;
+  // Sparse index: jump to the last waypoint at or before the first seq
+  // this cursor still needs, instead of decoding from the segment start.
+  uint64_t target = std::max(next_seq_, ref.first_seq);
+  for (const SparseIndexEntry& ie : loaded.index) {
+    if (ie.seq <= target && ie.offset < records_.size()) {
+      offset_ = ie.offset;
+    }
+  }
+  return true;
+}
+
+const LogEntry* SegmentCursor::Next() {
+  if (done_ || next_seq_ > to_seq_) {
+    done_ = true;
+    return nullptr;
+  }
+  for (;;) {
+    if (offset_ >= records_.size()) {
+      if (!LoadNextSegment()) {
+        throw StoreError("log store cursor: store ends before seq " + std::to_string(next_seq_));
+      }
+      continue;
+    }
+    LogEntry e = DecodeRecordAt(records_, &offset_);
+    if (e.seq < next_seq_) {
+      continue;  // Skipping entries before the range (or index waypoint).
+    }
+    if (e.seq != next_seq_) {
+      throw StoreError("log store cursor: sequence gap at seq " + std::to_string(e.seq));
+    }
+    current_ = std::move(e);
+    next_seq_++;
+    return &current_;
+  }
+}
+
+}  // namespace avm

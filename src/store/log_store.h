@@ -1,0 +1,188 @@
+// Durable, segmented, crash-recoverable storage for the tamper-evident
+// log. The paper's AVMM log grows without bound (~2.6 MB/min, Figure 3)
+// and must survive until an auditor fetches it; keeping it in the
+// serving process's heap caps both uptime and auditability. LogStore
+// isolates that per-tenant state behind a storage layer: entries are
+// appended to an active segment file with CRC framing, segments roll at
+// a byte threshold and are sealed with the §6.4 LZSS stage plus a
+// footer carrying the chain state at the boundary, and a sparse index
+// lets extraction and streaming audits touch only the segments they
+// need.
+//
+// Layering: LogStore is a LogSink (TamperEvidentLog tees entries into
+// it as they are appended) and a SegmentSource (the Auditor reads
+// ranges back out, from this process or a later one via Open on the
+// same directory). It stores what the chain layer produced and verifies
+// only framing (CRCs, seq continuity, boundary hashes); tamper
+// detection remains the auditor's job.
+//
+// Threading: writes (Append/Seal/Flush) are single-threaded and must
+// not overlap reads -- record first, audit after, as the recorder does.
+// Concurrent const readers (Extract/Scan/Cursor, e.g. SpotCheckMany's
+// worker pool) are safe with each other: each opens its own file
+// handles, and the shared stdio flush is serialized internally.
+#ifndef SRC_STORE_LOG_STORE_H_
+#define SRC_STORE_LOG_STORE_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/store/segment_file.h"
+#include "src/tel/log.h"
+#include "src/tel/segment_source.h"
+
+namespace avm {
+
+struct LogStoreOptions {
+  // Roll and seal the active segment once its record stream reaches
+  // this many bytes. ~1 MiB keeps per-audit memory bounded while
+  // amortizing the LZSS pass over many entries.
+  size_t seal_threshold_bytes = 1u << 20;
+  // Sparse-index granularity: one waypoint every N entries.
+  size_t index_every = 64;
+  // LZSS-compress sealed segments (§6.4). Off stores records verbatim.
+  bool compress_sealed = true;
+  // fsync segment files on Flush() and after sealing. Off is fine for
+  // tests and benches that do not measure durability.
+  bool sync = true;
+};
+
+class SegmentCursor;
+
+class LogStore final : public LogSink, public SegmentSource {
+ public:
+  // Opens (creating if needed) the store in `dir`. `node` names the
+  // machine whose log this is; it is persisted in `store.meta` on first
+  // open and must match on subsequent opens (empty = take it from the
+  // meta file, for auditors that only know the directory). Recovery
+  // replays segment headers/footers, re-scans the one active segment,
+  // and truncates a torn tail record.
+  static std::unique_ptr<LogStore> Open(const std::string& dir, const NodeId& node,
+                                        LogStoreOptions opts = {});
+  static std::unique_ptr<LogStore> Open(const std::string& dir, LogStoreOptions opts = {});
+
+  ~LogStore() override;
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  // LogSink: appends one entry (seq must be LastSeq() + 1) to the
+  // active segment, rolling and sealing when the threshold is reached.
+  void Append(const LogEntry& e) override;
+  void Flush() override;
+  uint64_t SinkLastSeq() const override { return last_seq_; }
+  std::optional<Hash256> SinkLastHash() const override {
+    return last_seq_ == 0 ? std::nullopt : std::optional<Hash256>(last_hash_);
+  }
+
+  // Seals the active segment now regardless of size (e.g. at shutdown).
+  void Seal();
+
+  // SegmentSource.
+  const NodeId& node() const override { return node_; }
+  uint64_t LastSeq() const override { return last_seq_; }
+  LogSegment Extract(uint64_t from_seq, uint64_t to_seq) const override;
+  void Scan(uint64_t from_seq, uint64_t to_seq, const EntryVisitor& visit) const override;
+
+  // Streaming reader over [from_seq, to_seq]; holds one segment's
+  // entries at a time.
+  SegmentCursor Cursor(uint64_t from_seq, uint64_t to_seq) const;
+
+  Hash256 LastHash() const { return last_hash_; }
+  size_t SegmentCount() const { return segments_.size(); }
+  size_t SealedCount() const;
+  // Total bytes currently on disk (Figure 3's metric, but durable).
+  uint64_t DiskBytes() const;
+  // True if Open() found and truncated a torn tail record.
+  bool RecoveredTornTail() const { return recovered_torn_tail_; }
+  const std::string& dir() const { return dir_; }
+  const LogStoreOptions& options() const { return opts_; }
+
+ private:
+  friend class SegmentCursor;
+
+  struct SegmentState {
+    std::string path;
+    bool sealed = false;
+    uint64_t first_seq = 0;
+    uint64_t last_seq = 0;  // first_seq - 1 when empty.
+    Hash256 prior_hash;
+    Hash256 chain_hash;
+  };
+
+  LogStore(std::string dir, NodeId node, LogStoreOptions opts);
+  void Recover();
+  void StartSegment();
+  void CloseActiveFile();
+  void SyncActiveFile() const;
+  const SegmentState* SegmentContaining(uint64_t seq) const;
+  // Reads one entry back from the store (used for prior hashes).
+  LogEntry ReadEntry(uint64_t seq) const;
+
+  std::string dir_;
+  NodeId node_;
+  LogStoreOptions opts_;
+
+  std::vector<SegmentState> segments_;  // Ascending; active is last if open.
+  uint64_t last_seq_ = 0;
+  Hash256 last_hash_;
+  bool recovered_torn_tail_ = false;
+  // Set when a failed write could not be rolled back to a record
+  // boundary; the store refuses further appends (reopen to recover).
+  bool write_failed_ = false;
+
+  // Active (unsealed) segment writer state.
+  std::FILE* active_file_ = nullptr;
+  size_t active_stream_bytes_ = 0;
+  uint64_t active_entry_count_ = 0;
+  std::vector<SparseIndexEntry> active_index_;
+
+  // Serializes the stdio flush that concurrent const readers perform
+  // before opening the active file. This does NOT make writes safe to
+  // run concurrently with reads (see the threading note above).
+  mutable std::mutex io_mu_;
+};
+
+// Streams entries of one [from, to] range, loading one segment's record
+// stream at a time (memory stays bounded by the seal threshold no
+// matter how large the whole log is).
+class SegmentCursor {
+ public:
+  // The entry the cursor is positioned on, or nullptr when exhausted.
+  // The pointer is invalidated by the next call to Next().
+  const LogEntry* Next();
+
+  // h_{from-1}: lets chain verification start at the cursor's first
+  // entry without any earlier log data.
+  const Hash256& prior_hash() const { return prior_hash_; }
+
+ private:
+  friend class LogStore;
+
+  struct SegRef {
+    std::string path;
+    bool sealed = false;
+    uint64_t first_seq = 0;
+  };
+
+  SegmentCursor(std::vector<SegRef> segs, uint64_t from_seq, uint64_t to_seq,
+                Hash256 prior_hash);
+  bool LoadNextSegment();
+
+  std::vector<SegRef> segs_;
+  size_t next_seg_ = 0;
+  uint64_t from_seq_ = 0;
+  uint64_t to_seq_ = 0;
+  uint64_t next_seq_ = 0;
+  Hash256 prior_hash_;
+  Bytes records_;      // Current segment's record stream.
+  size_t offset_ = 0;  // Position within records_.
+  LogEntry current_;
+  bool done_ = false;
+};
+
+}  // namespace avm
+
+#endif  // SRC_STORE_LOG_STORE_H_

@@ -128,12 +128,51 @@ const LogEntry& TamperEvidentLog::Append(EntryType type, Bytes content) {
   e.hash = ChainHash(LastHash(), e.seq, e.type, e.content);
   total_wire_size_ += e.WireSize();
   entries_.push_back(std::move(e));
+  if (sink_ != nullptr) {
+    sink_->Append(entries_.back());
+  }
   return entries_.back();
+}
+
+void TamperEvidentLog::SetSink(LogSink* sink, bool backfill) {
+  sink_ = sink;
+  if (sink_ == nullptr || !backfill) {
+    return;
+  }
+  // A sink that is ahead of this log, or whose chain diverges from it,
+  // belongs to some other history -- appending to it would break the
+  // store's chain continuity at the first teed entry, so fail loudly
+  // here instead of deep inside a later Append.
+  uint64_t sink_last = sink_->SinkLastSeq();
+  if (sink_last > entries_.size()) {
+    sink_ = nullptr;
+    throw std::logic_error("TamperEvidentLog::SetSink: sink already holds " +
+                           std::to_string(sink_last) + " entries but the log has only " +
+                           std::to_string(entries_.size()));
+  }
+  if (sink_last > 0) {
+    std::optional<Hash256> sink_hash = sink_->SinkLastHash();
+    if (sink_hash.has_value() && *sink_hash != entries_[sink_last - 1].hash) {
+      sink_ = nullptr;
+      throw std::logic_error("TamperEvidentLog::SetSink: sink diverges from the log at seq " +
+                             std::to_string(sink_last));
+    }
+  }
+  for (uint64_t s = sink_last + 1; s <= entries_.size(); s++) {
+    sink_->Append(entries_[s - 1]);
+  }
+}
+
+void TamperEvidentLog::FlushSink() {
+  if (sink_ != nullptr) {
+    sink_->Flush();
+  }
 }
 
 const LogEntry& TamperEvidentLog::At(uint64_t seq) const {
   if (seq == 0 || seq > entries_.size()) {
-    throw std::out_of_range("TamperEvidentLog::At: bad seq");
+    throw std::out_of_range("TamperEvidentLog::At: seq " + std::to_string(seq) +
+                            " out of range [1, " + std::to_string(entries_.size()) + "]");
   }
   return entries_[seq - 1];
 }

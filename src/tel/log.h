@@ -82,6 +82,25 @@ struct LogSegment {
   static LogSegment Deserialize(ByteView data);
 };
 
+// Receives every appended entry, e.g. to spill it to durable storage
+// (src/store). The log itself stays authoritative and in memory; a sink
+// is a tee, so every existing call site (and every audit verdict)
+// behaves bit-for-bit identically with or without one attached.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  // Called once per entry, after seq and chain hash are filled in.
+  virtual void Append(const LogEntry& e) = 0;
+  // Called at natural durability points (e.g. Avmm::Finish).
+  virtual void Flush() {}
+  // Highest seq the sink already holds (0 = empty); SetSink's backfill
+  // replays only the entries after it.
+  virtual uint64_t SinkLastSeq() const { return 0; }
+  // Chain hash of the sink's last entry, if the sink tracks one;
+  // SetSink uses it to reject a sink that diverges from this log.
+  virtual std::optional<Hash256> SinkLastHash() const { return std::nullopt; }
+};
+
 // The append-only log a machine maintains about itself.
 class TamperEvidentLog {
  public:
@@ -89,6 +108,13 @@ class TamperEvidentLog {
 
   // Appends an entry and returns it (with seq and chain hash filled in).
   const LogEntry& Append(EntryType type, Bytes content);
+
+  // Attaches a tee (non-owning; nullptr detaches). With `backfill`,
+  // entries appended before the sink was attached are replayed into it
+  // first, so the sink always mirrors the full log.
+  void SetSink(LogSink* sink, bool backfill = true);
+  LogSink* sink() const { return sink_; }
+  void FlushSink();
 
   uint64_t LastSeq() const { return entries_.size(); }
   Hash256 LastHash() const { return entries_.empty() ? Hash256::Zero() : entries_.back().hash; }
@@ -113,6 +139,7 @@ class TamperEvidentLog {
   NodeId owner_;
   std::vector<LogEntry> entries_;
   size_t total_wire_size_ = 0;
+  LogSink* sink_ = nullptr;
 };
 
 }  // namespace avm

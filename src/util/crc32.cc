@@ -1,0 +1,39 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace avm {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // CRC-32C, reflected.
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; k++) {
+      c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(ByteView data, uint32_t seed) {
+  const std::array<uint32_t, 256>& table = Table();
+  uint32_t c = ~seed;
+  for (uint8_t b : data) {
+    c = table[(c ^ b) & 0xff] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace avm

@@ -1,0 +1,21 @@
+// CRC-32C (Castagnoli), the polynomial storage systems use for on-disk
+// record framing. The log store frames every record with it so torn
+// writes and bit rot are detected on recovery. It is NOT tamper
+// evidence -- the hash chain (src/tel) provides that; the CRC only
+// distinguishes "disk lost bytes" from "machine lied".
+#ifndef SRC_UTIL_CRC32_H_
+#define SRC_UTIL_CRC32_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace avm {
+
+// One-shot CRC of `data`. `seed` chains multi-buffer CRCs: pass the
+// previous call's return value to continue.
+uint32_t Crc32c(ByteView data, uint32_t seed = 0);
+
+}  // namespace avm
+
+#endif  // SRC_UTIL_CRC32_H_

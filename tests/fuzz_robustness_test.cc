@@ -11,6 +11,7 @@
 #include "src/util/serde.h"
 #include "src/avmm/partial_snapshot.h"
 #include "src/avmm/snapshot.h"
+#include "src/store/segment_file.h"
 #include "src/tel/log.h"
 #include "src/util/prng.h"
 #include "src/vm/trace.h"
@@ -24,6 +25,7 @@ void ParseEverything(ByteView data) {
     try {
       fn();
     } catch (const SerdeError&) {
+    } catch (const StoreError&) {
     } catch (const std::invalid_argument&) {
     } catch (const std::out_of_range&) {
     }
@@ -41,6 +43,18 @@ void ParseEverything(ByteView data) {
   swallow([&] { (void)Evidence::Deserialize(data); });
   swallow([&] { (void)CpuState::Deserialize(data); });
   swallow([&] { (void)MerkleProof::Deserialize(data); });
+  // Log store on-disk formats: a store opened by an auditor is as
+  // untrusted as a segment shipped over the network.
+  swallow([&] { (void)DecodeSegmentHeader(data); });
+  swallow([&] {
+    size_t off = 0;
+    (void)DecodeRecordAt(data, &off);
+  });
+  swallow([&] { (void)ScanActiveSegment(data, 16); });
+  swallow([&] {
+    SealedInfo info = ReadSealedInfo(data);
+    (void)ReadSealedRecords(data, info);
+  });
 }
 
 class RandomInputFuzz : public ::testing::TestWithParam<uint64_t> {};
@@ -90,6 +104,25 @@ TEST_P(MutatedInputFuzz, NoCrashOnMutatedValidStructures) {
     log.Append(EntryType::kInfo, ToBytes("a"));
     log.Append(EntryType::kSend, ToBytes("b"));
     valid.push_back(log.Extract(1, 2).Serialize());
+
+    // Store files: an active segment (header + CRC-framed records) and
+    // its sealed counterpart (compressed body + index + footer).
+    TamperEvidentLog store_log("bob");
+    Bytes active = EncodeSegmentHeader({1, Hash256::Zero()});
+    std::vector<SparseIndexEntry> index;
+    for (int i = 0; i < 6; i++) {
+      const LogEntry& e =
+          store_log.Append(i % 2 == 0 ? EntryType::kInfo : EntryType::kSend,
+                           rng.RandomBytes(rng.Below(40)));
+      if (i % 2 == 0) {
+        index.push_back({e.seq, active.size() - kSegmentHeaderSize});
+      }
+      EncodeRecord(e, active);
+    }
+    valid.push_back(active);
+    valid.push_back(EncodeSealedSegment({1, Hash256::Zero()},
+                                        ByteView(active).subspan(kSegmentHeaderSize), index, 6, 6,
+                                        store_log.LastHash(), /*compress=*/true));
   }
 
   for (const Bytes& base : valid) {
@@ -121,6 +154,53 @@ TEST_P(MutatedInputFuzz, NoCrashOnMutatedValidStructures) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutatedInputFuzz, ::testing::Range<uint64_t>(0, 8));
+
+// Every proper prefix of a valid serialization must be rejected with a
+// clean error -- the truncations a fuzzer only hits probabilistically.
+TEST(TruncationRobustness, EveryPrefixRejectedCleanly) {
+  Prng rng(77);
+  TamperEvidentLog log("bob");
+  for (int i = 0; i < 4; i++) {
+    log.Append(EntryType::kInfo, rng.RandomBytes(20));
+  }
+  Bytes seg = log.Extract(1, 4).Serialize();
+  for (size_t n = 0; n < seg.size(); n++) {
+    EXPECT_THROW((void)LogSegment::Deserialize(ByteView(seg.data(), n)), SerdeError) << n;
+  }
+
+  Authenticator a;
+  a.node = "bob";
+  a.seq = 9;
+  a.hash = Sha256::Digest("h");
+  a.signature = rng.RandomBytes(96);
+  Bytes auth = a.Serialize();
+  for (size_t n = 0; n < auth.size(); n++) {
+    EXPECT_THROW((void)Authenticator::Deserialize(ByteView(auth.data(), n)), SerdeError) << n;
+  }
+
+  Bytes active = EncodeSegmentHeader({1, Hash256::Zero()});
+  for (int i = 1; i <= 3; i++) {
+    EncodeRecord(log.At(static_cast<uint64_t>(i)), active);
+  }
+  Bytes sealed = EncodeSealedSegment({1, Hash256::Zero()},
+                                     ByteView(active).subspan(kSegmentHeaderSize), {}, 3, 3,
+                                     log.At(3).hash, /*compress=*/true);
+  for (size_t n = 0; n < sealed.size(); n++) {
+    EXPECT_THROW((void)ReadSealedInfo(ByteView(sealed.data(), n)), StoreError) << n;
+  }
+  // An active segment's truncated tail is recovered, not fatal: the scan
+  // reports the torn point instead of throwing (header truncation aside).
+  for (size_t n = 0; n < active.size(); n++) {
+    ByteView prefix(active.data(), n);
+    if (n < kSegmentHeaderSize) {
+      EXPECT_THROW((void)ScanActiveSegment(prefix, 4), StoreError) << n;
+    } else {
+      ActiveScan scan = ScanActiveSegment(prefix, 4);
+      EXPECT_TRUE(scan.torn || scan.valid_bytes == n - kSegmentHeaderSize) << n;
+      EXPECT_LE(scan.last_seq, 3u) << n;
+    }
+  }
+}
 
 TEST(TraceEventSerde, RoundTripAllKinds) {
   Prng rng(9);

@@ -1,0 +1,369 @@
+// The durable segmented log store: append/roll/seal, sparse-index
+// extraction, crash recovery (including torn tail writes), and the
+// acceptance bar -- store-backed audits produce verdicts identical to
+// the in-memory path on the same recorded scenario.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/sim/scenario.h"
+#include "src/store/log_store.h"
+#include "src/util/prng.h"
+
+namespace fs = std::filesystem;
+
+namespace avm {
+namespace {
+
+class StoreFixture : public ::testing::Test {
+ protected:
+  // A fresh directory per test, removed on teardown.
+  void SetUp() override {
+    const ::testing::TestInfo* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::path(::testing::TempDir()) / (std::string("avm_store_") + info->name())).string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Small segments so a few hundred entries roll several times.
+  LogStoreOptions SmallSegments() {
+    LogStoreOptions opts;
+    opts.seal_threshold_bytes = 4096;
+    opts.index_every = 4;
+    opts.sync = false;  // Durability is the OS's problem in unit tests.
+    return opts;
+  }
+
+  // Appends n entries with varied types and compressible content.
+  static void Fill(TamperEvidentLog& log, size_t n) {
+    for (size_t i = 0; i < n; i++) {
+      EntryType t = (i % 3 == 0)   ? EntryType::kInfo
+                    : (i % 3 == 1) ? EntryType::kTraceTime
+                                   : EntryType::kTraceOther;
+      log.Append(t, ToBytes("entry-" + std::to_string(i) + "-" + std::string(48, 'x')));
+    }
+  }
+
+  static std::string FindActiveFile(const std::string& dir) {
+    for (const fs::directory_entry& de : fs::directory_iterator(dir)) {
+      if (de.path().extension() == ".log") {
+        return de.path().string();
+      }
+    }
+    return {};
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StoreFixture, AppendRollsAndSealsSegments) {
+  TamperEvidentLog log("bob");
+  auto store = LogStore::Open(dir_, "bob", SmallSegments());
+  log.SetSink(store.get());
+  Fill(log, 300);
+
+  EXPECT_EQ(store->LastSeq(), 300u);
+  EXPECT_EQ(store->LastHash(), log.LastHash());
+  EXPECT_GE(store->SegmentCount(), 3u);
+  EXPECT_GE(store->SealedCount(), store->SegmentCount() - 1);
+  EXPECT_GT(store->DiskBytes(), 0u);
+
+  store->Seal();
+  EXPECT_EQ(store->SealedCount(), store->SegmentCount());
+  // Sealed segments are LZSS-compressed (§6.4): repetitive log content
+  // takes fewer bytes on disk than its wire size.
+  EXPECT_LT(store->DiskBytes(), log.TotalWireSize());
+}
+
+TEST_F(StoreFixture, ExtractMatchesInMemoryAcrossSegmentBoundaries) {
+  TamperEvidentLog log("bob");
+  auto store = LogStore::Open(dir_, "bob", SmallSegments());
+  log.SetSink(store.get());
+  Fill(log, 257);
+
+  Prng rng(11);
+  for (int trial = 0; trial < 40; trial++) {
+    uint64_t from = 1 + rng.Below(257);
+    uint64_t to = from + rng.Below(257 - from + 1);
+    LogSegment mem = log.Extract(from, to);
+    LogSegment disk = store->Extract(from, to);
+    ASSERT_EQ(mem.Serialize(), disk.Serialize()) << "range [" << from << ", " << to << "]";
+  }
+  EXPECT_THROW(store->Extract(0, 5), std::out_of_range);
+  EXPECT_THROW(store->Extract(5, 4), std::out_of_range);
+  EXPECT_THROW(store->Extract(1, 258), std::out_of_range);
+}
+
+TEST_F(StoreFixture, CursorStreamsEntriesWithPriorHash) {
+  TamperEvidentLog log("bob");
+  auto store = LogStore::Open(dir_, "bob", SmallSegments());
+  log.SetSink(store.get());
+  Fill(log, 120);
+
+  SegmentCursor cur = store->Cursor(50, 100);
+  EXPECT_EQ(cur.prior_hash(), log.At(49).hash);
+  uint64_t expect = 50;
+  while (const LogEntry* e = cur.Next()) {
+    EXPECT_EQ(e->seq, expect);
+    EXPECT_EQ(e->hash, log.At(expect).hash);
+    expect++;
+  }
+  EXPECT_EQ(expect, 101u);
+}
+
+TEST_F(StoreFixture, ReopenRecoversStateAndNodeIdentity) {
+  TamperEvidentLog log("carol");
+  {
+    auto store = LogStore::Open(dir_, "carol", SmallSegments());
+    log.SetSink(store.get());
+    Fill(log, 150);
+    log.SetSink(nullptr);
+  }
+  // Reopen without naming the node: identity comes from store.meta.
+  auto reopened = LogStore::Open(dir_, SmallSegments());
+  EXPECT_EQ(reopened->node(), "carol");
+  EXPECT_EQ(reopened->LastSeq(), 150u);
+  EXPECT_EQ(reopened->LastHash(), log.LastHash());
+  EXPECT_FALSE(reopened->RecoveredTornTail());
+  EXPECT_EQ(reopened->Extract(1, 150).Serialize(), log.Extract(1, 150).Serialize());
+
+  // Backfill skips what the store already holds; appends continue.
+  log.SetSink(reopened.get());
+  Fill(log, 10);
+  EXPECT_EQ(reopened->LastSeq(), 160u);
+  EXPECT_EQ(reopened->Extract(140, 160).Serialize(), log.Extract(140, 160).Serialize());
+
+  EXPECT_THROW(LogStore::Open(dir_, "mallory", SmallSegments()), StoreError);
+}
+
+TEST_F(StoreFixture, ReopenTruncatesTornTailGarbage) {
+  TamperEvidentLog log("bob");
+  {
+    auto store = LogStore::Open(dir_, "bob", SmallSegments());
+    log.SetSink(store.get());
+    Fill(log, 50);
+    log.SetSink(nullptr);
+  }
+  // Simulate a torn write: half a record frame of garbage at the tail.
+  std::string active = FindActiveFile(dir_);
+  ASSERT_FALSE(active.empty());
+  {
+    std::ofstream out(active, std::ios::binary | std::ios::app);
+    const char garbage[] = "\xff\xff\xff\xff torn";
+    out.write(garbage, sizeof(garbage));
+  }
+  auto store = LogStore::Open(dir_, SmallSegments());
+  EXPECT_TRUE(store->RecoveredTornTail());
+  EXPECT_EQ(store->LastSeq(), 50u);
+  EXPECT_EQ(store->LastHash(), log.LastHash());
+  EXPECT_EQ(store->Extract(1, 50).Serialize(), log.Extract(1, 50).Serialize());
+}
+
+TEST_F(StoreFixture, ReopenTruncatesHalfWrittenRecord) {
+  TamperEvidentLog log("bob");
+  {
+    auto store = LogStore::Open(dir_, "bob", SmallSegments());
+    log.SetSink(store.get());
+    Fill(log, 50);
+    log.SetSink(nullptr);
+  }
+  // Cut the last record mid-payload (power loss mid-write).
+  std::string active = FindActiveFile(dir_);
+  ASSERT_FALSE(active.empty());
+  uint64_t size = fs::file_size(active);
+  fs::resize_file(active, size - 5);
+
+  auto store = LogStore::Open(dir_, SmallSegments());
+  EXPECT_TRUE(store->RecoveredTornTail());
+  // The torn entry is gone; everything before it survived.
+  EXPECT_EQ(store->LastSeq(), 49u);
+  EXPECT_EQ(store->LastHash(), log.At(49).hash);
+
+  // The recorder resumes by re-attaching; backfill replays only seq 50.
+  log.SetSink(store.get());
+  EXPECT_EQ(store->LastSeq(), 50u);
+  EXPECT_EQ(store->Extract(1, 50).Serialize(), log.Extract(1, 50).Serialize());
+}
+
+TEST_F(StoreFixture, CorruptTailRecordIsDroppedOnRecovery) {
+  TamperEvidentLog log("bob");
+  {
+    auto store = LogStore::Open(dir_, "bob", SmallSegments());
+    log.SetSink(store.get());
+    Fill(log, 20);
+    log.SetSink(nullptr);
+  }
+  std::string active = FindActiveFile(dir_);
+  ASSERT_FALSE(active.empty());
+  // Flip one byte in the last record's payload: the CRC catches it.
+  uint64_t size = fs::file_size(active);
+  {
+    std::fstream f(active, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(size - 10));
+    char b;
+    f.seekg(static_cast<std::streamoff>(size - 10));
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(size - 10));
+    f.write(&b, 1);
+  }
+  auto store = LogStore::Open(dir_, SmallSegments());
+  EXPECT_TRUE(store->RecoveredTornTail());
+  EXPECT_EQ(store->LastSeq(), 19u);
+}
+
+TEST_F(StoreFixture, AppendRejectsSequenceGaps) {
+  auto store = LogStore::Open(dir_, "bob", SmallSegments());
+  TamperEvidentLog log("bob");
+  Fill(log, 3);
+  EXPECT_THROW(store->Append(log.At(2)), StoreError);
+  store->Append(log.At(1));
+  EXPECT_THROW(store->Append(log.At(3)), StoreError);
+  store->Append(log.At(2));
+  EXPECT_EQ(store->LastSeq(), 2u);
+}
+
+// --- end-to-end: store-backed audits vs. the in-memory path -------------
+
+KvScenarioConfig FastKv(uint64_t seed) {
+  KvScenarioConfig cfg;
+  cfg.run = RunConfig::AvmmNoSig();
+  cfg.seed = seed;
+  cfg.snapshot_interval = 200 * kMicrosPerMilli;
+  cfg.client.op_period_us = 5 * kMicrosPerMilli;
+  return cfg;
+}
+
+TEST_F(StoreFixture, StoreBackedFullAuditMatchesInMemory) {
+  KvScenario kv(FastKv(21));
+  kv.Start();
+  LogStoreOptions opts = SmallSegments();
+  opts.seal_threshold_bytes = 64 * 1024;
+  auto store = LogStore::Open(dir_, kv.server().id(), opts);
+  kv.server().SpillTo(store.get());
+  kv.RunFor(2 * kMicrosPerSecond);
+  kv.Finish();
+
+  std::vector<Authenticator> auths = kv.CollectAuthsForServer();
+  Auditor auditor("client", &kv.registry());
+  AuditOutcome mem = auditor.AuditFull(kv.server(), kv.reference_server_image(), auths);
+  AuditOutcome disk =
+      auditor.AuditFull(kv.server(), *store, kv.reference_server_image(), auths);
+  EXPECT_TRUE(mem.ok) << mem.Describe();
+  EXPECT_EQ(mem.ok, disk.ok);
+  EXPECT_EQ(mem.Describe(), disk.Describe());
+  EXPECT_EQ(mem.log_bytes, disk.log_bytes);
+
+  // The streaming syntactic triage agrees without materializing the log.
+  CheckResult stream = StreamingSyntacticCheck(*store, auths, kv.registry(), auditor.config());
+  EXPECT_TRUE(stream.ok) << stream.reason;
+}
+
+TEST_F(StoreFixture, StoreBackedSpotChecksMatchInMemoryIncludingCheatVerdicts) {
+  KvScenario kv(FastKv(22));
+  kv.Start();
+  auto store = LogStore::Open(dir_, kv.server().id(), SmallSegments());
+  kv.server().SpillTo(store.get());
+  // Corrupt the server state mid-run; exactly one window must fail,
+  // identically on both paths.
+  kv.server().SetCheatHook([](Machine& m, SimTime now) {
+    if (now == 700 * kMicrosPerMilli) {
+      m.WriteMem32(kKvTableAddr + 32, 0xdead);
+    }
+  });
+  kv.RunFor(2 * kMicrosPerSecond);
+  kv.Finish();
+
+  std::vector<SnapshotIndexEntry> snaps = IndexSnapshots(kv.server().log());
+  std::vector<SnapshotIndexEntry> snaps_disk = IndexSnapshots(*store);
+  ASSERT_GE(snaps.size(), 4u);
+  ASSERT_EQ(snaps.size(), snaps_disk.size());
+  for (size_t i = 0; i < snaps.size(); i++) {
+    EXPECT_EQ(snaps[i].seq, snaps_disk[i].seq);
+    EXPECT_EQ(snaps[i].meta.snapshot_id, snaps_disk[i].meta.snapshot_id);
+  }
+
+  std::vector<Authenticator> auths = kv.CollectAuthsForServer();
+  std::vector<std::pair<uint64_t, uint64_t>> windows;
+  for (size_t i = 0; i + 1 < snaps.size(); i++) {
+    windows.emplace_back(snaps[i].meta.snapshot_id, snaps[i + 1].meta.snapshot_id);
+  }
+  Auditor auditor("client", &kv.registry());
+  std::vector<AuditOutcome> mem = auditor.SpotCheckMany(kv.server(), windows, auths);
+  std::vector<AuditOutcome> disk = auditor.SpotCheckMany(kv.server(), *store, windows, auths);
+  ASSERT_EQ(mem.size(), disk.size());
+  int failures = 0;
+  for (size_t i = 0; i < mem.size(); i++) {
+    EXPECT_EQ(mem[i].ok, disk[i].ok) << "window " << i;
+    EXPECT_EQ(mem[i].Describe(), disk[i].Describe()) << "window " << i;
+    failures += mem[i].ok ? 0 : 1;
+  }
+  EXPECT_EQ(failures, 1);
+}
+
+TEST_F(StoreFixture, FreshProcessStyleAuditFromDiskOnly) {
+  KvScenario kv(FastKv(23));
+  kv.Start();
+  {
+    auto store = LogStore::Open(dir_, kv.server().id(), SmallSegments());
+    kv.server().SpillTo(store.get());
+    kv.RunFor(kMicrosPerSecond);
+    kv.Finish();
+    kv.server().log().SetSink(nullptr);
+    store->Seal();
+  }
+  // A fresh auditor opens the directory cold, as a separate process
+  // would, and audits without ever touching the in-memory log.
+  auto store = LogStore::Open(dir_, SmallSegments());
+  EXPECT_EQ(store->LastSeq(), kv.server().log().LastSeq());
+  std::vector<Authenticator> auths = kv.CollectAuthsForServer();
+  Auditor auditor("client", &kv.registry());
+  AuditOutcome mem = auditor.AuditFull(kv.server(), kv.reference_server_image(), auths);
+  AuditOutcome disk = auditor.AuditFull(kv.server(), *store, kv.reference_server_image(), auths);
+  EXPECT_TRUE(disk.ok) << disk.Describe();
+  EXPECT_EQ(mem.Describe(), disk.Describe());
+}
+
+TEST_F(StoreFixture, TamperedSealedSegmentFailsCleanly) {
+  TamperEvidentLog log("bob");
+  Prng rng(5);
+  Signer signer("bob", SignatureScheme::kRsa768, rng);
+  KeyRegistry registry;
+  registry.RegisterSigner(signer);
+  auto store = LogStore::Open(dir_, "bob", SmallSegments());
+  log.SetSink(store.get());
+  // kInfo only: opaque content, so the syntactic check exercises just
+  // the chain/authenticator/store layers this test is about.
+  for (int i = 0; i < 100; i++) {
+    log.Append(EntryType::kInfo, ToBytes("note-" + std::to_string(i) + std::string(48, 'x')));
+  }
+  store->Seal();
+  std::vector<Authenticator> auths = {log.Authenticate(signer)};
+
+  AuditConfig cfg;
+  ASSERT_TRUE(StreamingSyntacticCheck(*store, auths, registry, cfg).ok);
+
+  // Flip one byte in the middle of a sealed segment's body.
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_)) {
+    if (de.path().extension() == ".seal") {
+      std::fstream f(de.path(), std::ios::binary | std::ios::in | std::ios::out);
+      char b;
+      f.seekg(200);
+      f.read(&b, 1);
+      b = static_cast<char>(b ^ 0x55);
+      f.seekp(200);
+      f.write(&b, 1);
+      break;
+    }
+  }
+  // The store layer reports corruption as a failed check, not a crash.
+  auto fresh = LogStore::Open(dir_, SmallSegments());
+  CheckResult r = StreamingSyntacticCheck(*fresh, auths, registry, cfg);
+  EXPECT_FALSE(r.ok);
+  // Direct extraction surfaces the same corruption as a clean error.
+  EXPECT_THROW((void)fresh->Extract(1, 100), StoreError);
+}
+
+}  // namespace
+}  // namespace avm

@@ -38,6 +38,49 @@ TEST_F(TelFixture, AppendAssignsConsecutiveSeqs) {
   EXPECT_THROW(log.At(6), std::out_of_range);
 }
 
+TEST_F(TelFixture, AtOutOfRangeReportsSeqAndBounds) {
+  Fill(3);
+  // Regression: out-of-range access must fail with a message naming the
+  // bad seq and the valid range, never silently index past the vector.
+  try {
+    log.At(7);
+    FAIL() << "At(7) did not throw";
+  } catch (const std::out_of_range& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("7"), std::string::npos) << what;
+    EXPECT_NE(what.find("[1, 3]"), std::string::npos) << what;
+  }
+  EXPECT_THROW(log.At(UINT64_MAX), std::out_of_range);
+  TamperEvidentLog empty("eve");
+  EXPECT_THROW(empty.At(1), std::out_of_range);
+}
+
+TEST_F(TelFixture, SinkTeesAppendsAndBackfills) {
+  struct CollectingSink : LogSink {
+    std::vector<LogEntry> got;
+    bool flushed = false;
+    void Append(const LogEntry& e) override { got.push_back(e); }
+    void Flush() override { flushed = true; }
+    uint64_t SinkLastSeq() const override { return got.empty() ? 0 : got.back().seq; }
+  };
+  Fill(3);
+  CollectingSink sink;
+  log.SetSink(&sink);  // Backfills the three existing entries.
+  Fill(2);
+  ASSERT_EQ(sink.got.size(), 5u);
+  for (uint64_t s = 1; s <= 5; s++) {
+    EXPECT_EQ(sink.got[s - 1].seq, s);
+    EXPECT_EQ(sink.got[s - 1].hash, log.At(s).hash);
+  }
+  // Re-attaching backfills only what the sink does not already hold.
+  log.SetSink(nullptr);
+  Fill(1);
+  log.SetSink(&sink);
+  EXPECT_EQ(sink.got.size(), 6u);
+  log.FlushSink();
+  EXPECT_TRUE(sink.flushed);
+}
+
 TEST_F(TelFixture, HashChainLinksEntries) {
   Fill(3);
   Hash256 h1 = ChainHash(Hash256::Zero(), 1, log.At(1).type, log.At(1).content);
