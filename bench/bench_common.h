@@ -15,6 +15,53 @@
 
 namespace avm {
 
+// Machine-readable results: BENCH_<name>.json in the working directory,
+// one {metric, value, unit} row per Add() call, so the perf trajectory
+// can be tracked PR-over-PR without scraping the human-readable tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { Write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void Add(const std::string& metric, double value, const std::string& unit) {
+    rows_.push_back({metric, value, unit});
+  }
+
+  void Write() {
+    if (written_ || rows_.empty()) {
+      return;
+    }
+    written_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"results\":[", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); i++) {
+      std::fprintf(f, "%s{\"metric\":\"%s\",\"value\":%.6g,\"unit\":\"%s\"}",
+                   i == 0 ? "" : ",", rows_[i].metric.c_str(), rows_[i].value,
+                   rows_[i].unit.c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("  wrote %s (%zu metrics)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
+
 // The paper's five evaluation configurations (Figure 5/6/7's x-axis).
 inline std::vector<RunConfig> PaperConfigs() {
   return {RunConfig::BareHw(), RunConfig::VmNoRec(), RunConfig::VmRec(), RunConfig::AvmmNoSig(),

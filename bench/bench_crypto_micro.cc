@@ -6,10 +6,12 @@
 // snapshot cost of the Merkle tree.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "src/compress/lzss.h"
 #include "src/crypto/keys.h"
 #include "src/crypto/merkle.h"
 #include "src/crypto/rsa.h"
+#include "src/tel/batch.h"
 #include "src/tel/log.h"
 #include "src/util/prng.h"
 
@@ -84,6 +86,73 @@ void BM_StateRootHash(benchmark::State& state) {
 }
 BENCHMARK(BM_StateRootHash);
 
+void BM_RsaSignUncachedMontgomery(benchmark::State& state) {
+  // The pre-optimization path: rebuild the Montgomery context inside
+  // every ModExp. Compare against BM_RsaSign (cached contexts).
+  Prng rng(31);
+  RsaKeypair kp = RsaKeypair::Generate(rng, static_cast<size_t>(state.range(0)));
+  kp.priv.mont_p.reset();
+  kp.priv.mont_q.reset();
+  Bytes msg = rng.RandomBytes(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaSign(kp.priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSignUncachedMontgomery)->Arg(768)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_MontgomeryCtxBuild(benchmark::State& state) {
+  // What the per-key cache saves on every exponentiation: one context
+  // construction (a long division for R^2 mod m).
+  Prng rng(32);
+  RsaKeypair kp = RsaKeypair::Generate(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Montgomery ctx(kp.pub.n);
+    benchmark::DoNotOptimize(&ctx);
+  }
+}
+BENCHMARK(BM_MontgomeryCtxBuild)->Arg(768)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+// Per-entry cost of committing a k-entry window with one signature:
+// k-1 chain appends plus one RSA sign, amortized. The record/send hot
+// path in batched mode pays exactly this.
+void BM_SignBatchAmortized(benchmark::State& state) {
+  Prng rng(33);
+  Signer signer("bench", SignatureScheme::kRsa768, rng);
+  Bytes content = rng.RandomBytes(48);
+  TamperEvidentLog log("bench");
+  uint64_t k = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < k; i++) {
+      log.Append(EntryType::kTraceTime, content);
+    }
+    benchmark::DoNotOptimize(log.Authenticate(signer));
+  }
+  // Per-entry cost = 1 / items_per_second; BENCH_crypto_micro.json
+  // reports it directly in microseconds.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SignBatchAmortized)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchVerifyAmortized(benchmark::State& state) {
+  // The receiver/auditor side: walk k links + one RSA verify.
+  Prng rng(34);
+  Signer signer("bench", SignatureScheme::kRsa768, rng);
+  KeyRegistry registry;
+  registry.RegisterSigner(signer);
+  Bytes content = rng.RandomBytes(48);
+  TamperEvidentLog log("bench");
+  uint64_t k = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < k; i++) {
+    log.Append(EntryType::kTraceTime, content);
+  }
+  BatchAuthenticator batch = BatchAuthenticator::FromLog(log, signer, 1, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch.Verify(registry).ok);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_BatchVerifyAmortized)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
 void BM_LzssCompress(benchmark::State& state) {
   // Log-like input: repetitive structure with varying values.
   Bytes data;
@@ -101,7 +170,67 @@ void BM_LzssCompress(benchmark::State& state) {
 }
 BENCHMARK(BM_LzssCompress);
 
+// Hand-timed counterparts of the headline numbers, emitted as
+// BENCH_crypto_micro.json so the perf trajectory is tracked PR-over-PR
+// without parsing google-benchmark's output.
+void EmitJson() {
+  BenchJson json("crypto_micro");
+  Prng rng(41);
+  Signer signer("bench", SignatureScheme::kRsa768, rng);
+  KeyRegistry registry;
+  registry.RegisterSigner(signer);
+  Bytes content = rng.RandomBytes(48);
+
+  {
+    // One RSA-768 sign, cached Montgomery contexts.
+    Bytes msg = rng.RandomBytes(64);
+    constexpr int kIters = 50;
+    Bytes sig = signer.Sign(msg);  // Warm.
+    WallTimer t;
+    for (int i = 0; i < kIters; i++) {
+      sig = signer.Sign(msg);
+    }
+    json.Add("rsa768_sign", t.ElapsedSeconds() * 1e6 / kIters, "us");
+  }
+  for (uint64_t k : {1u, 8u, 32u}) {
+    TamperEvidentLog log("bench");
+    constexpr int kWindows = 20;
+    WallTimer t;
+    for (int w = 0; w < kWindows; w++) {
+      for (uint64_t i = 0; i < k; i++) {
+        log.Append(EntryType::kTraceTime, content);
+      }
+      Authenticator a = log.Authenticate(signer);
+      (void)a;
+    }
+    json.Add("sign_batch_k" + std::to_string(k) + "_per_entry",
+             t.ElapsedSeconds() * 1e6 / (kWindows * static_cast<double>(k)), "us");
+  }
+  {
+    // The cost the per-key cache removes from every ModExp.
+    Prng r2(42);
+    RsaKeypair kp = RsaKeypair::Generate(r2, 768);
+    constexpr int kIters = 200;
+    WallTimer t;
+    for (int i = 0; i < kIters; i++) {
+      Montgomery ctx(kp.pub.n);
+      (void)ctx;
+    }
+    json.Add("montgomery_ctx_build_768", t.ElapsedSeconds() * 1e6 / kIters, "us");
+  }
+  json.Write();
+}
+
 }  // namespace
 }  // namespace avm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  avm::EmitJson();
+  return 0;
+}

@@ -1,12 +1,16 @@
 #include "src/audit/auditor.h"
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "src/avmm/attested_input.h"
 #include "src/avmm/message.h"
+#include "src/tel/batch.h"
 #include "src/util/serde.h"
 #include "src/vm/trace.h"
 
@@ -76,6 +80,12 @@ SigVerdicts PrecomputeSignatureChecks(const LogSegment& segment, const KeyRegist
         break;
     }
   }
+  // Signature-less entries (batched/async sign modes) are resolved
+  // against PeerCommitRecords by the sequential scan, not by an RSA
+  // check here; leave their verdicts at -1.
+  std::erase_if(jobs, [](const SigJob& job) {
+    return job.is_ack ? job.ack_auth.signature.empty() : job.sig.empty();
+  });
   pool.ParallelFor(jobs.size(), [&](size_t k) {
     const SigJob& job = jobs[k];
     bool ok = job.is_ack ? job.ack_auth.VerifySignature(registry)
@@ -93,6 +103,18 @@ SigVerdicts PrecomputeSignatureChecks(const LogSegment& segment, const KeyRegist
 // order; `sig_verdict` is a precomputed RSA result (-1 = verify inline),
 // so the batch path with a pool and every streaming path produce
 // identical verdicts at identical seqs.
+//
+// Batched/async sign modes elide per-message signatures: SEND/RECV
+// entries carry an empty payload signature and ACK entries an unsigned
+// authenticator. A signature-less SEND needs no extra check (the
+// chain + the node's own authenticators already commit it); a
+// signature-less RECV or ACK is held *pending* until a PeerCommitRecord
+// (logged by the transport when the peer's windowed commitment
+// verified) proves the peer's signed chain contains the matching
+// SEND(m) / RECV(m). Finalize() fails any entry still unproven at the
+// end of a strict scan. Sync-mode logs contain no empty signatures
+// under a real scheme and no PeerCommitRecords, so their verdicts are
+// bit-for-bit unchanged.
 class MessageCheckState {
  public:
   MessageCheckState(NodeId node, const KeyRegistry& registry, const AuditConfig& cfg)
@@ -112,7 +134,11 @@ class MessageCheckState {
         if (msg.src != node_) {
           return CheckResult::Fail("SEND entry with foreign source", e.seq);
         }
-        if (!sig_ok([&] { return registry_.Verify(msg.src, msg.Serialize(), sig); })) {
+        if (sig.empty() && registry_.RequiresSignature(msg.src)) {
+          // Batched mode: our own SEND needs no per-message signature —
+          // the hash chain plus this node's windowed authenticators
+          // commit it, and that is what the segment was verified against.
+        } else if (!sig_ok([&] { return registry_.Verify(msg.src, msg.Serialize(), sig); })) {
           return CheckResult::Fail("SEND payload signature invalid", e.seq);
         }
         // Cross-reference: the sent payload must be derived from the most
@@ -134,7 +160,16 @@ class MessageCheckState {
         if (msg.dst != node_) {
           return CheckResult::Fail("RECV entry with foreign destination", e.seq);
         }
-        if (!sig_ok([&] { return registry_.Verify(msg.src, msg.Serialize(), sig); })) {
+        if (sig.empty() && registry_.RequiresSignature(msg.src)) {
+          // Batched mode: authenticity comes from the sender's signed
+          // chain containing SEND with this very content (sender and
+          // receiver log identical content bytes).
+          Hash256 ch = Sha256::Digest(e.content);
+          PeerProof& proof = peer_proofs_[msg.src];
+          if (proof.send_contents.count(ch) == 0) {
+            pending_recvs_.push_back({e.seq, msg.src, ch});
+          }
+        } else if (!sig_ok([&] { return registry_.Verify(msg.src, msg.Serialize(), sig); })) {
           return CheckResult::Fail("RECV payload signature invalid", e.seq);
         }
         recv_queue_.push_back(msg.payload);
@@ -154,7 +189,18 @@ class MessageCheckState {
             sent_ids_.find({ack.acker, ack.msg_id}) == sent_ids_.end()) {
           return CheckResult::Fail("ACK for a message never sent", e.seq);
         }
-        if (!sig_ok([&] { return ack.auth.VerifySignature(registry_); })) {
+        if (ack.auth.signature.empty() && registry_.RequiresSignature(ack.auth.node)) {
+          // Batched mode: the acker's windowed commitment must cover
+          // (seq, hash) of its RECV entry.
+          if (ack.auth.node != ack.acker) {
+            return CheckResult::Fail("ACK authenticator names a third party", e.seq);
+          }
+          PeerProof& proof = peer_proofs_[ack.auth.node];
+          auto it = proof.chain.find(ack.auth.seq);
+          if (it == proof.chain.end() || it->second != ack.auth.hash) {
+            pending_acks_.push_back({e.seq, ack.auth});
+          }
+        } else if (!sig_ok([&] { return ack.auth.VerifySignature(registry_); })) {
           return CheckResult::Fail("ACK carries an invalid authenticator", e.seq);
         }
         break;
@@ -201,12 +247,116 @@ class MessageCheckState {
         break;
       }
       case EntryType::kInfo:
+        if (PeerCommitRecord::IsPeerCommit(e.content)) {
+          return FeedPeerCommit(e);
+        }
         break;
     }
     return CheckResult::Ok();
   }
 
+  // Strict scans must end with nothing pending: an unproven entry means
+  // the log accepted a message no signed commitment ever covered.
+  CheckResult Finalize() const {
+    if (!cfg_.strict_message_crossref) {
+      // Spot-check windows can end mid-window; the commitment proving
+      // their tail lives outside the segment, so pending entries are
+      // tolerated here. The audit cannot know the log's sign mode, so
+      // this leniency extends to signature-less entries a sync-mode
+      // cheater might plant -- consistent with the window's other
+      // relaxations (ack pairing, mid-queue crossref), spot checks
+      // trade that coverage for cost; the strict full audit is the
+      // authoritative verdict and fails any unproven entry.
+      return CheckResult::Ok();
+    }
+    uint64_t first_bad = UINT64_MAX;
+    for (const PendingRecv& p : pending_recvs_) {
+      first_bad = std::min(first_bad, p.seq);
+    }
+    for (const PendingAck& p : pending_acks_) {
+      first_bad = std::min(first_bad, p.seq);
+    }
+    if (first_bad != UINT64_MAX) {
+      return CheckResult::Fail("entry not covered by the peer's signed batch commitment",
+                               first_bad);
+    }
+    return CheckResult::Ok();
+  }
+
  private:
+  // What a peer's verified batch commitments have proven so far.
+  struct PeerProof {
+    bool seen = false;
+    uint64_t commit_seq = 0;  // Chain position of the last commitment.
+    Hash256 commit_hash;
+    std::set<Hash256> send_contents;     // H(content) of proven SEND links.
+    std::map<uint64_t, Hash256> chain;   // Proven seq -> chain hash.
+  };
+  struct PendingRecv {
+    uint64_t seq;
+    NodeId src;
+    Hash256 content_hash;
+  };
+  struct PendingAck {
+    uint64_t seq;
+    Authenticator auth;
+  };
+
+  CheckResult FeedPeerCommit(const LogEntry& e) {
+    PeerCommitRecord rec;
+    try {
+      rec = PeerCommitRecord::Deserialize(e.content);
+    } catch (const SerdeError&) {
+      return CheckResult::Fail("malformed peer-commit entry", e.seq);
+    }
+    if (rec.batch.commit.node != rec.peer) {
+      return CheckResult::Fail("peer-commit names the wrong node", e.seq);
+    }
+    PeerProof& proof = peer_proofs_[rec.peer];
+    if (proof.seen) {
+      // Each record extends the previous one: the walk start must be the
+      // last commitment, so the proofs form one connected chain.
+      if (rec.batch.prior_seq != proof.commit_seq ||
+          rec.batch.prior_hash != proof.commit_hash) {
+        return CheckResult::Fail("peer-commit does not extend the previous commitment", e.seq);
+      }
+    } else if (cfg_.strict_message_crossref &&
+               (rec.batch.prior_seq != 0 || !rec.batch.prior_hash.IsZero())) {
+      // A full log's first proof for a peer must anchor at the peer's
+      // log head; spot-check windows may start mid-history.
+      return CheckResult::Fail("peer-commit does not anchor at the peer's log head", e.seq);
+    }
+    CheckResult ok = rec.batch.Verify(registry_);  // Walk + one RSA check.
+    if (!ok.ok) {
+      return CheckResult::Fail("peer-commit invalid: " + ok.reason, e.seq);
+    }
+    Hash256 h = rec.batch.prior_hash;
+    for (const ChainLink& l : rec.batch.links) {
+      h = ApplyChainLink(h, l);
+      proof.chain[l.seq] = h;
+      if (l.type == EntryType::kSend) {
+        proof.send_contents.insert(l.content_hash);
+      }
+    }
+    proof.seen = true;
+    proof.commit_seq = rec.batch.commit.seq;
+    proof.commit_hash = rec.batch.commit.hash;
+
+    // Resolve anything this window proves (proof may arrive before or
+    // after the entry it covers; both orders are legitimate).
+    std::erase_if(pending_recvs_, [&](const PendingRecv& p) {
+      return p.src == rec.peer && proof.send_contents.count(p.content_hash) > 0;
+    });
+    std::erase_if(pending_acks_, [&](const PendingAck& p) {
+      if (p.auth.node != rec.peer) {
+        return false;
+      }
+      auto it = proof.chain.find(p.auth.seq);
+      return it != proof.chain.end() && it->second == p.auth.hash;
+    });
+    return CheckResult::Ok();
+  }
+
   NodeId node_;
   const KeyRegistry& registry_;
   AuditConfig cfg_;
@@ -217,6 +367,10 @@ class MessageCheckState {
   bool have_tx_ = false;
   // msg_ids this node has sent (for ack pairing).
   std::map<std::pair<NodeId, uint64_t>, bool> sent_ids_;
+  // Batched-mode bookkeeping.
+  std::map<NodeId, PeerProof> peer_proofs_;
+  std::vector<PendingRecv> pending_recvs_;
+  std::vector<PendingAck> pending_acks_;
 };
 
 CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& registry,
@@ -233,7 +387,7 @@ CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& 
       return r;
     }
   }
-  return CheckResult::Ok();
+  return state.Finalize();
 }
 
 CheckResult StreamingSyntacticCheck(const SegmentSource& source,
@@ -293,6 +447,9 @@ CheckResult StreamingSyntacticCheck(const SegmentSource& source,
     // Store-layer corruption (CRC mismatch, truncated segment, ...): the
     // log cannot be verified past this point.
     return CheckResult::Fail(std::string("log store unreadable: ") + err.what(), expect_seq);
+  }
+  if (result.ok) {
+    result = state.Finalize();
   }
   return result;
 }

@@ -2,6 +2,18 @@
 
 namespace avm {
 
+const char* SignModeName(SignMode m) {
+  switch (m) {
+    case SignMode::kSync:
+      return "sync";
+    case SignMode::kBatched:
+      return "batched";
+    case SignMode::kAsync:
+      return "async";
+  }
+  return "?";
+}
+
 const char* RunConfig::Name() const {
   switch (mode) {
     case Mode::kBareHw:
@@ -13,10 +25,34 @@ const char* RunConfig::Name() const {
     case Mode::kAvmm:
       switch (scheme) {
         case SignatureScheme::kNone:
+          switch (sign_mode) {
+            case SignMode::kSync:
+              return "avmm-nosig";
+            case SignMode::kBatched:
+              return "avmm-nosig-batched";
+            case SignMode::kAsync:
+              return "avmm-nosig-async";
+          }
           return "avmm-nosig";
         case SignatureScheme::kRsa768:
+          switch (sign_mode) {
+            case SignMode::kSync:
+              return "avmm-rsa768";
+            case SignMode::kBatched:
+              return "avmm-rsa768-batched";
+            case SignMode::kAsync:
+              return "avmm-rsa768-async";
+          }
           return "avmm-rsa768";
         case SignatureScheme::kRsa2048:
+          switch (sign_mode) {
+            case SignMode::kSync:
+              return "avmm-rsa2048";
+            case SignMode::kBatched:
+              return "avmm-rsa2048-batched";
+            case SignMode::kAsync:
+              return "avmm-rsa2048-async";
+          }
           return "avmm-rsa2048";
       }
   }
@@ -62,6 +98,20 @@ RunConfig RunConfig::AvmmRsa2048() {
   RunConfig c;
   c.mode = Mode::kAvmm;
   c.scheme = SignatureScheme::kRsa2048;
+  return c;
+}
+
+RunConfig RunConfig::AvmmRsa768Batched(uint32_t batch_entries) {
+  RunConfig c = AvmmRsa768();
+  c.sign_mode = SignMode::kBatched;
+  c.sign_batch_entries = batch_entries;
+  return c;
+}
+
+RunConfig RunConfig::AvmmRsa768Async(uint32_t batch_entries) {
+  RunConfig c = AvmmRsa768();
+  c.sign_mode = SignMode::kAsync;
+  c.sign_batch_entries = batch_entries;
   return c;
 }
 

@@ -12,6 +12,19 @@
 
 namespace avm {
 
+// How authenticator signatures are produced on the record/send hot path
+// (§6.8: the RSA signature is the single largest step in the latency
+// stack, so making it rare or asynchronous is the lever).
+enum class SignMode : uint8_t {
+  kSync,     // One signature per message, inline: the paper's protocol.
+  kBatched,  // One signature per k-entry window, signed inline when the
+             // window closes; frames carry the chain links instead.
+  kAsync,    // Like kBatched, but the RSA work runs on a dedicated
+             // signer thread with a bounded queue; Flush() is the barrier.
+};
+
+const char* SignModeName(SignMode m);
+
 struct RunConfig {
   enum class Mode {
     kBareHw,   // Guest runs on the raw interpreter; plain network frames.
@@ -22,6 +35,15 @@ struct RunConfig {
 
   Mode mode = Mode::kAvmm;
   SignatureScheme scheme = SignatureScheme::kRsa768;
+
+  // Signature pipeline. kSync reproduces the paper's per-message
+  // protocol bit-for-bit and is the default everywhere.
+  SignMode sign_mode = SignMode::kSync;
+  // Batch window: one signature commits up to this many log entries
+  // (batched/async modes). Crashing mid-window can leave at most this
+  // many entries uncommitted -- the same exposure as the paper's
+  // unacknowledged suffix.
+  uint32_t sign_batch_entries = 8;
 
   // §6.5's clock-read optimization: consecutive clock reads within 5 µs
   // are delayed exponentially (50 µs * 2^(n-2), capped at 5 ms).
@@ -51,6 +73,9 @@ struct RunConfig {
 
   bool RecordsTrace() const { return mode == Mode::kVmRec || mode == Mode::kAvmm; }
   bool TamperEvident() const { return mode == Mode::kAvmm; }
+  // Batched or async signing: frames carry chain links + windowed
+  // commitments instead of per-message authenticator signatures.
+  bool BatchedSigning() const { return TamperEvident() && sign_mode != SignMode::kSync; }
   const char* Name() const;
 
   static RunConfig BareHw();
@@ -59,6 +84,8 @@ struct RunConfig {
   static RunConfig AvmmNoSig();
   static RunConfig AvmmRsa768();
   static RunConfig AvmmRsa2048();
+  static RunConfig AvmmRsa768Batched(uint32_t batch_entries = 8);
+  static RunConfig AvmmRsa768Async(uint32_t batch_entries = 8);
 };
 
 }  // namespace avm

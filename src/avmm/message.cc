@@ -1,5 +1,7 @@
 #include "src/avmm/message.h"
 
+#include <algorithm>
+
 #include "src/util/serde.h"
 
 namespace avm {
@@ -75,6 +77,72 @@ AckFrame AckFrame::Deserialize(ByteView data) {
   return f;
 }
 
+Bytes ChainTail::Serialize() const {
+  Writer w;
+  w.U64(from_seq);
+  w.Raw(prior_hash.view());
+  WriteChainLinks(w, links);
+  w.Blob(commit.Serialize());
+  return w.Take();
+}
+
+ChainTail ChainTail::Deserialize(ByteView data) {
+  Reader r(data);
+  ChainTail t;
+  t.from_seq = r.U64();
+  t.prior_hash = Hash256::FromBytes(r.Raw(32));
+  t.links = ReadChainLinks(r);
+  t.commit = Authenticator::Deserialize(r.Blob());
+  r.ExpectEnd();
+  return t;
+}
+
+Bytes BatchDataFrame::Serialize() const {
+  Writer w;
+  w.Blob(msg.Serialize());
+  w.Blob(tail.Serialize());
+  return w.Take();
+}
+
+BatchDataFrame BatchDataFrame::Deserialize(ByteView data) {
+  Reader r(data);
+  BatchDataFrame f;
+  f.msg = MessageRecord::Deserialize(r.Blob());
+  f.tail = ChainTail::Deserialize(r.Blob());
+  r.ExpectEnd();
+  return f;
+}
+
+Bytes BatchAckFrame::Serialize() const {
+  Writer w;
+  w.Blob(ack.Serialize());
+  w.Blob(tail.Serialize());
+  return w.Take();
+}
+
+BatchAckFrame BatchAckFrame::Deserialize(ByteView data) {
+  Reader r(data);
+  BatchAckFrame f;
+  f.ack = AckFrame::Deserialize(r.Blob());
+  f.tail = ChainTail::Deserialize(r.Blob());
+  r.ExpectEnd();
+  return f;
+}
+
+Bytes CommitFrame::Serialize() const {
+  Writer w;
+  w.Blob(tail.Serialize());
+  return w.Take();
+}
+
+CommitFrame CommitFrame::Deserialize(ByteView data) {
+  Reader r(data);
+  CommitFrame f;
+  f.tail = ChainTail::Deserialize(r.Blob());
+  r.ExpectEnd();
+  return f;
+}
+
 Bytes ChallengeFrame::Serialize() const {
   Writer w;
   w.Str(issuer);
@@ -122,7 +190,7 @@ Bytes WrapFrame(FrameType type, ByteView body) {
 }
 
 FrameType PeekFrameType(ByteView frame) {
-  if (frame.empty() || frame[0] < 1 || frame[0] > 5) {
+  if (frame.empty() || frame[0] < 1 || frame[0] > 8) {
     throw SerdeError("bad frame type");
   }
   return static_cast<FrameType>(frame[0]);

@@ -11,9 +11,11 @@
 #define SRC_AVMM_MESSAGE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/crypto/keys.h"
 #include "src/crypto/sha256.h"
+#include "src/tel/batch.h"
 #include "src/tel/log.h"
 #include "src/util/bytes.h"
 
@@ -43,6 +45,11 @@ enum class FrameType : uint8_t {
   kPlainData = 3,  // bare-hw / vm-norec / vm-rec: payload only, no accountability.
   kChallenge = 4,          // §4.6: "respond or be suspected by everyone".
   kChallengeResponse = 5,
+  // Batched/async sign modes: frames carry the sender's chain links and
+  // its latest windowed commitment instead of per-message signatures.
+  kBatchData = 6,
+  kBatchAck = 7,
+  kCommit = 8,  // Standalone commitment delivery (window close / flush).
 };
 
 struct DataFrame {
@@ -65,6 +72,54 @@ struct AckFrame {
 
   Bytes Serialize() const;
   static AckFrame Deserialize(ByteView data);
+};
+
+// An incremental view of the sender's hash chain, shipped on every
+// batched-mode frame: the links extend the receiver's stored view of
+// the sender's chain from from_seq, and `commit` is the sender's latest
+// signed windowed commitment (seq == 0 until the first window closes).
+// The receiver derives h_i for every announced entry and holds them
+// pending until a signed commitment covers them; a sender that later
+// commits to a different chain is caught at the junction.
+struct ChainTail {
+  uint64_t from_seq = 1;
+  Hash256 prior_hash;  // h_{from_seq-1}; Zero when from_seq == 1.
+  std::vector<ChainLink> links;
+  Authenticator commit;
+
+  Bytes Serialize() const;
+  static ChainTail Deserialize(ByteView data);
+};
+
+// kBatchData: the guest packet plus the sender's chain tail. The tail's
+// last link is the SEND(m) entry, so the receiver can recompute h_s
+// exactly as HandleData does from a per-message authenticator.
+struct BatchDataFrame {
+  MessageRecord msg;
+  ChainTail tail;
+
+  Bytes Serialize() const;
+  static BatchDataFrame Deserialize(ByteView data);
+};
+
+// kBatchAck: the usual ack record (its authenticator unsigned — the
+// receiver's windowed commitment covers it later) plus the acker's own
+// chain tail.
+struct BatchAckFrame {
+  AckFrame ack;
+  ChainTail tail;
+
+  Bytes Serialize() const;
+  static BatchAckFrame Deserialize(ByteView data);
+};
+
+// kCommit: chain tail delivery with no message attached (window close
+// on Flush/Tick when no traffic is flowing).
+struct CommitFrame {
+  ChainTail tail;
+
+  Bytes Serialize() const;
+  static CommitFrame Deserialize(ByteView data);
 };
 
 struct ChallengeFrame {

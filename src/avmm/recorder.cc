@@ -325,6 +325,10 @@ void Avmm::Finish(SimTime now) {
   if (cfg_.TamperEvident()) {
     TakeSnapshot(now);
     log_.Append(EntryType::kInfo, ToBytes("END"));
+    // Batched/async signing: seal the tail (barrier for the background
+    // signer) and push the final commitments to peers. The driver still
+    // has to deliver those frames (scenario Finish settles the network).
+    transport_->Flush(now);
   }
   log_.FlushSink();
 }

@@ -7,19 +7,38 @@
 // authenticator, and retransmitted by the sender until acknowledged.
 // In the non-accountable configurations (bare-hw / vm-norec / vm-rec) the
 // same class ships plain frames with no logging, signatures or acks.
+//
+// Sign modes (RunConfig::sign_mode): kSync is the per-message protocol
+// above, bit-for-bit. kBatched/kAsync amortize the RSA cost: frames
+// carry the sender's chain links plus its most recent *windowed*
+// commitment (one signature per k log entries, produced inline or on a
+// background signer thread); receivers track each peer's chain
+// incrementally, hold the derived per-entry hashes pending, and verify
+// one signature per window. Once a window commitment verifies, the
+// receiver logs a PeerCommitRecord so audits can re-establish that
+// every signature-less RECV/ACK entry was covered. The cost of the
+// deferral is bounded detection lag, not lost evidence: misbehavior
+// inside an open window is exposed at the next commitment (or by the
+// retransmit/suspect machinery if the peer never closes one), and a
+// crash loses at most the unsigned tail of one window -- the same
+// exposure as the paper's unacknowledged suffix. All nodes of a
+// scenario must run the same sign mode.
 #ifndef SRC_AVMM_TRANSPORT_H_
 #define SRC_AVMM_TRANSPORT_H_
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/avmm/async_signer.h"
 #include "src/avmm/config.h"
 #include "src/avmm/message.h"
 #include "src/net/network.h"
+#include "src/tel/batch.h"
 #include "src/tel/log.h"
 #include "src/tel/verifier.h"
 
@@ -43,6 +62,11 @@ class Transport : public NetworkDelegate {
     uint64_t duplicates = 0;
     uint64_t verify_failures = 0;
     uint64_t dropped_suspended = 0;
+    // Batched/async signing.
+    uint64_t batch_commits_signed = 0;    // Windows this node sealed.
+    uint64_t peer_commits_verified = 0;   // Peer windows verified (1 RSA each).
+    uint64_t frames_deferred = 0;         // Frames dropped on a chain gap
+                                          // (recovered by retransmission).
   };
 
   Transport(NodeId id, const RunConfig* cfg, TamperEvidentLog* log, const Signer* signer,
@@ -57,8 +81,17 @@ class Transport : public NetworkDelegate {
   // Sends one guest packet. Logs SEND + authenticator in accountable mode.
   void SendPacket(SimTime now, const NodeId& dst, Bytes payload);
 
-  // Retransmits unacknowledged messages past the timeout.
+  // Retransmits unacknowledged messages past the timeout. In
+  // batched/async modes also closes overdue signature windows and
+  // integrates finished background signatures.
   void Tick(SimTime now);
+
+  // Batched/async modes: seals the current window (for kAsync this is
+  // the barrier that waits for the signer thread to drain) and pushes a
+  // kCommit frame to every peer this transport has chain state with, so
+  // their pending entries can be verified. No-op in kSync mode. The
+  // caller still drives the network to deliver the frames.
+  void Flush(SimTime now);
 
   // NetworkDelegate.
   void OnFrame(SimTime now, const NodeId& src, ByteView frame) override;
@@ -102,6 +135,43 @@ class Transport : public NetworkDelegate {
   void HandleChallengeResponse(SimTime now, const NodeId& src, ByteView body);
   void Violation(const std::string& what);
 
+  // ----- batched/async signing -----
+  // Our incrementally tracked view of one peer's hash chain.
+  struct PeerChainView {
+    uint64_t tip_seq = 0;  // Highest seq we have derived a hash for.
+    Hash256 tip_hash;      // h_{tip_seq}.
+    // Highest seq covered by a verified signed commitment; everything
+    // at or below it has been logged as a PeerCommitRecord.
+    uint64_t verified_seq = 0;
+    Hash256 verified_hash;  // h_{verified_seq} (the walk start of the
+                            // next PeerCommitRecord we log).
+    // Derived-but-uncommitted state, pruned at each verified commit.
+    std::map<uint64_t, Hash256> hashes;
+    std::map<uint64_t, ChainLink> links;
+  };
+
+  void SendPacketBatched(SimTime now, const NodeId& dst, MessageRecord rec);
+  void HandleBatchData(SimTime now, const NodeId& src, ByteView body);
+  void HandleBatchAck(SimTime now, const NodeId& src, ByteView body);
+  void HandleCommit(SimTime now, const NodeId& src, ByteView body);
+  // Extends (and cross-checks) the stored view of src's chain with the
+  // tail, then processes its commitment (one RSA verify per new window,
+  // logging a PeerCommitRecord). Returns false when the frame cannot be
+  // processed (gap -> wait for retransmission, or a violation).
+  // On success *want_hash (if given) receives the derived h_{want_seq}.
+  bool ApplyChainTail(const NodeId& src, const ChainTail& tail, uint64_t want_seq = 0,
+                      Hash256* want_hash = nullptr);
+  // The links extending dst's view of our own chain up to the log tip.
+  // `advance` records the tip as known to dst (data/ack frames advance;
+  // kCommit frames do not, so a dropped commit never leaves a gap).
+  ChainTail BuildTailFor(const NodeId& dst, bool advance);
+  // Signs (or enqueues) a window commitment at the log tip when the
+  // open window has reached sign_batch_entries.
+  void MaybeCloseWindow();
+  void RequestCommit(uint64_t seq);
+  void IntegrateCommit(Authenticator a);
+  void PumpAsync();
+
   NodeId id_;
   const RunConfig* cfg_;
   TamperEvidentLog* log_;
@@ -120,6 +190,13 @@ class Transport : public NetworkDelegate {
   std::map<std::pair<NodeId, uint64_t>, Bytes> acks_sent_;
   std::set<NodeId> suspended_;
   std::set<NodeId> suspected_;
+
+  // Batched/async signing state.
+  std::map<NodeId, PeerChainView> peer_chains_;
+  std::map<NodeId, uint64_t> peer_known_seq_;  // Links already shipped per peer.
+  Authenticator latest_commit_;                // seq == 0 until the first window closes.
+  uint64_t last_commit_request_seq_ = 0;
+  std::unique_ptr<AsyncSignPipeline> sign_pipeline_;  // kAsync only.
 
   Stats stats_;
   std::vector<std::string> violations_;

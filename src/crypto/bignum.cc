@@ -352,158 +352,154 @@ Bignum Bignum::MulMod(const Bignum& a, const Bignum& b, const Bignum& m) {
   return Mod(Mul(a, b), m);
 }
 
-namespace {
+Montgomery::Montgomery(const Bignum& m) : modulus_(m), m_(m.limbs()), n_(m.limbs().size()) {
+  if (!m.IsOdd() || n_ < 2) {
+    throw std::invalid_argument("Montgomery: modulus must be odd and multi-limb");
+  }
+  // m' = -m^{-1} mod 2^32 via Newton iteration on 32-bit words.
+  uint32_t m0 = m_[0];
+  uint32_t inv = 1;
+  for (int i = 0; i < 5; i++) {
+    inv *= 2 - m0 * inv;
+  }
+  minv_ = ~inv + 1;  // -inv mod 2^32.
 
-// Montgomery arithmetic context for an odd modulus. Exponentiation via
-// REDC avoids one long division per modular multiplication, which is the
-// difference between RSA signing being a per-packet cost the AVMM can
-// afford and one it cannot (§6.8).
-class Montgomery {
- public:
-  explicit Montgomery(const Bignum& m) : m_(m.limbs()), n_(m.limbs().size()) {
-    // m' = -m^{-1} mod 2^32 via Newton iteration on 32-bit words.
-    uint32_t m0 = m_[0];
-    uint32_t inv = 1;
-    for (int i = 0; i < 5; i++) {
-      inv *= 2 - m0 * inv;
+  // r2 = (2^(32n))^2 mod m, computed with one long division.
+  Bignum r2 = Bignum::Mod(Bignum::Shl(Bignum(1), 64 * n_), m);
+  r2_ = ToResidue(r2);
+  // Montgomery form of 1 is R mod m: REDC(1 * R^2).
+  one_ = Mul(ToResidue(Bignum(1)), r2_);
+}
+
+Montgomery::Residue Montgomery::ToResidue(const Bignum& a) const {
+  Residue out(n_, 0);
+  const auto& limbs = a.limbs();
+  for (size_t i = 0; i < limbs.size() && i < n_; i++) {
+    out[i] = limbs[i];
+  }
+  return out;
+}
+
+Montgomery::Residue Montgomery::Enter(const Residue& a) const { return Mul(a, r2_); }
+
+Bignum Montgomery::Leave(const Residue& a) const {
+  Residue one(n_, 0);
+  one[0] = 1;
+  // Multiplying by the residue "1" performs one REDC, dividing by R.
+  return Bignum::FromLimbs(Mul(a, one));
+}
+
+Montgomery::Residue Montgomery::Mul(const Residue& a, const Residue& b) const {
+  // CIOS (coarsely integrated operand scanning).
+  std::vector<uint32_t> t(n_ + 2, 0);
+  for (size_t i = 0; i < n_; i++) {
+    // t += a[i] * b.
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < n_; j++) {
+      uint64_t cur = t[j] + ai * b[j] + carry;
+      t[j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
     }
-    minv_ = ~inv + 1;  // -inv mod 2^32.
+    uint64_t cur = t[n_] + carry;
+    t[n_] = static_cast<uint32_t>(cur);
+    t[n_ + 1] = static_cast<uint32_t>(cur >> 32);
 
-    // r2 = (2^(32n))^2 mod m, computed with one long division.
-    Bignum r2 = Bignum::Mod(Bignum::Shl(Bignum(1), 64 * n_), m);
-    r2_ = ToResidue(r2);
-    // Montgomery form of 1 is R mod m: REDC(1 * R^2).
-    one_ = Mul(ToResidue(Bignum(1)), r2_);
+    // u = t[0] * m' mod 2^32; t += u * m; t >>= 32.
+    uint32_t u = t[0] * minv_;
+    carry = 0;
+    uint64_t first = t[0] + static_cast<uint64_t>(u) * m_[0];
+    carry = first >> 32;
+    for (size_t j = 1; j < n_; j++) {
+      uint64_t c2 = t[j] + static_cast<uint64_t>(u) * m_[j] + carry;
+      t[j - 1] = static_cast<uint32_t>(c2);
+      carry = c2 >> 32;
+    }
+    uint64_t c3 = t[n_] + carry;
+    t[n_ - 1] = static_cast<uint32_t>(c3);
+    t[n_] = t[n_ + 1] + static_cast<uint32_t>(c3 >> 32);
+    t[n_ + 1] = 0;
   }
 
-  using Residue = std::vector<uint32_t>;  // Exactly n_ limbs.
-
-  Residue ToResidue(const Bignum& a) const {
-    Residue out(n_, 0);
-    const auto& limbs = a.limbs();
-    for (size_t i = 0; i < limbs.size() && i < n_; i++) {
-      out[i] = limbs[i];
-    }
-    return out;
+  Residue out(t.begin(), t.begin() + static_cast<ptrdiff_t>(n_));
+  if (t[n_] != 0 || !LessThanM(out)) {
+    SubM(out);
   }
+  return out;
+}
 
-  // a -> aR mod m.
-  Residue Enter(const Residue& a) const { return Mul(a, r2_); }
-
-  // aR -> a mod m.
-  Bignum Leave(const Residue& a) const {
-    Residue one(n_, 0);
-    one[0] = 1;
-    // Multiplying by the residue "1" performs one REDC, dividing by R.
-    Residue plain = Mul(a, one);
-    Bignum out;
-    Bytes be;
-    // Build big-endian bytes from limbs.
-    for (size_t i = n_; i-- > 0;) {
-      be.push_back(static_cast<uint8_t>(plain[i] >> 24));
-      be.push_back(static_cast<uint8_t>(plain[i] >> 16));
-      be.push_back(static_cast<uint8_t>(plain[i] >> 8));
-      be.push_back(static_cast<uint8_t>(plain[i]));
+bool Montgomery::LessThanM(const Residue& a) const {
+  for (size_t i = n_; i-- > 0;) {
+    if (a[i] != m_[i]) {
+      return a[i] < m_[i];
     }
-    return Bignum::FromBytes(be);
   }
+  return false;  // Equal counts as not-less.
+}
 
-  // Montgomery product: REDC(a * b).
-  Residue Mul(const Residue& a, const Residue& b) const {
-    // CIOS (coarsely integrated operand scanning).
-    std::vector<uint32_t> t(n_ + 2, 0);
-    for (size_t i = 0; i < n_; i++) {
-      // t += a[i] * b.
-      uint64_t carry = 0;
-      uint64_t ai = a[i];
-      for (size_t j = 0; j < n_; j++) {
-        uint64_t cur = t[j] + ai * b[j] + carry;
-        t[j] = static_cast<uint32_t>(cur);
-        carry = cur >> 32;
+void Montgomery::SubM(Residue& a) const {
+  int64_t borrow = 0;
+  for (size_t i = 0; i < n_; i++) {
+    int64_t d = static_cast<int64_t>(a[i]) - m_[i] - borrow;
+    if (d < 0) {
+      d += 1ll << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    a[i] = static_cast<uint32_t>(d);
+  }
+}
+
+Bignum Montgomery::PowMod(const Bignum& base, const Bignum& exp) const {
+  size_t bits = exp.BitLength();
+  if (bits == 0) {
+    return Leave(one_);  // base^0 = 1 mod m (m >= 2 limbs, so 1 < m).
+  }
+  Residue b = Enter(ToResidue(Bignum::Mod(base, modulus_)));
+  // 4-bit fixed window: precompute b^0..b^15 once, then per window do
+  // four squarings plus at most one table multiply.
+  Residue table[16];
+  table[0] = one_;
+  table[1] = b;
+  for (int i = 2; i < 16; i++) {
+    table[i] = Mul(table[i - 1], b);
+  }
+  size_t windows = (bits + 3) / 4;
+  Residue result = one_;
+  bool started = false;
+  for (size_t w = windows; w-- > 0;) {
+    if (started) {
+      result = Mul(result, result);
+      result = Mul(result, result);
+      result = Mul(result, result);
+      result = Mul(result, result);
+    }
+    uint32_t win = 0;
+    for (size_t bit = 0; bit < 4; bit++) {
+      if (exp.Bit(4 * w + bit)) {
+        win |= 1u << bit;
       }
-      uint64_t cur = t[n_] + carry;
-      t[n_] = static_cast<uint32_t>(cur);
-      t[n_ + 1] = static_cast<uint32_t>(cur >> 32);
-
-      // u = t[0] * m' mod 2^32; t += u * m; t >>= 32.
-      uint32_t u = t[0] * minv_;
-      carry = 0;
-      uint64_t first = t[0] + static_cast<uint64_t>(u) * m_[0];
-      carry = first >> 32;
-      for (size_t j = 1; j < n_; j++) {
-        uint64_t c2 = t[j] + static_cast<uint64_t>(u) * m_[j] + carry;
-        t[j - 1] = static_cast<uint32_t>(c2);
-        carry = c2 >> 32;
-      }
-      uint64_t c3 = t[n_] + carry;
-      t[n_ - 1] = static_cast<uint32_t>(c3);
-      t[n_] = t[n_ + 1] + static_cast<uint32_t>(c3 >> 32);
-      t[n_ + 1] = 0;
     }
-
-    Residue out(t.begin(), t.begin() + static_cast<ptrdiff_t>(n_));
-    if (t[n_] != 0 || !LessThanM(out)) {
-      SubM(out);
-    }
-    return out;
-  }
-
-  const Residue& one() const { return one_; }
-
- private:
-  bool LessThanM(const Residue& a) const {
-    for (size_t i = n_; i-- > 0;) {
-      if (a[i] != m_[i]) {
-        return a[i] < m_[i];
-      }
-    }
-    return false;  // Equal counts as not-less.
-  }
-
-  void SubM(Residue& a) const {
-    int64_t borrow = 0;
-    for (size_t i = 0; i < n_; i++) {
-      int64_t d = static_cast<int64_t>(a[i]) - m_[i] - borrow;
-      if (d < 0) {
-        d += 1ll << 32;
-        borrow = 1;
-      } else {
-        borrow = 0;
-      }
-      a[i] = static_cast<uint32_t>(d);
+    if (win != 0) {
+      result = started ? Mul(result, table[win]) : table[win];
+      started = true;
     }
   }
-
-  std::vector<uint32_t> m_;
-  size_t n_;
-  uint32_t minv_ = 0;
-  Residue r2_;
-  Residue one_;
-};
-
-}  // namespace
+  return Leave(started ? result : one_);
+}
 
 Bignum Bignum::PowMod(const Bignum& base, const Bignum& exp, const Bignum& m) {
   if (m.IsZero()) {
     throw std::invalid_argument("Bignum::PowMod: zero modulus");
   }
-  size_t bits = exp.BitLength();
-
   if (m.IsOdd() && m.limbs().size() >= 2) {
     // Montgomery fast path (all RSA moduli are odd).
-    Montgomery mont(m);
-    Montgomery::Residue b = mont.Enter(mont.ToResidue(Mod(base, m)));
-    Montgomery::Residue result = mont.one();
-    for (size_t i = bits; i-- > 0;) {
-      result = mont.Mul(result, result);
-      if (exp.Bit(i)) {
-        result = mont.Mul(result, b);
-      }
-    }
-    return mont.Leave(result);
+    return Montgomery(m).PowMod(base, exp);
   }
 
   // Generic path: square-and-multiply with division-based reduction.
+  size_t bits = exp.BitLength();
   Bignum result = Mod(Bignum(1), m);
   Bignum b = Mod(base, m);
   for (size_t i = bits; i-- > 0;) {
@@ -567,6 +563,13 @@ Bignum Bignum::InvMod(const Bignum& a, const Bignum& m) {
     inv = Sub(m, inv);
   }
   return inv;
+}
+
+Bignum Bignum::FromLimbs(std::vector<uint32_t> limbs) {
+  Bignum out;
+  out.limbs_ = std::move(limbs);
+  out.Normalize();
+  return out;
 }
 
 Bignum Bignum::RandomWithBits(Prng& rng, size_t bits) {

@@ -62,6 +62,9 @@ class Bignum {
   // Modular inverse of a mod m; throws if gcd(a, m) != 1.
   static Bignum InvMod(const Bignum& a, const Bignum& m);
 
+  // Builds a value directly from little-endian 32-bit limbs.
+  static Bignum FromLimbs(std::vector<uint32_t> limbs);
+
   // Uniform random value with exactly `bits` bits (MSB set).
   static Bignum RandomWithBits(Prng& rng, size_t bits);
   // Uniform random value in [2, limit-2] (for Miller-Rabin bases).
@@ -78,6 +81,53 @@ class Bignum {
   void Normalize();
 
   std::vector<uint32_t> limbs_;
+};
+
+// Montgomery arithmetic context for an odd multi-limb modulus.
+// Exponentiation via REDC avoids one long division per modular
+// multiplication, which is the difference between RSA signing being a
+// per-packet cost the AVMM can afford and one it cannot (§6.8).
+//
+// Building a context costs one long division (for R^2 mod m), so hot
+// paths construct it once per key and reuse it across ModExp calls
+// (RsaPrivateKey/RsaPublicKey cache one per modulus). A constructed
+// context is immutable: concurrent PowMod calls on the same context are
+// safe, which is what lets the async signing pipeline share a key with
+// the caller thread.
+class Montgomery {
+ public:
+  // m must be odd and at least two limbs (all RSA moduli qualify).
+  explicit Montgomery(const Bignum& m);
+
+  using Residue = std::vector<uint32_t>;  // Exactly limb_count() limbs.
+
+  Residue ToResidue(const Bignum& a) const;
+  // a -> aR mod m.
+  Residue Enter(const Residue& a) const;
+  // aR -> a mod m.
+  Bignum Leave(const Residue& a) const;
+  // Montgomery product: REDC(a * b).
+  Residue Mul(const Residue& a, const Residue& b) const;
+
+  // (base ^ exp) mod m with 4-bit fixed-window exponentiation:
+  // ~bits/4 multiplies instead of the ~bits/2 of square-and-multiply,
+  // on top of the REDC savings.
+  Bignum PowMod(const Bignum& base, const Bignum& exp) const;
+
+  const Residue& one() const { return one_; }
+  size_t limb_count() const { return n_; }
+  const Bignum& modulus() const { return modulus_; }
+
+ private:
+  bool LessThanM(const Residue& a) const;
+  void SubM(Residue& a) const;
+
+  Bignum modulus_;
+  std::vector<uint32_t> m_;
+  size_t n_ = 0;
+  uint32_t minv_ = 0;
+  Residue r2_;
+  Residue one_;
 };
 
 }  // namespace avm

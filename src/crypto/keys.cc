@@ -43,6 +43,13 @@ Bytes Signer::Sign(ByteView msg) const {
   return RsaSign(*priv_, msg);
 }
 
+Bytes Signer::SignDigest(const Hash256& digest) const {
+  if (scheme_ == SignatureScheme::kNone) {
+    return Bytes();
+  }
+  return RsaSignDigest(*priv_, digest);
+}
+
 Bytes Signer::SerializePublic() const {
   if (scheme_ == SignatureScheme::kNone) {
     return Bytes();
@@ -75,8 +82,24 @@ bool KeyRegistry::Verify(const NodeId& id, ByteView msg, ByteView sig) const {
   return RsaVerify(*it->second.pub, msg, sig);
 }
 
+bool KeyRegistry::VerifyDigest(const NodeId& id, const Hash256& digest, ByteView sig) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return false;
+  }
+  if (it->second.scheme == SignatureScheme::kNone) {
+    return sig.empty();
+  }
+  return RsaVerifyDigest(*it->second.pub, digest, sig);
+}
+
 bool KeyRegistry::Knows(const NodeId& id) const {
   return entries_.count(id) > 0;
+}
+
+bool KeyRegistry::RequiresSignature(const NodeId& id) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.scheme != SignatureScheme::kNone;
 }
 
 SignatureScheme KeyRegistry::SchemeOf(const NodeId& id) const {

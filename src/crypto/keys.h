@@ -43,6 +43,12 @@ class Signer {
   const std::optional<RsaPublicKey>& public_key() const { return pub_; }
 
   Bytes Sign(ByteView msg) const;
+  // Signs an already-computed SHA-256 digest; identical output to
+  // Sign(msg) when digest == Sha256::Digest(msg). Lets hot paths stream
+  // the payload through one incremental hasher. Thread-safe: the key's
+  // Montgomery contexts are prebuilt, so the async signing pipeline may
+  // call this concurrently with the owning thread.
+  Bytes SignDigest(const Hash256& digest) const;
 
   // Serialized public identity (scheme + key) for the registry.
   Bytes SerializePublic() const;
@@ -63,8 +69,12 @@ class KeyRegistry {
   void RegisterSigner(const Signer& signer);
 
   bool Verify(const NodeId& id, ByteView msg, ByteView sig) const;
+  bool VerifyDigest(const NodeId& id, const Hash256& digest, ByteView sig) const;
   bool Knows(const NodeId& id) const;
   SignatureScheme SchemeOf(const NodeId& id) const;
+  // True when `id` is registered with a scheme that produces real
+  // signatures (i.e. an empty signature cannot verify).
+  bool RequiresSignature(const NodeId& id) const;
 
  private:
   struct Entry {

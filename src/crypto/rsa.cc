@@ -12,9 +12,8 @@ namespace {
 constexpr uint8_t kSha256DigestInfo[] = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
                                          0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
 
-// EMSA-PKCS1-v1_5 encoding of SHA-256(msg) into emLen bytes.
-Bytes EncodeDigest(ByteView msg, size_t em_len) {
-  Hash256 digest = Sha256::Digest(msg);
+// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest into emLen bytes.
+Bytes EncodeDigest(const Hash256& digest, size_t em_len) {
   size_t t_len = sizeof(kSha256DigestInfo) + 32;
   if (em_len < t_len + 11) {
     throw std::invalid_argument("RSA modulus too small for SHA-256 padding");
@@ -32,7 +31,38 @@ Bytes EncodeDigest(ByteView msg, size_t em_len) {
   return em;
 }
 
+// PowMod through the cached context when present; hand-constructed
+// keys without one take the build-per-call path transparently.
+Bignum CachedPowMod(const std::shared_ptr<const Montgomery>& ctx, const Bignum& base,
+                    const Bignum& exp, const Bignum& m) {
+  if (ctx != nullptr) {
+    return ctx->PowMod(base, exp);
+  }
+  return Bignum::PowMod(base, exp, m);
+}
+
 }  // namespace
+
+void RsaPublicKey::WarmContexts() {
+  if (mont_n == nullptr && n.IsOdd() && n.limbs().size() >= 2) {
+    mont_n = std::make_shared<const Montgomery>(n);
+  }
+}
+
+void RsaPrivateKey::WarmContexts() {
+  if (mont_p == nullptr && p.IsOdd() && p.limbs().size() >= 2) {
+    mont_p = std::make_shared<const Montgomery>(p);
+  }
+  if (mont_q == nullptr && q.IsOdd() && q.limbs().size() >= 2) {
+    mont_q = std::make_shared<const Montgomery>(q);
+  }
+}
+
+RsaPublicKey RsaPrivateKey::PublicPart() const {
+  RsaPublicKey pub{n, e, nullptr};
+  pub.WarmContexts();
+  return pub;
+}
 
 Bytes RsaPublicKey::Serialize() const {
   Writer w;
@@ -47,6 +77,7 @@ RsaPublicKey RsaPublicKey::Deserialize(ByteView data) {
   key.n = Bignum::FromBytes(r.Blob());
   key.e = Bignum::FromBytes(r.Blob());
   r.ExpectEnd();
+  key.WarmContexts();
   return key;
 }
 
@@ -89,18 +120,19 @@ RsaKeypair RsaKeypair::Generate(Prng& rng, size_t bits) {
     kp.priv.dp = Bignum::Mod(d, p1);
     kp.priv.dq = Bignum::Mod(d, q1);
     kp.priv.qinv = Bignum::InvMod(q, p);
+    kp.priv.WarmContexts();
     kp.pub = kp.priv.PublicPart();
     return kp;
   }
 }
 
-Bytes RsaSign(const RsaPrivateKey& key, ByteView msg) {
+Bytes RsaSignDigest(const RsaPrivateKey& key, const Hash256& digest) {
   size_t k = (key.n.BitLength() + 7) / 8;
-  Bytes em = EncodeDigest(msg, k);
+  Bytes em = EncodeDigest(digest, k);
   Bignum m = Bignum::FromBytes(em);
   // CRT: m1 = m^dp mod p, m2 = m^dq mod q, h = qinv (m1 - m2) mod p.
-  Bignum m1 = Bignum::PowMod(m, key.dp, key.p);
-  Bignum m2 = Bignum::PowMod(m, key.dq, key.q);
+  Bignum m1 = CachedPowMod(key.mont_p, m, key.dp, key.p);
+  Bignum m2 = CachedPowMod(key.mont_q, m, key.dq, key.q);
   Bignum diff;
   if (Bignum::Cmp(m1, m2) >= 0) {
     diff = Bignum::Sub(m1, m2);
@@ -112,7 +144,11 @@ Bytes RsaSign(const RsaPrivateKey& key, ByteView msg) {
   return s.ToBytes(k);
 }
 
-bool RsaVerify(const RsaPublicKey& key, ByteView msg, ByteView sig) {
+Bytes RsaSign(const RsaPrivateKey& key, ByteView msg) {
+  return RsaSignDigest(key, Sha256::Digest(msg));
+}
+
+bool RsaVerifyDigest(const RsaPublicKey& key, const Hash256& digest, ByteView sig) {
   size_t k = (key.n.BitLength() + 7) / 8;
   if (sig.size() != k) {
     return false;
@@ -121,7 +157,7 @@ bool RsaVerify(const RsaPublicKey& key, ByteView msg, ByteView sig) {
   if (Bignum::Cmp(s, key.n) >= 0) {
     return false;
   }
-  Bignum m = Bignum::PowMod(s, key.e, key.n);
+  Bignum m = CachedPowMod(key.mont_n, s, key.e, key.n);
   Bytes em;
   try {
     em = m.ToBytes(k);
@@ -130,11 +166,15 @@ bool RsaVerify(const RsaPublicKey& key, ByteView msg, ByteView sig) {
   }
   Bytes expected;
   try {
-    expected = EncodeDigest(msg, k);
+    expected = EncodeDigest(digest, k);
   } catch (const std::invalid_argument&) {
     return false;
   }
   return BytesEqual(em, expected);
+}
+
+bool RsaVerify(const RsaPublicKey& key, ByteView msg, ByteView sig) {
+  return RsaVerifyDigest(key, Sha256::Digest(msg), sig);
 }
 
 }  // namespace avm

@@ -4,6 +4,8 @@
 #ifndef SRC_CRYPTO_RSA_H_
 #define SRC_CRYPTO_RSA_H_
 
+#include <memory>
+
 #include "src/crypto/bignum.h"
 #include "src/crypto/sha256.h"
 #include "src/util/bytes.h"
@@ -14,9 +16,16 @@ namespace avm {
 struct RsaPublicKey {
   Bignum n;
   Bignum e;
+  // Cached Montgomery context for n, shared by copies of the key, so
+  // every Verify does not rebuild it (one long division each). Built by
+  // Generate/Deserialize; WarmContexts() fills it for hand-built keys.
+  // Immutable once built, so concurrent verifies are safe.
+  std::shared_ptr<const Montgomery> mont_n;
 
   // Modulus size in bytes (== signature size).
   size_t ByteLength() const { return (n.BitLength() + 7) / 8; }
+
+  void WarmContexts();
 
   Bytes Serialize() const;
   static RsaPublicKey Deserialize(ByteView data);
@@ -31,8 +40,12 @@ struct RsaPrivateKey {
   Bignum d;
   // CRT components for ~4x faster signing.
   Bignum p, q, dp, dq, qinv;
+  // Cached Montgomery contexts for the CRT moduli (see RsaPublicKey).
+  std::shared_ptr<const Montgomery> mont_p, mont_q;
 
-  RsaPublicKey PublicPart() const { return RsaPublicKey{n, e}; }
+  void WarmContexts();
+
+  RsaPublicKey PublicPart() const;
 };
 
 struct RsaKeypair {
@@ -40,17 +53,24 @@ struct RsaKeypair {
   RsaPrivateKey priv;
 
   // Generates an RSA keypair with an n of exactly `bits` bits. Deterministic
-  // given the PRNG state (useful for reproducible scenarios).
+  // given the PRNG state (useful for reproducible scenarios). The keys come
+  // back with their Montgomery contexts warmed.
   static RsaKeypair Generate(Prng& rng, size_t bits);
 };
 
 // Signs SHA-256(msg) with PKCS#1 v1.5-style padding. Returns the signature
 // as a big-endian byte string of the modulus length.
 Bytes RsaSign(const RsaPrivateKey& key, ByteView msg);
+// Same, over an already-computed SHA-256 digest: lets hot paths stream
+// the signed fields through one incremental hasher instead of
+// materializing a payload buffer. RsaSign(key, msg) ==
+// RsaSignDigest(key, Sha256::Digest(msg)) bit-for-bit.
+Bytes RsaSignDigest(const RsaPrivateKey& key, const Hash256& digest);
 
 // Verifies an RSA signature over msg. Never throws on malformed input;
 // returns false instead (signatures arrive from untrusted machines).
 bool RsaVerify(const RsaPublicKey& key, ByteView msg, ByteView sig);
+bool RsaVerifyDigest(const RsaPublicKey& key, const Hash256& digest, ByteView sig);
 
 }  // namespace avm
 

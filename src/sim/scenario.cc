@@ -144,6 +144,12 @@ void GameScenario::Finish() {
     for (auto& p : players_) {
       p->Finish(now_);
     }
+    if (cfg_.run.BatchedSigning()) {
+      // Deliver the final kCommit frames so every node's pending
+      // RECV/ACK entries are sealed (and logged as PeerCommitRecords)
+      // before anyone is audited. The sync path is untouched.
+      net_.DeliverUntil(now_ + kMicrosPerSecond);
+    }
   }
 }
 
@@ -245,6 +251,9 @@ void KvScenario::Finish() {
   if (cfg_.run.TamperEvident()) {
     server_->Finish(now_);
     client_->Finish(now_);
+    if (cfg_.run.BatchedSigning()) {
+      net_.DeliverUntil(now_ + kMicrosPerSecond);
+    }
   }
 }
 

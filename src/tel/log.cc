@@ -29,8 +29,8 @@ const char* EntryTypeName(EntryType t) {
   return "?";
 }
 
-Hash256 ChainHash(const Hash256& prev, uint64_t seq, EntryType type, ByteView content) {
-  Hash256 content_hash = Sha256::Digest(content);
+Hash256 ChainHashWithContentHash(const Hash256& prev, uint64_t seq, EntryType type,
+                                 const Hash256& content_hash) {
   Sha256 h;
   h.Update(prev.view());
   h.UpdateU64(seq);
@@ -40,12 +40,33 @@ Hash256 ChainHash(const Hash256& prev, uint64_t seq, EntryType type, ByteView co
   return h.Finish();
 }
 
+Hash256 ChainHash(const Hash256& prev, uint64_t seq, EntryType type, ByteView content) {
+  return ChainHashWithContentHash(prev, seq, type, Sha256::Digest(content));
+}
+
 Bytes Authenticator::SignedPayload(const NodeId& node, uint64_t seq, const Hash256& hash) {
   Writer w;
   w.Str(node);
   w.U64(seq);
   w.Raw(hash.view());
   return w.Take();
+}
+
+Hash256 Authenticator::SignedPayloadDigest(const NodeId& node, uint64_t seq,
+                                           const Hash256& hash) {
+  // Streams exactly the bytes SignedPayload would produce: Writer::Str
+  // is a u32 little-endian length followed by the raw characters.
+  Sha256 h;
+  uint8_t len[4];
+  uint32_t n = static_cast<uint32_t>(node.size());
+  for (int i = 0; i < 4; i++) {
+    len[i] = static_cast<uint8_t>(n >> (8 * i));
+  }
+  h.Update(ByteView(len, 4));
+  h.Update(std::string_view(node));
+  h.UpdateU64(seq);
+  h.Update(hash.view());
+  return h.Finish();
 }
 
 Bytes Authenticator::Serialize() const {
@@ -69,7 +90,7 @@ Authenticator Authenticator::Deserialize(ByteView data) {
 }
 
 bool Authenticator::VerifySignature(const KeyRegistry& registry) const {
-  return registry.Verify(node, SignedPayload(node, seq, hash), signature);
+  return registry.VerifyDigest(node, SignedPayloadDigest(node, seq, hash), signature);
 }
 
 size_t LogSegment::WireSize() const {
@@ -187,7 +208,7 @@ Authenticator TamperEvidentLog::AuthenticateAt(const Signer& signer, uint64_t se
   a.node = owner_;
   a.seq = e.seq;
   a.hash = e.hash;
-  a.signature = signer.Sign(Authenticator::SignedPayload(a.node, a.seq, a.hash));
+  a.signature = signer.SignDigest(Authenticator::SignedPayloadDigest(a.node, a.seq, a.hash));
   return a;
 }
 

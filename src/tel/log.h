@@ -47,6 +47,10 @@ struct LogEntry {
 
 // Computes h_i from h_{i-1} and the entry fields (the paper's hash rule).
 Hash256 ChainHash(const Hash256& prev, uint64_t seq, EntryType type, ByteView content);
+// Same rule with H(c_i) already computed: what batch-authenticator
+// verification walks, since a chain link carries only the content hash.
+Hash256 ChainHashWithContentHash(const Hash256& prev, uint64_t seq, EntryType type,
+                                 const Hash256& content_hash);
 
 // A signed commitment to the log prefix ending at `seq`.
 struct Authenticator {
@@ -58,6 +62,11 @@ struct Authenticator {
   // The byte string that is signed: node id binds the authenticator to a
   // machine so it cannot be replayed as another node's commitment.
   static Bytes SignedPayload(const NodeId& node, uint64_t seq, const Hash256& hash);
+  // SHA-256 of SignedPayload, streamed through one incremental hasher
+  // (no temporary buffer). Sign/verify paths use this with the digest
+  // APIs; the resulting signatures are bit-for-bit those of the
+  // payload-buffer path.
+  static Hash256 SignedPayloadDigest(const NodeId& node, uint64_t seq, const Hash256& hash);
 
   Bytes Serialize() const;
   static Authenticator Deserialize(ByteView data);

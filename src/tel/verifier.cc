@@ -1,5 +1,6 @@
 #include "src/tel/verifier.h"
 
+#include "src/tel/batch.h"
 #include "src/util/threadpool.h"
 
 namespace avm {
@@ -122,6 +123,16 @@ bool AuthenticatorStore::Add(const Authenticator& a, const KeyRegistry& registry
   }
   m.emplace(a.seq, a);
   return true;
+}
+
+bool AuthenticatorStore::AddBatch(const BatchAuthenticator& batch, const KeyRegistry& registry) {
+  // Verify() already checks the commitment's signature, so reuse Add's
+  // dedup/fork bookkeeping only after the walk established that the
+  // signed hash seals exactly these links.
+  if (!batch.Verify(registry).ok) {
+    return false;
+  }
+  return Add(batch.commit, registry);
 }
 
 std::vector<Authenticator> AuthenticatorStore::InRange(const NodeId& node, uint64_t from,

@@ -56,11 +56,18 @@ CheckResult VerifyAgainstAuthenticators(const LogSegment& segment,
 // different hashes are standalone proof of misbehavior (a forked log).
 bool IsForkProof(const Authenticator& a, const Authenticator& b, const KeyRegistry& registry);
 
+struct BatchAuthenticator;
+
 // Collects authenticators an auditor has received from or about a machine.
 class AuthenticatorStore {
  public:
   // Returns false (and stores nothing) if the signature does not verify.
   bool Add(const Authenticator& a, const KeyRegistry& registry);
+
+  // Verifies a whole batch (chain walk + one signature) and stores its
+  // commitment. The commitment is a regular authenticator, so fork
+  // detection works across batched and per-message signers unchanged.
+  bool AddBatch(const BatchAuthenticator& batch, const KeyRegistry& registry);
 
   // All stored authenticators for `node` with seq in [from, to].
   std::vector<Authenticator> InRange(const NodeId& node, uint64_t from, uint64_t to) const;

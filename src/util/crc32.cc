@@ -1,6 +1,11 @@
 #include "src/util/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#endif
 
 namespace avm {
 
@@ -25,15 +30,102 @@ const std::array<uint32_t, 256>& Table() {
   return table;
 }
 
+#if defined(__x86_64__) || defined(__i386__)
+#define AVM_CRC32_HW 1
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHw(ByteView data, uint32_t seed) {
+  uint32_t c = ~seed;
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+#if defined(__x86_64__)
+  uint64_t c64 = c;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c64 = __builtin_ia32_crc32di(c64, v);
+    p += 8;
+    n -= 8;
+  }
+  c = static_cast<uint32_t>(c64);
+#endif
+  while (n >= 4) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    c = __builtin_ia32_crc32si(c, v);
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    c = __builtin_ia32_crc32qi(c, *p);
+    p++;
+    n--;
+  }
+  return ~c;
+}
+
+bool DetectHardware() { return __builtin_cpu_supports("sse4.2") != 0; }
+
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define AVM_CRC32_HW 1
+
+uint32_t Crc32cHw(ByteView data, uint32_t seed) {
+  uint32_t c = ~seed;
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __crc32cd(c, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n >= 4) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    c = __crc32cw(c, v);
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    c = __crc32cb(c, *p);
+    p++;
+    n--;
+  }
+  return ~c;
+}
+
+// Compiled only when the target baseline guarantees the extension.
+bool DetectHardware() { return true; }
+
+#else
+
+bool DetectHardware() { return false; }
+
+#endif
+
 }  // namespace
 
-uint32_t Crc32c(ByteView data, uint32_t seed) {
+uint32_t Crc32cPortable(ByteView data, uint32_t seed) {
   const std::array<uint32_t, 256>& table = Table();
   uint32_t c = ~seed;
   for (uint8_t b : data) {
     c = table[(c ^ b) & 0xff] ^ (c >> 8);
   }
   return ~c;
+}
+
+bool Crc32cHardwareAvailable() {
+  static const bool available = DetectHardware();
+  return available;
+}
+
+uint32_t Crc32c(ByteView data, uint32_t seed) {
+#ifdef AVM_CRC32_HW
+  if (Crc32cHardwareAvailable()) {
+    return Crc32cHw(data, seed);
+  }
+#endif
+  return Crc32cPortable(data, seed);
 }
 
 }  // namespace avm

@@ -3,6 +3,11 @@
 // writes and bit rot are detected on recovery. It is NOT tamper
 // evidence -- the hash chain (src/tel) provides that; the CRC only
 // distinguishes "disk lost bytes" from "machine lied".
+//
+// Two implementations: the byte-at-a-time table fallback and a
+// hardware path (SSE4.2 CRC32 on x86, the ARMv8 CRC32C extension on
+// aarch64) selected once at runtime. Both compute the identical
+// function; store_test asserts their agreement on random buffers.
 #ifndef SRC_UTIL_CRC32_H_
 #define SRC_UTIL_CRC32_H_
 
@@ -12,9 +17,17 @@
 
 namespace avm {
 
-// One-shot CRC of `data`. `seed` chains multi-buffer CRCs: pass the
-// previous call's return value to continue.
+// One-shot CRC of `data`, using the hardware instruction when the CPU
+// has one. `seed` chains multi-buffer CRCs: pass the previous call's
+// return value to continue.
 uint32_t Crc32c(ByteView data, uint32_t seed = 0);
+
+// The table-driven fallback, always available (reference implementation
+// for tests and for CPUs without the instruction).
+uint32_t Crc32cPortable(ByteView data, uint32_t seed = 0);
+
+// True when Crc32c dispatches to a hardware instruction on this CPU.
+bool Crc32cHardwareAvailable();
 
 }  // namespace avm
 

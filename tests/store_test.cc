@@ -9,6 +9,7 @@
 
 #include "src/sim/scenario.h"
 #include "src/store/log_store.h"
+#include "src/util/crc32.h"
 #include "src/util/prng.h"
 
 namespace fs = std::filesystem;
@@ -363,6 +364,31 @@ TEST_F(StoreFixture, TamperedSealedSegmentFailsCleanly) {
   EXPECT_FALSE(r.ok);
   // Direct extraction surfaces the same corruption as a clean error.
   EXPECT_THROW((void)fresh->Extract(1, 100), StoreError);
+}
+
+// The store's on-disk framing depends on CRC-32C; the hardware
+// (SSE4.2 / ARMv8-CE) path and the table fallback must compute the
+// identical function on arbitrary buffers, seeds, and chains.
+TEST(Crc32cDispatch, HardwareAndPortableAgree) {
+  Prng rng(0xc32c);
+  for (int i = 0; i < 300; i++) {
+    size_t len = static_cast<size_t>(rng.Range(0, 300));
+    Bytes buf = rng.RandomBytes(len);
+    uint32_t seed = (i % 3 == 0) ? 0 : static_cast<uint32_t>(rng.Next());
+    ASSERT_EQ(Crc32c(buf, seed), Crc32cPortable(buf, seed))
+        << "len=" << len << " seed=" << seed << " hw=" << Crc32cHardwareAvailable();
+  }
+  // Multi-buffer chaining must agree too (the store CRCs header and
+  // body as one chained stream).
+  Bytes a = rng.RandomBytes(1001);
+  Bytes b = rng.RandomBytes(77);
+  EXPECT_EQ(Crc32c(b, Crc32c(a)), Crc32cPortable(b, Crc32cPortable(a)));
+  // Odd alignments/lengths around the 4/8-byte fast-path boundaries.
+  Bytes c = rng.RandomBytes(64);
+  for (size_t off = 0; off < 9 && off < c.size(); off++) {
+    ByteView v(c.data() + off, c.size() - off);
+    EXPECT_EQ(Crc32c(v), Crc32cPortable(v));
+  }
 }
 
 }  // namespace
