@@ -1,13 +1,17 @@
 #include "src/audit/auditor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <vector>
 
+#include "src/audit/message_check.h"
+#include "src/audit/pipeline.h"
 #include "src/avmm/attested_input.h"
 #include "src/avmm/message.h"
 #include "src/tel/batch.h"
@@ -18,368 +22,37 @@ namespace avm {
 
 namespace {
 
-// Parses the (MessageRecord, payload_sig) pair stored in SEND/RECV entries.
-bool ParseMessageEntry(const LogEntry& e, MessageRecord* msg, Bytes* sig) {
-  try {
-    Reader r(e.content);
-    *msg = MessageRecord::Deserialize(r.Blob());
-    *sig = r.Blob();
-    r.ExpectEnd();
-    return true;
-  } catch (const SerdeError&) {
-    return false;
-  }
-}
-
-// Signature verdicts for one segment, indexed by entry position:
-// -1 = nothing precomputed (the sequential scan verifies inline),
-// 0/1 = the entry's RSA check failed/passed.
-using SigVerdicts = std::vector<int8_t>;
-
-// Fans the per-entry RSA verifications — SEND/RECV payload signatures
-// and ACK authenticators — across the pool. Only entries that parse and
-// pass their node check are precomputed; those are exactly the entries
-// whose signatures the sequential scan would reach, so consuming the
-// verdicts in order yields an identical result. (For a segment that
-// fails earlier for a non-signature reason this does some wasted
-// verifications; verdict-changing it is not.)
-SigVerdicts PrecomputeSignatureChecks(const LogSegment& segment, const KeyRegistry& registry,
-                                      ThreadPool& pool) {
-  struct SigJob {
-    size_t entry;
-    bool is_ack;
-    MessageRecord msg;  // Parsed once here; valid when !is_ack.
-    Bytes sig;
-    Authenticator ack_auth;  // Valid when is_ack.
-  };
-  SigVerdicts verdicts(segment.entries.size(), -1);
-  std::vector<SigJob> jobs;
-  for (size_t i = 0; i < segment.entries.size(); i++) {
-    const LogEntry& e = segment.entries[i];
-    switch (e.type) {
-      case EntryType::kSend:
-      case EntryType::kRecv: {
-        SigJob job{i, false, {}, {}, {}};
-        if (ParseMessageEntry(e, &job.msg, &job.sig) &&
-            (e.type == EntryType::kSend ? job.msg.src : job.msg.dst) == segment.node) {
-          jobs.push_back(std::move(job));
-        }
-        break;
+// Joins the worker pool on scope exit: the pipelined Run() submits a
+// replay task that captures stack locals by reference, so a throwing
+// syntactic phase must not unwind past them while the task runs. The
+// moot flag is raised first so the doomed replay stops at its next
+// chunk boundary instead of running to completion.
+struct PoolJoinGuard {
+  ThreadPool* pool;
+  std::atomic<bool>* replay_moot = nullptr;
+  ~PoolJoinGuard() {
+    if (pool != nullptr) {
+      if (replay_moot != nullptr) {
+        replay_moot->store(true, std::memory_order_relaxed);
       }
-      case EntryType::kAck: {
-        try {
-          AckFrame ack = AckFrame::Deserialize(e.content);
-          if (ack.orig_src == segment.node) {
-            jobs.push_back({i, true, {}, {}, std::move(ack.auth)});
-          }
-        } catch (const SerdeError&) {
-        }
-        break;
+      try {
+        pool->Wait();
+      } catch (...) {
+        // Already unwinding; the replay task stores its own exceptions.
       }
-      default:
-        break;
     }
   }
-  // Signature-less entries (batched/async sign modes) are resolved
-  // against PeerCommitRecords by the sequential scan, not by an RSA
-  // check here; leave their verdicts at -1.
-  std::erase_if(jobs, [](const SigJob& job) {
-    return job.is_ack ? job.ack_auth.signature.empty() : job.sig.empty();
-  });
-  pool.ParallelFor(jobs.size(), [&](size_t k) {
-    const SigJob& job = jobs[k];
-    bool ok = job.is_ack ? job.ack_auth.VerifySignature(registry)
-                         : registry.Verify(job.msg.src, job.msg.Serialize(), job.sig);
-    verdicts[job.entry] = ok ? 1 : 0;
-  });
-  return verdicts;
-}
+};
 
 }  // namespace
-
-// The message-stream state machine, factored so the same code runs over
-// a materialized segment (SyntacticMessageCheck) and over a streaming
-// cursor (StreamingSyntacticCheck). Feed() consumes entries in log
-// order; `sig_verdict` is a precomputed RSA result (-1 = verify inline),
-// so the batch path with a pool and every streaming path produce
-// identical verdicts at identical seqs.
-//
-// Batched/async sign modes elide per-message signatures: SEND/RECV
-// entries carry an empty payload signature and ACK entries an unsigned
-// authenticator. A signature-less SEND needs no extra check (the
-// chain + the node's own authenticators already commit it); a
-// signature-less RECV or ACK is held *pending* until a PeerCommitRecord
-// (logged by the transport when the peer's windowed commitment
-// verified) proves the peer's signed chain contains the matching
-// SEND(m) / RECV(m). Finalize() fails any entry still unproven at the
-// end of a strict scan. Sync-mode logs contain no empty signatures
-// under a real scheme and no PeerCommitRecords, so their verdicts are
-// bit-for-bit unchanged.
-class MessageCheckState {
- public:
-  MessageCheckState(NodeId node, const KeyRegistry& registry, const AuditConfig& cfg)
-      : node_(std::move(node)), registry_(registry), cfg_(cfg) {}
-
-  CheckResult Feed(const LogEntry& e, int8_t sig_verdict) {
-    auto sig_ok = [&](const std::function<bool()>& verify_inline) {
-      return sig_verdict >= 0 ? sig_verdict == 1 : verify_inline();
-    };
-    switch (e.type) {
-      case EntryType::kSend: {
-        MessageRecord msg;
-        Bytes sig;
-        if (!ParseMessageEntry(e, &msg, &sig)) {
-          return CheckResult::Fail("malformed SEND entry", e.seq);
-        }
-        if (msg.src != node_) {
-          return CheckResult::Fail("SEND entry with foreign source", e.seq);
-        }
-        if (sig.empty() && registry_.RequiresSignature(msg.src)) {
-          // Batched mode: our own SEND needs no per-message signature —
-          // the hash chain plus this node's windowed authenticators
-          // commit it, and that is what the segment was verified against.
-        } else if (!sig_ok([&] { return registry_.Verify(msg.src, msg.Serialize(), sig); })) {
-          return CheckResult::Fail("SEND payload signature invalid", e.seq);
-        }
-        // Cross-reference: the sent payload must be derived from the most
-        // recent packet the guest actually transmitted ([src_idx] + tail).
-        if (msg.payload.size() < 4 ||
-            (cfg_.strict_message_crossref &&
-             (!have_tx_ || !BytesEqual(ByteView(msg.payload).subspan(4), current_tx_tail_)))) {
-          return CheckResult::Fail("SEND does not correspond to a guest transmission", e.seq);
-        }
-        sent_ids_[{msg.dst, msg.msg_id}] = true;
-        break;
-      }
-      case EntryType::kRecv: {
-        MessageRecord msg;
-        Bytes sig;
-        if (!ParseMessageEntry(e, &msg, &sig)) {
-          return CheckResult::Fail("malformed RECV entry", e.seq);
-        }
-        if (msg.dst != node_) {
-          return CheckResult::Fail("RECV entry with foreign destination", e.seq);
-        }
-        if (sig.empty() && registry_.RequiresSignature(msg.src)) {
-          // Batched mode: authenticity comes from the sender's signed
-          // chain containing SEND with this very content (sender and
-          // receiver log identical content bytes).
-          Hash256 ch = Sha256::Digest(e.content);
-          PeerProof& proof = peer_proofs_[msg.src];
-          if (proof.send_contents.count(ch) == 0) {
-            pending_recvs_.push_back({e.seq, msg.src, ch});
-          }
-        } else if (!sig_ok([&] { return registry_.Verify(msg.src, msg.Serialize(), sig); })) {
-          return CheckResult::Fail("RECV payload signature invalid", e.seq);
-        }
-        recv_queue_.push_back(msg.payload);
-        break;
-      }
-      case EntryType::kAck: {
-        AckFrame ack;
-        try {
-          ack = AckFrame::Deserialize(e.content);
-        } catch (const SerdeError&) {
-          return CheckResult::Fail("malformed ACK entry", e.seq);
-        }
-        if (ack.orig_src != node_) {
-          return CheckResult::Fail("ACK entry for a foreign message", e.seq);
-        }
-        if (cfg_.strict_message_crossref &&
-            sent_ids_.find({ack.acker, ack.msg_id}) == sent_ids_.end()) {
-          return CheckResult::Fail("ACK for a message never sent", e.seq);
-        }
-        if (ack.auth.signature.empty() && registry_.RequiresSignature(ack.auth.node)) {
-          // Batched mode: the acker's windowed commitment must cover
-          // (seq, hash) of its RECV entry.
-          if (ack.auth.node != ack.acker) {
-            return CheckResult::Fail("ACK authenticator names a third party", e.seq);
-          }
-          PeerProof& proof = peer_proofs_[ack.auth.node];
-          auto it = proof.chain.find(ack.auth.seq);
-          if (it == proof.chain.end() || it->second != ack.auth.hash) {
-            pending_acks_.push_back({e.seq, ack.auth});
-          }
-        } else if (!sig_ok([&] { return ack.auth.VerifySignature(registry_); })) {
-          return CheckResult::Fail("ACK carries an invalid authenticator", e.seq);
-        }
-        break;
-      }
-      case EntryType::kTraceTime:
-      case EntryType::kTraceMac:
-      case EntryType::kTraceOther: {
-        TraceEvent ev;
-        try {
-          ev = TraceEvent::Deserialize(e.content);
-        } catch (const SerdeError&) {
-          return CheckResult::Fail("malformed trace entry", e.seq);
-        }
-        if (ClassifyTraceEvent(ev) != e.type) {
-          return CheckResult::Fail("trace entry filed under the wrong stream", e.seq);
-        }
-        if (ev.kind == TraceKind::kOutPacket) {
-          if (ev.data.size() < 4) {
-            return CheckResult::Fail("guest TX packet shorter than its header", e.seq);
-          }
-          current_tx_tail_.assign(ev.data.begin() + 4, ev.data.end());
-          have_tx_ = true;
-        } else if (ev.kind == TraceKind::kDmaPacket) {
-          // Every packet delivered into the AVM must be one the machine
-          // actually received (in order).
-          if (recv_queue_.empty()) {
-            if (cfg_.strict_message_crossref) {
-              return CheckResult::Fail("packet delivered into AVM without matching RECV", e.seq);
-            }
-          } else if (BytesEqual(recv_queue_.front(), ev.data)) {
-            recv_queue_.pop_front();
-          } else if (cfg_.strict_message_crossref) {
-            return CheckResult::Fail("delivered packet differs from received message", e.seq);
-          }
-        }
-        break;
-      }
-      case EntryType::kSnapshot: {
-        try {
-          SnapshotMeta::Deserialize(e.content);
-        } catch (const SerdeError&) {
-          return CheckResult::Fail("malformed snapshot entry", e.seq);
-        }
-        break;
-      }
-      case EntryType::kInfo:
-        if (PeerCommitRecord::IsPeerCommit(e.content)) {
-          return FeedPeerCommit(e);
-        }
-        break;
-    }
-    return CheckResult::Ok();
-  }
-
-  // Strict scans must end with nothing pending: an unproven entry means
-  // the log accepted a message no signed commitment ever covered.
-  CheckResult Finalize() const {
-    if (!cfg_.strict_message_crossref) {
-      // Spot-check windows can end mid-window; the commitment proving
-      // their tail lives outside the segment, so pending entries are
-      // tolerated here. The audit cannot know the log's sign mode, so
-      // this leniency extends to signature-less entries a sync-mode
-      // cheater might plant -- consistent with the window's other
-      // relaxations (ack pairing, mid-queue crossref), spot checks
-      // trade that coverage for cost; the strict full audit is the
-      // authoritative verdict and fails any unproven entry.
-      return CheckResult::Ok();
-    }
-    uint64_t first_bad = UINT64_MAX;
-    for (const PendingRecv& p : pending_recvs_) {
-      first_bad = std::min(first_bad, p.seq);
-    }
-    for (const PendingAck& p : pending_acks_) {
-      first_bad = std::min(first_bad, p.seq);
-    }
-    if (first_bad != UINT64_MAX) {
-      return CheckResult::Fail("entry not covered by the peer's signed batch commitment",
-                               first_bad);
-    }
-    return CheckResult::Ok();
-  }
-
- private:
-  // What a peer's verified batch commitments have proven so far.
-  struct PeerProof {
-    bool seen = false;
-    uint64_t commit_seq = 0;  // Chain position of the last commitment.
-    Hash256 commit_hash;
-    std::set<Hash256> send_contents;     // H(content) of proven SEND links.
-    std::map<uint64_t, Hash256> chain;   // Proven seq -> chain hash.
-  };
-  struct PendingRecv {
-    uint64_t seq;
-    NodeId src;
-    Hash256 content_hash;
-  };
-  struct PendingAck {
-    uint64_t seq;
-    Authenticator auth;
-  };
-
-  CheckResult FeedPeerCommit(const LogEntry& e) {
-    PeerCommitRecord rec;
-    try {
-      rec = PeerCommitRecord::Deserialize(e.content);
-    } catch (const SerdeError&) {
-      return CheckResult::Fail("malformed peer-commit entry", e.seq);
-    }
-    if (rec.batch.commit.node != rec.peer) {
-      return CheckResult::Fail("peer-commit names the wrong node", e.seq);
-    }
-    PeerProof& proof = peer_proofs_[rec.peer];
-    if (proof.seen) {
-      // Each record extends the previous one: the walk start must be the
-      // last commitment, so the proofs form one connected chain.
-      if (rec.batch.prior_seq != proof.commit_seq ||
-          rec.batch.prior_hash != proof.commit_hash) {
-        return CheckResult::Fail("peer-commit does not extend the previous commitment", e.seq);
-      }
-    } else if (cfg_.strict_message_crossref &&
-               (rec.batch.prior_seq != 0 || !rec.batch.prior_hash.IsZero())) {
-      // A full log's first proof for a peer must anchor at the peer's
-      // log head; spot-check windows may start mid-history.
-      return CheckResult::Fail("peer-commit does not anchor at the peer's log head", e.seq);
-    }
-    CheckResult ok = rec.batch.Verify(registry_);  // Walk + one RSA check.
-    if (!ok.ok) {
-      return CheckResult::Fail("peer-commit invalid: " + ok.reason, e.seq);
-    }
-    Hash256 h = rec.batch.prior_hash;
-    for (const ChainLink& l : rec.batch.links) {
-      h = ApplyChainLink(h, l);
-      proof.chain[l.seq] = h;
-      if (l.type == EntryType::kSend) {
-        proof.send_contents.insert(l.content_hash);
-      }
-    }
-    proof.seen = true;
-    proof.commit_seq = rec.batch.commit.seq;
-    proof.commit_hash = rec.batch.commit.hash;
-
-    // Resolve anything this window proves (proof may arrive before or
-    // after the entry it covers; both orders are legitimate).
-    std::erase_if(pending_recvs_, [&](const PendingRecv& p) {
-      return p.src == rec.peer && proof.send_contents.count(p.content_hash) > 0;
-    });
-    std::erase_if(pending_acks_, [&](const PendingAck& p) {
-      if (p.auth.node != rec.peer) {
-        return false;
-      }
-      auto it = proof.chain.find(p.auth.seq);
-      return it != proof.chain.end() && it->second == p.auth.hash;
-    });
-    return CheckResult::Ok();
-  }
-
-  NodeId node_;
-  const KeyRegistry& registry_;
-  AuditConfig cfg_;
-  // RECV payloads waiting to be delivered into the guest (FIFO).
-  std::deque<Bytes> recv_queue_;
-  // Tail (bytes after the 4-byte dst header) of the latest guest TX.
-  Bytes current_tx_tail_;
-  bool have_tx_ = false;
-  // msg_ids this node has sent (for ack pairing).
-  std::map<std::pair<NodeId, uint64_t>, bool> sent_ids_;
-  // Batched-mode bookkeeping.
-  std::map<NodeId, PeerProof> peer_proofs_;
-  std::vector<PendingRecv> pending_recvs_;
-  std::vector<PendingAck> pending_acks_;
-};
 
 CheckResult SyntacticMessageCheck(const LogSegment& segment, const KeyRegistry& registry,
                                   const AuditConfig& cfg, ThreadPool* pool) {
   SigVerdicts precomputed;
   if (pool != nullptr && pool->thread_count() > 1) {
-    precomputed = PrecomputeSignatureChecks(segment, registry, *pool);
+    precomputed = PrecomputeMessageSigVerdicts(segment, registry, *pool);
   }
-  MessageCheckState state(segment.node, registry, cfg);
+  MessageCheckState state(segment.node, registry, cfg.strict_message_crossref);
   for (size_t i = 0; i < segment.entries.size(); i++) {
     int8_t verdict = i < precomputed.size() ? precomputed[i] : int8_t{-1};
     CheckResult r = state.Feed(segment.entries[i], verdict);
@@ -408,18 +81,15 @@ CheckResult StreamingSyntacticCheck(const SegmentSource& source,
   if (by_seq.empty()) {
     return CheckResult::Fail("no authenticator covers the segment; cannot establish authenticity");
   }
-  MessageCheckState state(source.node(), registry, cfg);
+  MessageCheckState state(source.node(), registry, cfg.strict_message_crossref);
   Hash256 prev = Hash256::Zero();
   uint64_t expect_seq = 1;
   CheckResult result = CheckResult::Ok();
   try {
     source.Scan(1, last, [&](const LogEntry& e) {
-      if (e.seq != expect_seq) {
-        result = CheckResult::Fail("non-consecutive sequence numbers", e.seq);
-        return false;
-      }
-      if (ChainHash(prev, e.seq, e.type, e.content) != e.hash) {
-        result = CheckResult::Fail("hash chain broken", e.seq);
+      CheckResult link = CheckChainLink(prev, expect_seq, e);
+      if (!link.ok) {
+        result = link;
         return false;
       }
       auto [first, end] = by_seq.equal_range(e.seq);
@@ -498,9 +168,59 @@ AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
   out.log_bytes = segment.Serialize().size();
   out.snapshot_bytes = snapshot_bytes;
 
+  // Pipelined mode: replay the segment on a worker while this thread
+  // runs the message-stream check, instead of strictly after it. Replay
+  // only starts once the chain + authenticators verified — a forged
+  // segment is still rejected for the price of a hash pass and a few
+  // RSA checks, never a (attacker-sized) replay; what overlaps is the
+  // expensive per-message RSA scan. The verdict assembly below is
+  // order-identical to the sequential phases: a syntactic failure
+  // discards the replay result (and any replay exception a hostile
+  // segment provoked — sequentially the replay would never have run).
+  ReplayResult pipelined_replay;
+  std::exception_ptr pipelined_replay_err;
+  double pipelined_sem_seconds = 0;
+  const bool pipelined = pool != nullptr && cfg_.pipelined;
+  bool replay_submitted = false;
+  // Set once the syntactic verdict is a failure: the replay result is
+  // discarded in that case, so the task stops feeding at its next chunk
+  // boundary instead of replaying the rest for nothing.
+  std::atomic<bool> replay_moot{false};
+  PoolJoinGuard join_guard{pipelined ? pool : nullptr, &replay_moot};
+
   WallTimer syn_timer;
   out.syntactic = VerifyAgainstAuthenticators(segment, auths, *registry_, pool);
   if (out.syntactic.ok) {
+    if (pipelined) {
+      replay_submitted = true;
+      pool->Submit([&] {
+        WallTimer sem_timer;
+        try {
+          // In-place construction: the replayer registers itself as the
+          // machine's device backend, so it must never move.
+          std::optional<StreamingReplayer> replayer;
+          if (start_state != nullptr) {
+            replayer.emplace(*start_state);
+          } else {
+            replayer.emplace(reference_image, cfg_.mem_size);
+          }
+          constexpr size_t kReplayChunk = 4096;
+          std::span<const LogEntry> entries(segment.entries);
+          size_t pos = 0;
+          while (pos < entries.size() && !replay_moot.load(std::memory_order_relaxed)) {
+            const size_t n = std::min(kReplayChunk, entries.size() - pos);
+            replayer->Feed(entries.subspan(pos, n));
+            pos += n;
+          }
+          if (!replay_moot.load(std::memory_order_relaxed)) {
+            pipelined_replay = replayer->Finish();
+          }
+        } catch (...) {
+          pipelined_replay_err = std::current_exception();
+        }
+        pipelined_sem_seconds = sem_timer.ElapsedSeconds();
+      });
+    }
     AuditConfig cfg = cfg_;
     cfg.strict_message_crossref = strict_crossref;
     out.syntactic = SyntacticMessageCheck(segment, *registry_, cfg, pool);
@@ -509,6 +229,12 @@ AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
     out.syntactic = VerifyAttestedInputs(segment, *registry_);
   }
   out.syntactic_seconds = syn_timer.ElapsedSeconds();
+  if (!out.syntactic.ok) {
+    replay_moot.store(true, std::memory_order_relaxed);
+  }
+  if (replay_submitted) {
+    pool->Wait();
+  }
 
   if (!out.syntactic.ok) {
     Evidence ev;
@@ -525,11 +251,19 @@ AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
     return out;
   }
 
-  WallTimer sem_timer;
-  out.semantic = start_state != nullptr
-                     ? ReplaySegment(segment, *start_state)
-                     : ReplaySegment(segment, reference_image, cfg_.mem_size);
-  out.semantic_seconds = sem_timer.ElapsedSeconds();
+  if (replay_submitted) {
+    if (pipelined_replay_err != nullptr) {
+      std::rethrow_exception(pipelined_replay_err);
+    }
+    out.semantic = pipelined_replay;
+    out.semantic_seconds = pipelined_sem_seconds;
+  } else {
+    WallTimer sem_timer;
+    out.semantic = start_state != nullptr
+                       ? ReplaySegment(segment, *start_state)
+                       : ReplaySegment(segment, reference_image, cfg_.mem_size);
+    out.semantic_seconds = sem_timer.ElapsedSeconds();
+  }
 
   out.ok = out.semantic.ok;
   if (!out.ok) {
@@ -577,14 +311,23 @@ AuditOutcome UnreadableSourceOutcome(const std::runtime_error& e) {
 
 AuditOutcome Auditor::AuditFull(const Avmm& target, const SegmentSource& source,
                                 ByteView reference_image, std::span<const Authenticator> auths) {
+  ThreadPool* pool = EnsurePool();
+  if (pool != nullptr && cfg_.pipelined && source.LastSeq() >= 1) {
+    // Streaming pipeline: the syntactic check of chunk i+1 overlaps the
+    // replay of chunk i, and only O(chunk) entries are materialized at
+    // a time. Verdicts are bit-for-bit the sequential path's.
+    AuditConfig cfg = cfg_;
+    cfg.strict_message_crossref = true;
+    return PipelinedStreamingAuditFull(target, source, reference_image, auths, *registry_, cfg,
+                                       *pool);
+  }
   LogSegment segment;
   try {
     segment = source.Extract(1, source.LastSeq());
   } catch (const std::runtime_error& e) {
     return UnreadableSourceOutcome(e);
   }
-  return Run(target, segment, auths, reference_image, nullptr, 0, /*strict_crossref=*/true,
-             EnsurePool());
+  return Run(target, segment, auths, reference_image, nullptr, 0, /*strict_crossref=*/true, pool);
 }
 
 AuditOutcome Auditor::SpotCheck(const Avmm& target, uint64_t from_snapshot_id,

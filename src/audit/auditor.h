@@ -36,6 +36,18 @@ struct AuditConfig {
   // order). Spot-check segments can begin mid-queue, so the check is
   // relaxed to packets visible within the segment.
   bool strict_message_crossref = true;
+  // Overlap the syntactic check with the semantic check (deterministic
+  // replay) on the worker pool: replay runs concurrently with hashing +
+  // signature verification instead of strictly after it, and the
+  // store-backed AuditFull streams chunk i+1 through the syntactic
+  // checks while chunk i replays (O(chunk) memory). Takes effect only
+  // when the resolved thread count is > 1; every verdict — audit,
+  // spot check, evidence kind, failure seq — is bit-for-bit identical
+  // to the sequential phases (asserted by pipeline_audit_test), only
+  // wall-clock time changes.
+  bool pipelined = true;
+  // Entries per chunk for the store-backed streaming pipeline.
+  size_t pipeline_chunk_entries = 2048;
 };
 
 // The §4.4/§4.5 syntactic check on a segment whose chain/authenticators
@@ -162,6 +174,15 @@ class Auditor {
 // corruption (bad CRC, truncated segment) surfaces as a failed check,
 // not an exception. Single-threaded by construction (the stream is
 // consumed in order), so there is no pool parameter.
+//
+// NOTE: this triage entry point reports the *first failure in seq
+// order* with the checks interleaved per entry — intentionally not the
+// phase-priority ordering of AuditFull (chain, then authenticators,
+// then message stream), which ChunkedSyntacticChecker in
+// src/audit/pipeline.h reproduces. When touching the chain rule or the
+// authenticator checks, update all three walks (VerifyChain, this, the
+// chunked checker) — the equivalence tests in pipeline_audit_test and
+// store_test will catch drift.
 CheckResult StreamingSyntacticCheck(const SegmentSource& source,
                                     std::span<const Authenticator> auths,
                                     const KeyRegistry& registry, const AuditConfig& cfg);

@@ -1,0 +1,108 @@
+// The message-stream state machine of the §4.4/§4.5 syntactic check,
+// factored so the same code runs over a materialized segment
+// (SyntacticMessageCheck), over a streaming cursor
+// (StreamingSyntacticCheck), and over the chunked pipelined audit
+// (src/audit/pipeline.h). Feed() consumes entries in log order;
+// `sig_verdict` is a precomputed RSA result (-1 = verify inline), so
+// the batch path with a pool and every streaming path produce identical
+// verdicts at identical seqs.
+//
+// Batched/async sign modes elide per-message signatures: SEND/RECV
+// entries carry an empty payload signature and ACK entries an unsigned
+// authenticator. A signature-less SEND needs no extra check (the
+// chain + the node's own authenticators already commit it); a
+// signature-less RECV or ACK is held *pending* until a PeerCommitRecord
+// (logged by the transport when the peer's windowed commitment
+// verified) proves the peer's signed chain contains the matching
+// SEND(m) / RECV(m). Finalize() fails any entry still unproven at the
+// end of a strict scan. Sync-mode logs contain no empty signatures
+// under a real scheme and no PeerCommitRecords, so their verdicts are
+// bit-for-bit unchanged.
+#ifndef SRC_AUDIT_MESSAGE_CHECK_H_
+#define SRC_AUDIT_MESSAGE_CHECK_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/avmm/message.h"
+#include "src/tel/log.h"
+#include "src/tel/verifier.h"
+
+namespace avm {
+
+struct AuditConfig;
+class ThreadPool;
+
+// Parses the (MessageRecord, payload_sig) pair stored in SEND/RECV
+// entries. Returns false on malformed content.
+bool ParseMessageEntry(const LogEntry& e, MessageRecord* msg, Bytes* sig);
+
+// Signature verdicts for one run of entries, indexed by position:
+// -1 = nothing precomputed (the sequential scan verifies inline),
+// 0/1 = the entry's RSA check failed/passed.
+using SigVerdicts = std::vector<int8_t>;
+
+// Fans the per-entry RSA verifications — SEND/RECV payload signatures
+// and ACK authenticators — across the pool. Only entries that parse and
+// pass their node check are precomputed; those are exactly the entries
+// whose signatures the sequential scan would reach, so consuming the
+// verdicts in order yields an identical result. (For a segment that
+// fails earlier for a non-signature reason this does some wasted
+// verifications; verdict-changing it is not.)
+SigVerdicts PrecomputeMessageSigVerdicts(const LogSegment& segment, const KeyRegistry& registry,
+                                         ThreadPool& pool);
+
+class MessageCheckState {
+ public:
+  MessageCheckState(NodeId node, const KeyRegistry& registry, bool strict_message_crossref)
+      : node_(std::move(node)), registry_(registry), strict_(strict_message_crossref) {}
+
+  CheckResult Feed(const LogEntry& e, int8_t sig_verdict);
+
+  // Strict scans must end with nothing pending: an unproven entry means
+  // the log accepted a message no signed commitment ever covered.
+  CheckResult Finalize() const;
+
+ private:
+  // What a peer's verified batch commitments have proven so far.
+  struct PeerProof {
+    bool seen = false;
+    uint64_t commit_seq = 0;  // Chain position of the last commitment.
+    Hash256 commit_hash;
+    std::set<Hash256> send_contents;    // H(content) of proven SEND links.
+    std::map<uint64_t, Hash256> chain;  // Proven seq -> chain hash.
+  };
+  struct PendingRecv {
+    uint64_t seq;
+    NodeId src;
+    Hash256 content_hash;
+  };
+  struct PendingAck {
+    uint64_t seq;
+    Authenticator auth;
+  };
+
+  CheckResult FeedPeerCommit(const LogEntry& e);
+
+  NodeId node_;
+  const KeyRegistry& registry_;
+  bool strict_;
+  // RECV payloads waiting to be delivered into the guest (FIFO).
+  std::deque<Bytes> recv_queue_;
+  // Tail (bytes after the 4-byte dst header) of the latest guest TX.
+  Bytes current_tx_tail_;
+  bool have_tx_ = false;
+  // msg_ids this node has sent (for ack pairing).
+  std::map<std::pair<NodeId, uint64_t>, bool> sent_ids_;
+  // Batched-mode bookkeeping.
+  std::map<NodeId, PeerProof> peer_proofs_;
+  std::vector<PendingRecv> pending_recvs_;
+  std::vector<PendingAck> pending_acks_;
+};
+
+}  // namespace avm
+
+#endif  // SRC_AUDIT_MESSAGE_CHECK_H_

@@ -1,0 +1,109 @@
+// The pipelined audit (perf layer over §4.5).
+//
+// A full audit has two phases: the syntactic check (hash chain,
+// authenticator RSA, message-stream cross-reference) and the semantic
+// check (deterministic replay). The sequential auditor runs them
+// strictly in order; the pipeline overlaps them — the syntactic check
+// of chunk i+1 runs on a worker while chunk i replays — without
+// changing a single verdict. Two pieces:
+//
+//  * ChunkedSyntacticChecker: the whole-segment syntactic check as an
+//    incremental consumer of entry runs. It records every failure
+//    category separately (chain rule, authenticator, message stream,
+//    attested input) and Finalize() assembles them in exactly the
+//    priority order of the sequential composition
+//    VerifyAgainstAuthenticators -> SyntacticMessageCheck ->
+//    VerifyAttestedInputs, so the reported verdict — reason and seq —
+//    is bit-for-bit the sequential one even though the scan interleaves
+//    the checks per chunk.
+//
+//  * PipelinedStreamingAuditFull: the store-backed full audit driver.
+//    A pool task extracts chunk after chunk from the SegmentSource
+//    (O(chunk) memory, SegmentCursor-style) and feeds the checker; the
+//    calling thread replays the chunks from a small bounded queue.
+//    Unreadable-source, syntactic and semantic outcomes mirror the
+//    sequential Auditor::AuditFull exactly.
+#ifndef SRC_AUDIT_PIPELINE_H_
+#define SRC_AUDIT_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "src/audit/auditor.h"
+#include "src/audit/message_check.h"
+#include "src/avmm/attested_input.h"
+
+namespace avm {
+
+class ChunkedSyntacticChecker {
+ public:
+  // `auths` must outlive the checker. `first_seq`/`last_seq` bound the
+  // authenticator coverage exactly as VerifyAgainstAuthenticators does
+  // with the materialized segment; `prior_hash` is the segment's prior
+  // chain hash (Zero for a log audited from its head).
+  // `auth_sig_verdicts`, when nonempty, is indexed like `auths`:
+  // -1 = verify the RSA signature inline when the seq streams by,
+  // 0/1 = precomputed invalid/valid (so a caller that already verified
+  // a signature — e.g. the streaming driver's replay gate — does not
+  // pay for it twice). Precomputed values must equal what
+  // VerifySignature would return; verdicts are then identical.
+  ChunkedSyntacticChecker(const NodeId& node, uint64_t first_seq, uint64_t last_seq,
+                          const Hash256& prior_hash, std::span<const Authenticator> auths,
+                          const KeyRegistry& registry, const AuditConfig& cfg,
+                          std::span<const int8_t> auth_sig_verdicts = {});
+
+  // Consumes the next run of entries (in log order, continuing the
+  // previous runs). `smc_verdicts`, when nonempty, is indexed like
+  // `entries` and carries PrecomputeMessageSigVerdicts results for the
+  // message-stream scan (-1 = verify inline).
+  void Feed(std::span<const LogEntry> entries, std::span<const int8_t> smc_verdicts = {});
+
+  // True if any failure has been recorded; the final outcome will be a
+  // syntactic failure, so replay work can be skipped (its result would
+  // be discarded).
+  bool AnyFailure() const;
+
+  // The verdict of the sequential syntactic composition over everything
+  // fed so far.
+  CheckResult Finalize() const;
+
+ private:
+  const AuditConfig cfg_;
+  const KeyRegistry& registry_;
+  std::span<const Authenticator> auths_;
+  std::span<const int8_t> auth_sig_verdicts_;
+  Hash256 prior_hash_;   // Expected prior hash of the next entry.
+  uint64_t expect_seq_ = 0;
+  bool started_ = false;
+  uint64_t fed_ = 0;
+
+  // seq -> indices into auths_, in span order (the order the sequential
+  // scan reports authenticator failures in).
+  std::multimap<uint64_t, size_t> auth_by_seq_;
+  bool any_auth_relevant_ = false;
+
+  CheckResult chain_fail_;     // First chain-rule/seq failure, entry order.
+  size_t auth_fail_idx_;       // Smallest failing authenticator span index.
+  CheckResult auth_fail_;
+  CheckResult smc_fail_;       // First message-stream failure, entry order.
+  CheckResult attested_fail_;  // First attested-input failure, entry order.
+
+  MessageCheckState smc_;
+  std::optional<AttestedInputScanner> attested_;
+};
+
+// Store-backed full audit with the syntactic check of chunk i+1
+// overlapping the replay of chunk i. Requires pool.thread_count() > 1
+// and source.LastSeq() >= 1; verdicts (including unreadable-source
+// handling and evidence) are identical to the sequential AuditFull.
+AuditOutcome PipelinedStreamingAuditFull(const Avmm& target, const SegmentSource& source,
+                                         ByteView reference_image,
+                                         std::span<const Authenticator> auths,
+                                         const KeyRegistry& registry, const AuditConfig& cfg,
+                                         ThreadPool& pool);
+
+}  // namespace avm
+
+#endif  // SRC_AUDIT_PIPELINE_H_

@@ -42,47 +42,56 @@ bool AttestedInputEvent::Verify(const KeyRegistry& registry) const {
   return registry.Verify(device, SignedPayload(device, index, code), signature);
 }
 
-CheckResult VerifyAttestedInputs(const LogSegment& segment, const KeyRegistry& registry) {
-  NodeId device = InputDeviceId(segment.node);
-  if (!registry.Knows(device)) {
+AttestedInputScanner::AttestedInputScanner(const NodeId& node, const KeyRegistry& registry)
+    : device_(InputDeviceId(node)), registry_(registry), device_known_(registry.Knows(device_)) {}
+
+CheckResult AttestedInputScanner::Feed(const LogEntry& e) {
+  if (!device_known_) {
     return CheckResult::Fail("node declares attested input but no device key is registered");
   }
-  uint64_t last_index = 0;
-  bool saw_any = false;
+  if (e.type != EntryType::kTraceOther) {
+    return CheckResult::Ok();
+  }
+  TraceEvent ev;
+  try {
+    ev = TraceEvent::Deserialize(e.content);
+  } catch (const SerdeError&) {
+    return CheckResult::Fail("malformed trace entry", e.seq);
+  }
+  if (ev.kind != TraceKind::kPortIn || ev.port != kPortInput || ev.value == 0) {
+    return CheckResult::Ok();  // Not a consumed input event.
+  }
+  // The attestation rides in the event's data field.
+  AttestedInputEvent att;
+  try {
+    att = AttestedInputEvent::Deserialize(ev.data);
+  } catch (const SerdeError&) {
+    return CheckResult::Fail("consumed input event carries no attestation", e.seq);
+  }
+  if (att.device != device_) {
+    return CheckResult::Fail("input attested by a foreign device", e.seq);
+  }
+  if (att.code != ev.value) {
+    return CheckResult::Fail("attestation covers a different input code", e.seq);
+  }
+  if (saw_any_ && att.index <= last_index_) {
+    return CheckResult::Fail("input attestation replayed (non-increasing index)", e.seq);
+  }
+  if (!att.Verify(registry_)) {
+    return CheckResult::Fail("input attestation signature invalid", e.seq);
+  }
+  last_index_ = att.index;
+  saw_any_ = true;
+  return CheckResult::Ok();
+}
+
+CheckResult VerifyAttestedInputs(const LogSegment& segment, const KeyRegistry& registry) {
+  AttestedInputScanner scanner(segment.node, registry);
   for (const LogEntry& e : segment.entries) {
-    if (e.type != EntryType::kTraceOther) {
-      continue;
+    CheckResult r = scanner.Feed(e);
+    if (!r.ok) {
+      return r;
     }
-    TraceEvent ev;
-    try {
-      ev = TraceEvent::Deserialize(e.content);
-    } catch (const SerdeError&) {
-      return CheckResult::Fail("malformed trace entry", e.seq);
-    }
-    if (ev.kind != TraceKind::kPortIn || ev.port != kPortInput || ev.value == 0) {
-      continue;  // Not a consumed input event.
-    }
-    // The attestation rides in the event's data field.
-    AttestedInputEvent att;
-    try {
-      att = AttestedInputEvent::Deserialize(ev.data);
-    } catch (const SerdeError&) {
-      return CheckResult::Fail("consumed input event carries no attestation", e.seq);
-    }
-    if (att.device != device) {
-      return CheckResult::Fail("input attested by a foreign device", e.seq);
-    }
-    if (att.code != ev.value) {
-      return CheckResult::Fail("attestation covers a different input code", e.seq);
-    }
-    if (saw_any && att.index <= last_index) {
-      return CheckResult::Fail("input attestation replayed (non-increasing index)", e.seq);
-    }
-    if (!att.Verify(registry)) {
-      return CheckResult::Fail("input attestation signature invalid", e.seq);
-    }
-    last_index = att.index;
-    saw_any = true;
   }
   return CheckResult::Ok();
 }

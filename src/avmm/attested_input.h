@@ -70,6 +70,24 @@ class InputAttestor {
   uint64_t next_index_ = 0;
 };
 
+// Streaming form of the audit-side check: Feed() entries in log order;
+// the first failure is the scan's verdict. Factored out so the chunked
+// pipelined audit (src/audit/pipeline.h) can run the identical check
+// without materializing the segment.
+class AttestedInputScanner {
+ public:
+  AttestedInputScanner(const NodeId& node, const KeyRegistry& registry);
+
+  CheckResult Feed(const LogEntry& e);
+
+ private:
+  NodeId device_;
+  const KeyRegistry& registry_;
+  bool device_known_;
+  uint64_t last_index_ = 0;
+  bool saw_any_ = false;
+};
+
 // Audit-side check over a log segment: every consumed input event (a
 // PortIn on the INPUT port with a nonzero value) must carry a valid
 // attestation with strictly increasing indices. Runs as part of the

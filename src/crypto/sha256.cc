@@ -3,6 +3,12 @@
 #include <cstring>
 #include <stdexcept>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRYPTO)
+#include <arm_neon.h>
+#endif
+
 namespace avm {
 
 namespace {
@@ -20,6 +26,171 @@ constexpr uint32_t kK[64] = {
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+// Portable FIPS 180-4 compression over `blocks` consecutive 64-byte
+// blocks. This is the reference the hardware paths must agree with.
+void CompressPortableBlocks(uint32_t state[8], const uint8_t* data, size_t blocks) {
+  for (; blocks > 0; blocks--, data += 64) {
+    const uint8_t* block = data;
+    uint32_t w[64];
+    for (int i = 0; i < 16; i++) {
+      w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
+             static_cast<uint32_t>(block[4 * i + 1]) << 16 |
+             static_cast<uint32_t>(block[4 * i + 2]) << 8 | static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; i++) {
+      uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; i++) {
+      uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t t1 = h + s1 + ch + kK[i] + w[i];
+      uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+#define AVM_SHA256_HW 1
+
+// SHA-NI compression (one _mm_sha256rnds2 pair per 4 rounds). The
+// message-schedule recurrence follows the canonical Intel dataflow:
+// next quad = msg2(msg1(W0, W1) + alignr(W3, W2, 4), W3). Quads rotate
+// through W0..W3, so W0 is always the quad entering the rounds.
+__attribute__((target("sha,sse4.1,ssse3"))) void CompressShaNiBlocks(uint32_t state[8],
+                                                                     const uint8_t* data,
+                                                                     size_t blocks) {
+  const __m128i kByteSwap = _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack {a..d}, {e..h} into the ABEF/CDGH lane order rnds2 consumes.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  for (; blocks > 0; blocks--, data += 64) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i w0 = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data)), kByteSwap);
+    __m128i w1 =
+        _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kByteSwap);
+    __m128i w2 =
+        _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kByteSwap);
+    __m128i w3 =
+        _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kByteSwap);
+
+    for (int q = 0; q < 16; q++) {
+      if (q >= 4) {
+        __m128i sched = _mm_sha256msg1_epu32(w0, w1);
+        sched = _mm_add_epi32(sched, _mm_alignr_epi8(w3, w2, 4));
+        w0 = _mm_sha256msg2_epu32(sched, w3);
+      }
+      __m128i msg = _mm_add_epi32(w0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4 * q])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      const __m128i rot = w0;
+      w0 = w1;
+      w1 = w2;
+      w2 = w3;
+      w3 = rot;
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+  }
+
+  // Unpack ABEF/CDGH back to {a..d}, {e..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool DetectShaHardware() {
+  return __builtin_cpu_supports("sha") != 0 && __builtin_cpu_supports("sse4.1") != 0 &&
+         __builtin_cpu_supports("ssse3") != 0;
+}
+
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRYPTO)
+#define AVM_SHA256_HW 1
+
+// ARMv8 crypto-extension compression; same quad-rotation dataflow as the
+// x86 path, with vsha256su0/su1 forming the schedule.
+void CompressShaNiBlocks(uint32_t state[8], const uint8_t* data, size_t blocks) {
+  uint32x4_t state0 = vld1q_u32(&state[0]);
+  uint32x4_t state1 = vld1q_u32(&state[4]);
+
+  for (; blocks > 0; blocks--, data += 64) {
+    const uint32x4_t abcd_save = state0;
+    const uint32x4_t efgh_save = state1;
+
+    uint32x4_t w0 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(data)));
+    uint32x4_t w1 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(data + 16)));
+    uint32x4_t w2 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(data + 32)));
+    uint32x4_t w3 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(data + 48)));
+
+    for (int q = 0; q < 16; q++) {
+      if (q >= 4) {
+        w0 = vsha256su1q_u32(vsha256su0q_u32(w0, w1), w2, w3);
+      }
+      const uint32x4_t msg = vaddq_u32(w0, vld1q_u32(&kK[4 * q]));
+      const uint32x4_t prev0 = state0;
+      state0 = vsha256hq_u32(state0, state1, msg);
+      state1 = vsha256h2q_u32(state1, prev0, msg);
+      const uint32x4_t rot = w0;
+      w0 = w1;
+      w1 = w2;
+      w2 = w3;
+      w3 = rot;
+    }
+
+    state0 = vaddq_u32(state0, abcd_save);
+    state1 = vaddq_u32(state1, efgh_save);
+  }
+
+  vst1q_u32(&state[0], state0);
+  vst1q_u32(&state[4], state1);
+}
+
+// Compiled only when the target baseline guarantees the extension.
+bool DetectShaHardware() { return true; }
+
+#else
+
+bool DetectShaHardware() { return false; }
+
+#endif
+
 }  // namespace
 
 Hash256 Hash256::FromBytes(ByteView b) {
@@ -31,7 +202,25 @@ Hash256 Hash256::FromBytes(ByteView b) {
   return h;
 }
 
-Sha256::Sha256() {
+bool Sha256::HardwareAvailable() {
+  static const bool available = DetectShaHardware();
+  return available;
+}
+
+namespace {
+
+decltype(&CompressPortableBlocks) ActiveCompressFn() {
+#ifdef AVM_SHA256_HW
+  if (Sha256::HardwareAvailable()) {
+    return &CompressShaNiBlocks;
+  }
+#endif
+  return &CompressPortableBlocks;
+}
+
+}  // namespace
+
+Sha256::Sha256() : compress_(ActiveCompressFn()) {
   state_[0] = 0x6a09e667;
   state_[1] = 0xbb67ae85;
   state_[2] = 0x3c6ef372;
@@ -42,46 +231,10 @@ Sha256::Sha256() {
   state_[7] = 0x5be0cd19;
 }
 
-void Sha256::Compress(const uint8_t block[64]) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; i++) {
-    w[i] = static_cast<uint32_t>(block[4 * i]) << 24 | static_cast<uint32_t>(block[4 * i + 1]) << 16 |
-           static_cast<uint32_t>(block[4 * i + 2]) << 8 | static_cast<uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; i++) {
-    uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; i++) {
-    uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t t1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+Sha256 Sha256::PortableForTesting() {
+  Sha256 h;
+  h.compress_ = &CompressPortableBlocks;
+  return h;
 }
 
 Sha256& Sha256::Update(ByteView data) {
@@ -95,13 +248,14 @@ Sha256& Sha256::Update(ByteView data) {
       buf_[buf_len_++] = data[i++];
     }
     if (buf_len_ == 64) {
-      Compress(buf_);
+      compress_(state_, buf_, 1);
       buf_len_ = 0;
     }
   }
-  while (i + 64 <= data.size()) {
-    Compress(data.data() + i);
-    i += 64;
+  if (i + 64 <= data.size()) {
+    const size_t blocks = (data.size() - i) / 64;
+    compress_(state_, data.data() + i, blocks);
+    i += blocks * 64;
   }
   while (i < data.size()) {
     buf_[buf_len_++] = data[i++];
@@ -147,7 +301,7 @@ Hash256 Sha256::Finish() {
       buf_[buf_len_++] = pad[i++];
     }
     if (buf_len_ == 64) {
-      Compress(buf_);
+      compress_(state_, buf_, 1);
       buf_len_ = 0;
     }
   }

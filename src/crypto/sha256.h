@@ -37,7 +37,12 @@ struct Hash256 {
   static Hash256 FromBytes(ByteView b);
 };
 
-// Streaming SHA-256.
+// Streaming SHA-256. The compression function is dispatched at
+// construction: x86 SHA-NI when the CPU has it (runtime-detected), the
+// ARMv8 crypto extensions when the aarch64 target baseline enables them
+// (__ARM_FEATURE_CRYPTO, i.e. -march=...+crypto — same policy as
+// CRC-32C), and the portable FIPS 180-4 implementation otherwise.
+// Digests are identical either way (sha256_test's agreement sweep).
 class Sha256 {
  public:
   Sha256();
@@ -54,9 +59,17 @@ class Sha256 {
   static Hash256 Digest(ByteView data);
   static Hash256 Digest(std::string_view s);
 
- private:
-  void Compress(const uint8_t block[64]);
+  // True when the hardware compression unit is compiled in and present.
+  static bool HardwareAvailable();
+  // A hasher pinned to the portable compression function, for the
+  // hardware/portable agreement tests (mirrors Crc32cPortable).
+  static Sha256 PortableForTesting();
 
+ private:
+  // Compresses `blocks` consecutive 64-byte blocks.
+  using CompressFn = void (*)(uint32_t state[8], const uint8_t* data, size_t blocks);
+
+  CompressFn compress_;
   uint32_t state_[8];
   uint64_t total_len_ = 0;
   uint8_t buf_[64];

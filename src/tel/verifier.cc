@@ -5,6 +5,16 @@
 
 namespace avm {
 
+CheckResult CheckChainLink(const Hash256& prev, uint64_t expect_seq, const LogEntry& e) {
+  if (e.seq != expect_seq) {
+    return CheckResult::Fail("non-consecutive sequence numbers", e.seq);
+  }
+  if (ChainHash(prev, e.seq, e.type, e.content) != e.hash) {
+    return CheckResult::Fail("hash chain broken", e.seq);
+  }
+  return CheckResult::Ok();
+}
+
 namespace {
 
 // Checks link i of the chain: entry i must continue the stored hash of
@@ -14,17 +24,9 @@ namespace {
 // checking accepts exactly the same segments — and rejects at the same
 // entry, because the sequential scan only reaches entry i after entries
 // [0, i) matched their stored hashes.
-CheckResult CheckChainLink(const LogSegment& segment, size_t i) {
-  const LogEntry& e = segment.entries[i];
+CheckResult CheckSegmentLink(const LogSegment& segment, size_t i) {
   const Hash256& prev = i == 0 ? segment.prior_hash : segment.entries[i - 1].hash;
-  uint64_t expected_seq = segment.entries.front().seq + i;
-  if (e.seq != expected_seq) {
-    return CheckResult::Fail("non-consecutive sequence numbers", e.seq);
-  }
-  if (ChainHash(prev, e.seq, e.type, e.content) != e.hash) {
-    return CheckResult::Fail("hash chain broken", e.seq);
-  }
-  return CheckResult::Ok();
+  return CheckChainLink(prev, segment.entries.front().seq + i, segment.entries[i]);
 }
 
 }  // namespace
@@ -43,7 +45,7 @@ CheckResult VerifyChain(const LogSegment& segment, ThreadPool* pool) {
   size_t n = segment.entries.size();
   if (pool == nullptr || pool->thread_count() <= 1 || n <= 1) {
     for (size_t i = 0; i < n; i++) {
-      CheckResult r = CheckChainLink(segment, i);
+      CheckResult r = CheckSegmentLink(segment, i);
       if (!r.ok) {
         return r;
       }
@@ -51,7 +53,7 @@ CheckResult VerifyChain(const LogSegment& segment, ThreadPool* pool) {
     return CheckResult::Ok();
   }
   std::vector<CheckResult> results(n);
-  pool->ParallelFor(n, [&](size_t i) { results[i] = CheckChainLink(segment, i); });
+  pool->ParallelFor(n, [&](size_t i) { results[i] = CheckSegmentLink(segment, i); });
   for (const CheckResult& r : results) {
     if (!r.ok) {
       return r;

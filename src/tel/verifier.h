@@ -28,6 +28,12 @@ struct CheckResult {
   }
 };
 
+// One link of the chain rule: `e` must carry `expect_seq` and extend
+// `prev` per the hash rule (seq checked first, as every scan does).
+// The single source of truth shared by VerifyChain, the streaming
+// syntactic check and the chunked pipelined checker.
+CheckResult CheckChainLink(const Hash256& prev, uint64_t expect_seq, const LogEntry& e);
+
 // Recomputes the hash chain across the segment: sequence numbers must be
 // consecutive and every h_i must match the hash rule. Detects in-segment
 // tampering, reordering, insertion and deletion.

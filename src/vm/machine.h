@@ -62,6 +62,21 @@ enum class RunExit {
   kFault,          // Illegal instruction / bad memory access.
 };
 
+// One pre-decoded instruction of the decoded cache: the fields of Insn
+// with the sign extension already applied, so the hot loop never touches
+// the encoding again. Kept per word (index pc/4) and validated per page,
+// so self-modifying guests re-decode exactly the pages they overwrite.
+struct DecodedInsn {
+  uint8_t opcode = 0;  // Raw opcode byte; dispatch key.
+  uint8_t ra = 0;
+  uint8_t rb = 0;
+  uint8_t pad_ = 0;
+  int32_t simm = 0;  // Sign-extended immediate; truncate back to 16 bits
+                     // for the zero-extended uses (ORI, MOVHI, ports).
+
+  uint16_t Imm() const { return static_cast<uint16_t>(simm); }
+};
+
 class Machine {
  public:
   // mem_size must be a multiple of kPageSize and large enough for the
@@ -117,11 +132,33 @@ class Machine {
   // interpreter down while attached; intended for offline replay only.
   void set_observer(InstructionObserver* o) { observer_ = o; }
 
+  // Toggles the pre-decoded instruction cache + threaded-dispatch fast
+  // path. Off runs the original per-word-decode Step() loop; execution
+  // is bit-for-bit identical either way (asserted by machine_test and
+  // the replay-equivalence tests), only the speed differs.
+  void set_decoded_cache_enabled(bool on) { icache_enabled_ = on; }
+  bool decoded_cache_enabled() const { return icache_enabled_; }
+  // True when the build uses computed-goto threaded dispatch (GNU/Clang
+  // with AVM_THREADED_DISPATCH); false for the portable switch fallback.
+  static bool ThreadedDispatchCompiledIn();
+
  private:
   bool Step();  // Returns false when execution must stop (halt/fault).
   bool StepObserved();  // Step() + InstructionObserver notification.
   void Fault(const std::string& why);
   void TakeIrqIfPending();
+
+  // The fast path: decoded-cache + threaded-dispatch execution until
+  // `target_icount` (or halt/fault). Only entered with no observer.
+  RunExit RunLoop(uint64_t target_icount);
+  void DecodePage(size_t page);
+  // Drops the decoded entries of the page containing byte `addr`; called
+  // from every memory-write path next to the dirty_ marking.
+  void InvalidateDecoded(uint32_t addr) {
+    if (!icache_valid_.empty()) {
+      icache_valid_[addr / kPageSize] = 0;
+    }
+  }
 
   CpuState cpu_;
   std::vector<uint8_t> mem_;
@@ -130,6 +167,11 @@ class Machine {
   std::string fault_reason_;
   DeviceBackend* backend_;
   InstructionObserver* observer_ = nullptr;
+
+  // Decoded instruction cache (allocated lazily on first fast-path run).
+  bool icache_enabled_ = true;
+  std::vector<DecodedInsn> icache_;    // One slot per 32-bit word.
+  std::vector<uint8_t> icache_valid_;  // One flag per page.
 };
 
 // A trivial backend for tests: IN returns scripted constants (0 default),

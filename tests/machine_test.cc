@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/util/prng.h"
 #include "src/vm/assembler.h"
 #include "src/vm/machine.h"
 
@@ -400,6 +401,141 @@ TEST(Machine, EncodeDecodeRoundTrip) {
 TEST(Machine, SImmSignExtension) {
   Insn in = Decode(Encode(Op::kAddi, 1, 0, 0xffff));
   EXPECT_EQ(in.SImm(), -1);
+}
+
+// Regression: the bounds checks used `addr + 4 > mem_.size()`, which
+// wraps for addr >= 0xFFFFFFFC and waved the access through into an
+// out-of-bounds memcpy.
+TEST(Machine, HostMem32BoundsCheckDoesNotWrap) {
+  NullBackend backend;
+  Machine m(kMem, &backend);
+  EXPECT_THROW(m.ReadMem32(0xFFFFFFFCu), std::out_of_range);
+  EXPECT_THROW(m.WriteMem32(0xFFFFFFFCu, 1), std::out_of_range);
+  EXPECT_THROW(m.ReadMem32(0xFFFFFFF8u), std::out_of_range);
+}
+
+TEST(Machine, GuestMem32AtTopOfAddressSpaceFaults) {
+  for (const char* op : {"lw r2, [r1]", "sw r2, [r1]"}) {
+    for (bool cache : {false, true}) {
+      NullBackend backend;
+      Machine m(kMem, &backend);
+      m.set_decoded_cache_enabled(cache);
+      m.LoadImage(Assemble(std::string("la r1, 0xFFFFFFFC\n ") + op + "\n halt"));
+      EXPECT_EQ(m.Run(10), RunExit::kFault) << op << " cache=" << cache;
+      EXPECT_TRUE(m.faulted());
+    }
+  }
+}
+
+// --- Decoded-cache / threaded-dispatch equivalence ---------------------
+//
+// The fast path (decoded cache + threaded dispatch) must retire
+// bit-for-bit the architectural state of the original per-word-decode
+// Step() loop, which stays reachable via set_decoded_cache_enabled(false).
+
+// Runs the same image on both paths in lockstep quanta and compares the
+// full architectural state, fault status and memory.
+void ExpectBothPathsAgree(const Bytes& image, const std::vector<uint64_t>& quanta,
+                          const std::vector<std::pair<int, uint32_t>>& irqs_at_quantum = {}) {
+  NullBackend b0, b1;
+  Machine fast(kMem, &b0), slow(kMem, &b1);
+  fast.LoadImage(image);
+  slow.LoadImage(image);
+  slow.set_decoded_cache_enabled(false);
+  for (size_t q = 0; q < quanta.size(); q++) {
+    for (const auto& [at, cause] : irqs_at_quantum) {
+      if (static_cast<size_t>(at) == q) {
+        fast.RaiseIrq(cause);
+        slow.RaiseIrq(cause);
+      }
+    }
+    RunExit ef = fast.Run(quanta[q]);
+    RunExit es = slow.Run(quanta[q]);
+    ASSERT_EQ(ef, es) << "exit differs at quantum " << q;
+    ASSERT_TRUE(fast.cpu() == slow.cpu()) << "cpu state differs at quantum " << q;
+    ASSERT_EQ(fast.faulted(), slow.faulted());
+    ASSERT_EQ(fast.fault_reason(), slow.fault_reason());
+    ASSERT_EQ(fast.ReadMemRange(0, kMem), slow.ReadMemRange(0, kMem))
+        << "memory differs at quantum " << q;
+  }
+}
+
+TEST(MachineEquivalence, SelfModifyingCodeInvalidatesDecodedCache) {
+  // The guest overwrites the instruction at `patch:` (addi r1, 1 ->
+  // addi r1, 5) after 3 loop iterations, then keeps running it; a stale
+  // decoded cache would keep executing the old increment.
+  Bytes image = Assemble(R"(
+    movi r1, 0
+    movi r2, 0
+    la r3, patch
+    la r4, 10
+loop:
+patch:
+    addi r1, 1
+    addi r2, 1
+    movi r5, 3
+    bne r2, r5, cont
+    la r6, 0x2b100005   ; addi r1, 5 (opcode 0x2b, ra=1, imm=5)
+    sw r6, [r3]
+cont:
+    bne r2, r4, loop
+    halt
+  )");
+  ExpectBothPathsAgree(image, {5, 7, 200});
+  // And the final value proves the rewrite took effect: 3 iterations of
+  // +1, then 7 of +5.
+  NullBackend b;
+  Machine m(kMem, &b);
+  m.LoadImage(image);
+  m.Run(1000);
+  EXPECT_EQ(m.cpu().regs[1], 3u + 7u * 5u);
+}
+
+TEST(MachineEquivalence, IrqHeavyExecutionAgrees) {
+  Bytes image = Assemble(R"(
+    jmp main
+    jmp irqh
+irqh:
+    in r5, IRQ_CAUSE
+    add r6, r5
+    iret
+main:
+    movi r6, 0
+    ei
+loop:
+    addi r7, 1
+    jmp loop
+  )");
+  std::vector<uint64_t> quanta(40, 13);  // Odd quantum: IRQs land mid-loop.
+  std::vector<std::pair<int, uint32_t>> irqs;
+  for (int q = 0; q < 40; q += 3) {
+    irqs.emplace_back(q, q % 2 == 0 ? kIrqNetRx : kIrqInput);
+  }
+  ExpectBothPathsAgree(image, quanta, irqs);
+}
+
+TEST(MachineEquivalence, RandomProgramSweepAgrees) {
+  // Random instruction soup: mostly valid opcodes (including stores that
+  // hit the program's own pages), some garbage. Every program must
+  // retire identically on both paths, faults and all.
+  constexpr uint8_t kOps[] = {0x00, 0x01, 0x10, 0x11, 0x12, 0x13, 0x20, 0x21, 0x22, 0x23,
+                              0x24, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x2b, 0x2c, 0x2d,
+                              0x30, 0x31, 0x32, 0x33, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45,
+                              0x46, 0x47, 0x48, 0x49, 0x60, 0x61, 0x62, 0xee};
+  Prng rng(20260726);
+  for (int prog = 0; prog < 40; prog++) {
+    Bytes image;
+    for (int i = 0; i < 1024; i++) {
+      uint8_t op = kOps[rng.Next() % (sizeof(kOps) - (prog % 2 ? 0 : 1))];
+      uint16_t imm = static_cast<uint16_t>(rng.Next());
+      if (op == 0x31 || op == 0x33) {
+        imm &= 0x0fff;  // Keep most stores in-range so they actually land.
+      }
+      PutU32(image, Encode(static_cast<Op>(op), static_cast<uint8_t>(rng.Next() % 16),
+                           static_cast<uint8_t>(rng.Next() % 16), imm));
+    }
+    ExpectBothPathsAgree(image, {257, 1000, 1});
+  }
 }
 
 }  // namespace

@@ -295,6 +295,152 @@ TEST_F(ReplayFixture, VmRecModeRecordsNothingTamperEvident) {
   EXPECT_GT(node->vmware_equiv_bytes(), 0u);   // ...but plain recording happened.
 }
 
+// --- Decoded-cache replay equivalence ---------------------------------
+//
+// Recording always runs the fast path; these tests replay the same log
+// with the decoded cache on and off and require identical ReplayResults,
+// so the fast path cannot drift from the reference interpreter anywhere
+// in the record->replay loop.
+
+ReplayResult ReplayWithCache(const LogSegment& seg, const Bytes& image, size_t mem_size,
+                             bool cache_on) {
+  StreamingReplayer r(image, mem_size);
+  r.mutable_machine().set_decoded_cache_enabled(cache_on);
+  r.Feed(seg.entries);
+  return r.Finish();
+}
+
+void ExpectSameReplay(const ReplayResult& a, const ReplayResult& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.reason, b.reason);
+  EXPECT_EQ(a.diverged_seq, b.diverged_seq);
+  EXPECT_EQ(a.replay_icount, b.replay_icount);
+  EXPECT_EQ(a.instructions_replayed, b.instructions_replayed);
+}
+
+TEST_F(ReplayFixture, ReplayEquivalentWithCacheOnAndOff) {
+  Bytes image = Assemble(kNoisyGuest);
+  auto node = MakeAvmm(image);
+  for (int i = 0; i < 20; i++) {
+    node->PushInput(static_cast<uint32_t>(i + 1));
+  }
+  Record(*node, 40);
+  LogSegment seg = node->log().Extract(1, node->log().LastSeq());
+  ReplayResult fast = ReplayWithCache(seg, image, node->config().mem_size, true);
+  ReplayResult slow = ReplayWithCache(seg, image, node->config().mem_size, false);
+  EXPECT_TRUE(fast.ok) << fast.reason;
+  ExpectSameReplay(fast, slow);
+  EXPECT_EQ(fast.replay_icount, node->machine().cpu().icount);
+}
+
+TEST_F(ReplayFixture, IrqTraceReplayEquivalentWithCacheOnAndOff) {
+  Bytes image = Assemble(kIrqGuest);
+  RunConfig cfg = RunConfig::AvmmNoSig();
+  cfg.rx_irq = true;
+  auto node = MakeAvmm(image, cfg);
+
+  RunConfig plain = RunConfig::BareHw();
+  TamperEvidentLog sender_log("peer");
+  AuthenticatorStore sender_auths;
+  Signer peer_signer("peer", SignatureScheme::kNone, rng);
+  registry.RegisterSigner(peer_signer);
+  Transport sender("peer", &plain, &sender_log, &peer_signer, &net, &registry, &sender_auths);
+  net.AttachHost("peer", &sender);
+
+  SimTime now = 0;
+  for (int i = 0; i < 30; i++) {
+    if (i % 4 == 1) {
+      Bytes pkt;
+      PutU32(pkt, static_cast<uint32_t>(0x200 + i));
+      sender.SendPacket(now, "solo", pkt);
+    }
+    net.DeliverUntil(now);
+    node->RunQuantum(now, 1000);
+    now += 1000;
+  }
+  node->Finish(now);
+  ASSERT_GT(node->stats().guest_packets_delivered, 3u);
+
+  LogSegment seg = node->log().Extract(1, node->log().LastSeq());
+  ReplayResult fast = ReplayWithCache(seg, image, cfg.mem_size, true);
+  ReplayResult slow = ReplayWithCache(seg, image, cfg.mem_size, false);
+  EXPECT_TRUE(fast.ok) << fast.reason;
+  ExpectSameReplay(fast, slow);
+}
+
+TEST_F(ReplayFixture, SelfModifyingGuestRecordsAndReplaysIdentically) {
+  // The guest patches its own loop body (addi r1, 1 -> addi r1, 2)
+  // after reading an input, then emits the accumulator; recording runs
+  // the decoded-cache fast path, and both replay modes must agree.
+  constexpr char kPatchingGuest[] = R"(
+      jmp main
+      jmp irqh
+  irqh:
+      iret
+  main:
+      movi r1, 0
+      la r3, patch
+      la r6, 0x2b100002  ; addi r1, 2
+      movi r0, 0
+  loop:
+  patch:
+      addi r1, 1
+      in r2, INPUT
+      beq r2, r0, skip
+      sw r6, [r3]        ; Rewrite the instruction above.
+  skip:
+      out r1, DEBUG
+      movi r4, 50
+  spin:
+      addi r4, -1
+      bne r4, r0, spin
+      jmp loop
+  )";
+  Bytes image = Assemble(kPatchingGuest);
+  auto node = MakeAvmm(image);
+  node->PushInput(7);  // One input: flips the increment mid-run.
+  Record(*node, 30);
+  ASSERT_FALSE(node->debug_values().empty());
+
+  LogSegment seg = node->log().Extract(1, node->log().LastSeq());
+  ReplayResult fast = ReplayWithCache(seg, image, node->config().mem_size, true);
+  ReplayResult slow = ReplayWithCache(seg, image, node->config().mem_size, false);
+  EXPECT_TRUE(fast.ok) << fast.reason << " at seq " << fast.diverged_seq;
+  ExpectSameReplay(fast, slow);
+}
+
+TEST_F(ReplayFixture, SpotCheckReplayEquivalentWithCacheOnAndOff) {
+  Bytes image = Assemble(kNoisyGuest);
+  RunConfig cfg = RunConfig::AvmmNoSig();
+  cfg.snapshot_interval = 10 * kMicrosPerMilli;
+  auto node = MakeAvmm(image, cfg);
+  for (int i = 0; i < 40; i++) {
+    node->PushInput(static_cast<uint32_t>(i % 5 + 1));
+  }
+  Record(*node, 50);
+
+  std::vector<std::pair<uint64_t, SnapshotMeta>> snaps;
+  for (const LogEntry& e : node->log().entries()) {
+    if (e.type == EntryType::kSnapshot) {
+      snaps.emplace_back(e.seq, SnapshotMeta::Deserialize(e.content));
+    }
+  }
+  ASSERT_GE(snaps.size(), 4u);
+  LogSegment seg = node->log().Extract(snaps[1].first, snaps[3].first);
+  MaterializedState start =
+      node->snapshot_store().Materialize(snaps[1].second.snapshot_id, cfg.mem_size);
+  ReplayResult fast;
+  ReplayResult slow;
+  for (bool cache_on : {true, false}) {
+    StreamingReplayer r(start);
+    r.mutable_machine().set_decoded_cache_enabled(cache_on);
+    r.Feed(seg.entries);
+    (cache_on ? fast : slow) = r.Finish();
+  }
+  EXPECT_TRUE(fast.ok) << fast.reason;
+  ExpectSameReplay(fast, slow);
+}
+
 TEST_F(ReplayFixture, SpotCheckFromMidSnapshot) {
   Bytes image = Assemble(kNoisyGuest);
   RunConfig cfg = RunConfig::AvmmNoSig();

@@ -119,5 +119,47 @@ TEST(Hmac, KeySensitivity) {
   EXPECT_NE(HmacSha256(ToBytes("k1"), m), HmacSha256(ToBytes("k2"), m));
 }
 
+// Hardware/portable agreement, mirroring store_test's CRC-32C pattern:
+// Sha256::Digest dispatches to SHA-NI / ARMv8-CE when available, and
+// must produce the portable digest for every length and chunking. (On
+// hosts without the extension both sides run the portable code and the
+// sweep is trivially green; the hardware path is what CI's x86 runners
+// exercise.)
+TEST(Sha256Hardware, AgreesWithPortableAcrossLengths) {
+  Prng rng(42);
+  Bytes data;
+  data.reserve(300);
+  for (int len = 0; len <= 300; len++) {
+    Sha256 portable = Sha256::PortableForTesting();
+    portable.Update(ByteView(data));
+    EXPECT_EQ(Sha256::Digest(data), portable.Finish()) << "length " << len;
+    data.push_back(static_cast<uint8_t>(rng.Next()));
+  }
+}
+
+TEST(Sha256Hardware, AgreesWithPortableOnChunkedUpdates) {
+  Prng rng(43);
+  Bytes data(64 * 1024 + 17);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  // Uneven Update() splits exercise the partial-block buffer against the
+  // multi-block hardware fast path.
+  Sha256 dispatched;
+  Sha256 portable = Sha256::PortableForTesting();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t n = std::min<size_t>(1 + rng.Next() % 511, data.size() - pos);
+    ByteView chunk(data.data() + pos, n);
+    dispatched.Update(chunk);
+    portable.Update(chunk);
+    pos += n;
+  }
+  EXPECT_EQ(dispatched.Finish(), portable.Finish());
+  if (Sha256::HardwareAvailable()) {
+    SUCCEED() << "hardware compression exercised";
+  }
+}
+
 }  // namespace
 }  // namespace avm
