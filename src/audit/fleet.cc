@@ -1,0 +1,329 @@
+#include "src/audit/fleet.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "src/avmm/recorder.h"
+#include "src/util/threadpool.h"
+
+namespace avm {
+
+const char* FleetJobTypeName(FleetJobType t) {
+  switch (t) {
+    case FleetJobType::kFullAudit:
+      return "full-audit";
+    case FleetJobType::kSpotCheck:
+      return "spot-check";
+    case FleetJobType::kOnlinePoll:
+      return "online-poll";
+  }
+  return "?";
+}
+
+FleetAuditService::FleetAuditService(const KeyRegistry* registry, FleetAuditConfig cfg)
+    : registry_(registry), cfg_(cfg), paused_(cfg.start_paused) {
+  // A fleet scales by sharding jobs; a job defaulting to "one thread
+  // per core" on top of that would oversubscribe every worker. Within-
+  // job pools are an explicit opt-in (cfg.audit.threads > 1).
+  if (cfg_.audit.threads == 0) {
+    cfg_.audit.threads = 1;
+  }
+  unsigned workers = ResolveThreads(cfg_.workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+FleetAuditService::~FleetAuditService() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void FleetAuditService::RegisterAuditee(Registration reg) {
+  if (reg.source == nullptr || reg.target == nullptr) {
+    throw std::invalid_argument("FleetAuditService: registration needs a target and a source");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = auditees_.find(reg.node);
+  if (it != auditees_.end() && (it->second.running || !it->second.queue.empty())) {
+    throw std::logic_error("FleetAuditService: auditee has jobs in flight: " + reg.node);
+  }
+  Auditee& a = auditees_[reg.node];
+  a.reg = std::move(reg);
+  a.online.reset();  // A re-registration invalidates the replay session.
+}
+
+void FleetAuditService::UpdateAuths(const NodeId& node, std::vector<Authenticator> auths) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = auditees_.find(node);
+  if (it == auditees_.end()) {
+    throw std::out_of_range("FleetAuditService: unknown auditee " + node);
+  }
+  if (it->second.running || !it->second.queue.empty()) {
+    throw std::logic_error("FleetAuditService: auditee has jobs in flight: " + node);
+  }
+  it->second.reg.auths = std::move(auths);
+}
+
+size_t FleetAuditService::auditee_count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return auditees_.size();
+}
+
+uint64_t FleetAuditService::Submit(const NodeId& node, Job job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = auditees_.find(node);
+  if (it == auditees_.end()) {
+    throw std::out_of_range("FleetAuditService: unknown auditee " + node);
+  }
+  job.id = next_job_id_++;
+  job.submit_index = submit_counter_++;
+  it->second.queue.push_back(job);
+  outstanding_++;
+  lock.unlock();
+  work_cv_.notify_one();
+  return job.id;
+}
+
+uint64_t FleetAuditService::SubmitFullAudit(const NodeId& node, FleetPriority priority) {
+  Job j;
+  j.type = FleetJobType::kFullAudit;
+  j.priority = priority;
+  return Submit(node, j);
+}
+
+uint64_t FleetAuditService::SubmitSpotCheck(const NodeId& node, uint64_t from_snapshot_id,
+                                            uint64_t to_snapshot_id, FleetPriority priority) {
+  Job j;
+  j.type = FleetJobType::kSpotCheck;
+  j.priority = priority;
+  j.from_snapshot = from_snapshot_id;
+  j.to_snapshot = to_snapshot_id;
+  return Submit(node, j);
+}
+
+uint64_t FleetAuditService::SubmitOnlinePoll(const NodeId& node, FleetPriority priority) {
+  Job j;
+  j.type = FleetJobType::kOnlinePoll;
+  j.priority = priority;
+  return Submit(node, j);
+}
+
+void FleetAuditService::Resume() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void FleetAuditService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+std::optional<FleetJobResult> FleetAuditService::Result(uint64_t job_id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = results_.find(job_id);
+  if (it == results_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<FleetJobResult> FleetAuditService::ResultsFor(const NodeId& node) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<FleetJobResult> out;
+  for (const auto& [id, r] : results_) {
+    if (r.node == node) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+FleetStats FleetAuditService::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool FleetAuditService::PickJob(Auditee** auditee, Job* job) {
+  if (paused_) {
+    return false;
+  }
+  // Fairness policy: consider only auditees with no job in flight; for
+  // each, its best queued job is the lowest (priority, submit_index).
+  // Across auditees, pick the best priority; break ties by
+  // least-recently-served, then by submission order (deterministic for
+  // the tests regardless of worker count).
+  Auditee* best_a = nullptr;
+  const Job* best_j = nullptr;
+  size_t best_pos = 0;
+  for (auto& [node, a] : auditees_) {
+    if (a.running || a.queue.empty()) {
+      continue;
+    }
+    const Job* cand = nullptr;
+    size_t cand_pos = 0;
+    for (size_t i = 0; i < a.queue.size(); i++) {
+      const Job& q = a.queue[i];
+      if (cand == nullptr || q.priority < cand->priority ||
+          (q.priority == cand->priority && q.submit_index < cand->submit_index)) {
+        cand = &q;
+        cand_pos = i;
+      }
+    }
+    if (best_j == nullptr || cand->priority < best_j->priority ||
+        (cand->priority == best_j->priority &&
+         (a.last_served < best_a->last_served ||
+          (a.last_served == best_a->last_served &&
+           cand->submit_index < best_j->submit_index)))) {
+      best_a = &a;
+      best_j = cand;
+      best_pos = cand_pos;
+    }
+  }
+  if (best_j == nullptr) {
+    return false;
+  }
+  *job = *best_j;
+  best_a->queue.erase(best_a->queue.begin() + static_cast<ptrdiff_t>(best_pos));
+  best_a->running = true;
+  best_a->last_served = ++serve_counter_;
+  *auditee = best_a;
+  return true;
+}
+
+FleetJobResult FleetAuditService::RunJob(Auditee& auditee, const Job& job) {
+  // Snapshot what the job needs under the caller's lock discipline:
+  // the registration cannot change while this auditee is `running`.
+  const Registration& reg = auditee.reg;
+  const KeyRegistry* registry = reg.registry != nullptr ? reg.registry : registry_;
+  AuditConfig acfg = cfg_.audit;
+  if (reg.mem_size != 0) {
+    acfg.mem_size = reg.mem_size;
+  }
+
+  FleetJobResult r;
+  r.job_id = job.id;
+  r.node = reg.node;
+  r.type = job.type;
+  r.priority = job.priority;
+  WallTimer timer;
+  switch (job.type) {
+    case FleetJobType::kFullAudit: {
+      CheckpointedAuditor auditor(cfg_.checkpoint.auditor, registry, acfg, cfg_.checkpoint);
+      const std::string dir = cfg_.resume_from_checkpoints ? reg.checkpoint_dir : std::string();
+      r.outcome = auditor.AuditFull(*reg.target, *reg.source, reg.reference_image, reg.auths,
+                                    dir, &r.resume);
+      break;
+    }
+    case FleetJobType::kSpotCheck: {
+      Auditor auditor(cfg_.checkpoint.auditor, registry, acfg);
+      r.outcome = auditor.SpotCheck(*reg.target, *reg.source, job.from_snapshot,
+                                    job.to_snapshot, reg.auths);
+      break;
+    }
+    case FleetJobType::kOnlinePoll: {
+      if (auditee.online == nullptr) {
+        auditee.online =
+            std::make_unique<OnlineAuditor>(reg.source, ByteView(reg.reference_image),
+                                            acfg.mem_size);
+      }
+      r.online = auditee.online->Poll();
+      r.online_status = auditee.online->status();
+      r.online_lag_entries = auditee.online->LagEntries();
+      break;
+    }
+  }
+  r.seconds = timer.ElapsedSeconds();
+  return r;
+}
+
+void FleetAuditService::WorkerLoop() {
+  for (;;) {
+    Auditee* auditee = nullptr;
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || PickJob(&auditee, &job); });
+      if (auditee == nullptr) {
+        return;  // stopping_ and nothing runnable for this worker.
+      }
+    }
+
+    FleetJobResult result;
+    try {
+      result = RunJob(*auditee, job);
+    } catch (const std::exception& e) {
+      // A job must never take the service (or Drain()) down with it:
+      // an unwritable store, a hostile log that defeats the audit's own
+      // exception handling — the job fails, the worker survives.
+      result.job_id = job.id;
+      result.node = auditee->reg.node;
+      result.type = job.type;
+      result.priority = job.priority;
+      result.outcome.ok = false;
+      result.outcome.syntactic =
+          CheckResult::Fail(std::string("audit job aborted: ") + e.what());
+    }
+
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auditee->running = false;
+      result.completion_index = completion_counter_++;
+      stats_.jobs_completed++;
+      switch (result.type) {
+        case FleetJobType::kFullAudit:
+          stats_.full_audits++;
+          if (result.resume.resumed) {
+            stats_.audits_resumed++;
+            stats_.entries_skipped += result.resume.resumed_from;
+          } else {
+            stats_.audits_cold++;
+          }
+          if (result.resume.checkpoint_rejected) {
+            stats_.checkpoints_rejected++;
+          }
+          stats_.checkpoints_written += result.resume.checkpoints_written;
+          stats_.entries_scanned += result.resume.entries_scanned;
+          if (!result.outcome.ok) {
+            stats_.faults_detected++;
+          }
+          break;
+        case FleetJobType::kSpotCheck:
+          stats_.spot_checks++;
+          if (!result.outcome.ok) {
+            stats_.faults_detected++;
+          }
+          break;
+        case FleetJobType::kOnlinePoll:
+          stats_.online_polls++;
+          if (result.online_status == OnlinePollStatus::kDiverged) {
+            stats_.faults_detected++;
+          }
+          if (result.online_status == OnlinePollStatus::kTargetRewound) {
+            stats_.targets_rewound++;
+          }
+          break;
+      }
+      results_[result.job_id] = std::move(result);
+      outstanding_--;
+      if (outstanding_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+    // Another auditee may have become runnable while this one ran.
+    work_cv_.notify_one();
+  }
+}
+
+}  // namespace avm

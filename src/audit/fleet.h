@@ -1,0 +1,192 @@
+// The multi-tenant audit service (§6.11, §8): one auditor responsible
+// for a fleet of accountable machines.
+//
+// FleetAuditService registers N auditee logs (any SegmentSource — a
+// live in-memory log or a store::LogStore opened from disk) and shards
+// full-audit / spot-check / online-poll jobs across its worker threads
+// with per-auditee fairness and priorities:
+//
+//  * at most one job per auditee runs at a time (jobs share the
+//    auditee's checkpoint file and online-replay session);
+//  * among runnable auditees, the highest-priority queued job wins;
+//    ties go to the least-recently-served auditee (round robin), so a
+//    chatty auditee cannot starve the rest;
+//  * full audits run through CheckpointedAuditor: each one resumes
+//    from the auditee's persisted checkpoint (src/audit/checkpoint)
+//    and refreshes it, so re-auditing a long-lived machine costs
+//    O(new entries), not O(total log);
+//  * online polls keep a persistent OnlineAuditor per auditee (the
+//    §6.11 lag metric), surfacing a target-log rewind as its own
+//    status instead of stale progress.
+//
+// Verdicts are those of the single-auditee entry points, bit for bit:
+// sharding, priorities and checkpoints change only wall-clock time.
+#ifndef SRC_AUDIT_FLEET_H_
+#define SRC_AUDIT_FLEET_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/audit/auditor.h"
+#include "src/audit/checkpoint.h"
+#include "src/audit/online.h"
+
+namespace avm {
+
+enum class FleetJobType : uint8_t { kFullAudit = 0, kSpotCheck = 1, kOnlinePoll = 2 };
+enum class FleetPriority : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+
+const char* FleetJobTypeName(FleetJobType t);
+
+struct FleetAuditConfig {
+  // Service worker threads (0 = one per hardware thread). Sharding
+  // whole jobs across workers is the scaling axis; within one job the
+  // audit runs with `audit.threads` (defaulted to 1 here, so a fleet
+  // does not multiply thread counts unless explicitly asked to).
+  unsigned workers = 2;
+  AuditConfig audit;
+  CheckpointConfig checkpoint;
+  // Resume full audits from (and refresh) per-auditee checkpoints when
+  // the registration names a checkpoint directory.
+  bool resume_from_checkpoints = true;
+  // Start with the scheduler paused: jobs queue but none runs until
+  // Resume(). Lets a caller submit a whole batch and observe the
+  // fairness policy deterministically (tests do).
+  bool start_paused = false;
+};
+
+struct FleetJobResult {
+  uint64_t job_id = 0;
+  NodeId node;  // Registration key (unique across the fleet).
+  FleetJobType type = FleetJobType::kFullAudit;
+  FleetPriority priority = FleetPriority::kNormal;
+
+  // Full audits and spot checks.
+  AuditOutcome outcome;
+  ResumeInfo resume;
+
+  // Online polls (replay-only, like OnlineAuditor).
+  ReplayResult online;
+  OnlinePollStatus online_status = OnlinePollStatus::kIdle;
+  uint64_t online_lag_entries = 0;
+
+  double seconds = 0;
+  // Global completion order (0-based): what the fairness tests assert.
+  uint64_t completion_index = 0;
+};
+
+struct FleetStats {
+  uint64_t jobs_completed = 0;
+  uint64_t full_audits = 0;
+  uint64_t spot_checks = 0;
+  uint64_t online_polls = 0;
+  uint64_t audits_resumed = 0;       // Full audits that resumed from a checkpoint.
+  uint64_t audits_cold = 0;          // Full audits from genesis.
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoints_rejected = 0; // Invalid/forged/stale checkpoint files.
+  uint64_t entries_scanned = 0;      // Entries actually read + verified.
+  uint64_t entries_skipped = 0;      // Entries behind accepted checkpoints.
+  uint64_t faults_detected = 0;      // Failed audits + online divergences.
+  uint64_t targets_rewound = 0;      // Online polls that saw the log shrink.
+};
+
+class FleetAuditService {
+ public:
+  struct Registration {
+    NodeId node;                        // Fleet-unique key (may differ from
+                                        // source->node() when scenarios collide).
+    const Avmm* target = nullptr;       // Machine endpoint (evidence identity,
+                                        // snapshots for spot checks).
+    const SegmentSource* source = nullptr;
+    Bytes reference_image;
+    std::vector<Authenticator> auths;
+    std::string checkpoint_dir;         // "" = stateless (no resume/capture).
+    const KeyRegistry* registry = nullptr;  // null = the service default.
+    size_t mem_size = 0;                // 0 = the service's audit.mem_size.
+  };
+
+  explicit FleetAuditService(const KeyRegistry* registry, FleetAuditConfig cfg = {});
+  ~FleetAuditService();
+  FleetAuditService(const FleetAuditService&) = delete;
+  FleetAuditService& operator=(const FleetAuditService&) = delete;
+
+  // Registration and auth refresh are rejected while jobs for the node
+  // are queued or running (throws std::logic_error), so a job never
+  // observes a half-updated registration.
+  void RegisterAuditee(Registration reg);
+  void UpdateAuths(const NodeId& node, std::vector<Authenticator> auths);
+  size_t auditee_count() const;
+
+  // Enqueue jobs; returns a job id resolvable via Result() after
+  // Drain() (or once the job completed).
+  uint64_t SubmitFullAudit(const NodeId& node, FleetPriority priority = FleetPriority::kNormal);
+  uint64_t SubmitSpotCheck(const NodeId& node, uint64_t from_snapshot_id,
+                           uint64_t to_snapshot_id,
+                           FleetPriority priority = FleetPriority::kNormal);
+  uint64_t SubmitOnlinePoll(const NodeId& node, FleetPriority priority = FleetPriority::kHigh);
+
+  // Unpauses a service constructed with start_paused (no-op otherwise).
+  void Resume();
+
+  // Blocks until every submitted job has completed.
+  void Drain();
+
+  std::optional<FleetJobResult> Result(uint64_t job_id) const;
+  std::vector<FleetJobResult> ResultsFor(const NodeId& node) const;
+  FleetStats stats() const;
+
+ private:
+  struct Job {
+    uint64_t id = 0;
+    FleetJobType type = FleetJobType::kFullAudit;
+    FleetPriority priority = FleetPriority::kNormal;
+    uint64_t from_snapshot = 0, to_snapshot = 0;  // Spot checks.
+    uint64_t submit_index = 0;  // FIFO tiebreak within one priority.
+  };
+
+  struct Auditee {
+    Registration reg;
+    std::deque<Job> queue;  // Submission order; scheduler picks by priority.
+    bool running = false;
+    uint64_t last_served = 0;  // Serve counter for round robin.
+    // Persistent online-replay session (lazily created, survives polls).
+    std::unique_ptr<OnlineAuditor> online;
+  };
+
+  uint64_t Submit(const NodeId& node, Job job);
+  void WorkerLoop();
+  // Under mu_: picks (auditee, job) per the fairness policy, or returns
+  // false when nothing is runnable.
+  bool PickJob(Auditee** auditee, Job* job);
+  FleetJobResult RunJob(Auditee& auditee, const Job& job);
+
+  const KeyRegistry* registry_;
+  FleetAuditConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // New work or shutdown.
+  std::condition_variable idle_cv_;   // outstanding_ reached 0.
+  std::map<NodeId, Auditee> auditees_;
+  std::map<uint64_t, FleetJobResult> results_;
+  uint64_t next_job_id_ = 1;
+  uint64_t submit_counter_ = 0;
+  uint64_t serve_counter_ = 0;
+  uint64_t completion_counter_ = 0;
+  size_t outstanding_ = 0;  // Queued + running jobs.
+  bool stopping_ = false;
+  bool paused_ = false;
+  FleetStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace avm
+
+#endif  // SRC_AUDIT_FLEET_H_

@@ -233,6 +233,103 @@ CheckResult MessageCheckState::Finalize() const {
   return CheckResult::Ok();
 }
 
+void MessageCheckState::SerializeState(Writer& w) const {
+  w.U32(static_cast<uint32_t>(recv_queue_.size()));
+  for (const Bytes& b : recv_queue_) {
+    w.Blob(b);
+  }
+  w.Blob(current_tx_tail_);
+  w.U8(have_tx_ ? 1 : 0);
+  w.U32(static_cast<uint32_t>(sent_ids_.size()));
+  for (const auto& [key, acked] : sent_ids_) {
+    w.Str(key.first);
+    w.U64(key.second);
+    w.U8(acked ? 1 : 0);
+  }
+  w.U32(static_cast<uint32_t>(peer_proofs_.size()));
+  for (const auto& [peer, proof] : peer_proofs_) {
+    w.Str(peer);
+    w.U8(proof.seen ? 1 : 0);
+    w.U64(proof.commit_seq);
+    w.Raw(proof.commit_hash.view());
+    w.U32(static_cast<uint32_t>(proof.send_contents.size()));
+    for (const Hash256& h : proof.send_contents) {
+      w.Raw(h.view());
+    }
+    w.U32(static_cast<uint32_t>(proof.chain.size()));
+    for (const auto& [seq, h] : proof.chain) {
+      w.U64(seq);
+      w.Raw(h.view());
+    }
+  }
+  w.U32(static_cast<uint32_t>(pending_recvs_.size()));
+  for (const PendingRecv& p : pending_recvs_) {
+    w.U64(p.seq);
+    w.Str(p.src);
+    w.Raw(p.content_hash.view());
+  }
+  w.U32(static_cast<uint32_t>(pending_acks_.size()));
+  for (const PendingAck& p : pending_acks_) {
+    w.U64(p.seq);
+    w.Blob(p.auth.Serialize());
+  }
+}
+
+void MessageCheckState::RestoreState(Reader& r) {
+  recv_queue_.clear();
+  sent_ids_.clear();
+  peer_proofs_.clear();
+  pending_recvs_.clear();
+  pending_acks_.clear();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n; i++) {
+    recv_queue_.push_back(r.Blob());
+  }
+  current_tx_tail_ = r.Blob();
+  have_tx_ = r.U8() != 0;
+  n = r.U32();
+  for (uint32_t i = 0; i < n; i++) {
+    NodeId dst = r.Str();
+    uint64_t msg_id = r.U64();
+    bool acked = r.U8() != 0;
+    sent_ids_[{std::move(dst), msg_id}] = acked;
+  }
+  n = r.U32();
+  for (uint32_t i = 0; i < n; i++) {
+    NodeId peer = r.Str();
+    PeerProof proof;
+    proof.seen = r.U8() != 0;
+    proof.commit_seq = r.U64();
+    proof.commit_hash = Hash256::FromBytes(r.Raw(32));
+    uint32_t m = r.U32();
+    for (uint32_t j = 0; j < m; j++) {
+      proof.send_contents.insert(Hash256::FromBytes(r.Raw(32)));
+    }
+    m = r.U32();
+    for (uint32_t j = 0; j < m; j++) {
+      uint64_t seq = r.U64();
+      proof.chain[seq] = Hash256::FromBytes(r.Raw(32));
+    }
+    peer_proofs_[std::move(peer)] = std::move(proof);
+  }
+  n = r.U32();
+  for (uint32_t i = 0; i < n; i++) {
+    PendingRecv p;
+    p.seq = r.U64();
+    p.src = r.Str();
+    p.content_hash = Hash256::FromBytes(r.Raw(32));
+    pending_recvs_.push_back(std::move(p));
+  }
+  n = r.U32();
+  for (uint32_t i = 0; i < n; i++) {
+    PendingAck p;
+    p.seq = r.U64();
+    Bytes auth = r.Blob();
+    p.auth = Authenticator::Deserialize(auth);
+    pending_acks_.push_back(std::move(p));
+  }
+}
+
 CheckResult MessageCheckState::FeedPeerCommit(const LogEntry& e) {
   PeerCommitRecord rec;
   try {

@@ -30,6 +30,7 @@
 #include "src/avmm/message.h"
 #include "src/tel/log.h"
 #include "src/tel/verifier.h"
+#include "src/util/serde.h"
 
 namespace avm {
 
@@ -65,6 +66,16 @@ class MessageCheckState {
   // Strict scans must end with nothing pending: an unproven entry means
   // the log accepted a message no signed commitment ever covered.
   CheckResult Finalize() const;
+
+  // Checkpoint support (src/audit/checkpoint.h): the scan state after
+  // feeding entries 1..S, serialized so a later audit can resume at
+  // S+1 and produce bit-for-bit the verdict of a from-genesis scan —
+  // including checkpoints taken mid-batch-window, where pending
+  // RECV/ACK entries are still waiting for a peer commitment.
+  void SerializeState(Writer& w) const;
+  // Restores into a freshly constructed state (same node/registry/
+  // strictness). Throws SerdeError on malformed input.
+  void RestoreState(Reader& r);
 
  private:
   // What a peer's verified batch commitments have proven so far.

@@ -76,22 +76,7 @@ void ChunkedSyntacticChecker::Feed(std::span<const LogEntry> entries,
     // seq order.
     auto [first, end] = auth_by_seq_.equal_range(e.seq);
     for (auto it = first; it != end; ++it) {
-      const size_t idx = it->second;
-      if (idx >= auth_fail_idx_) {
-        continue;  // A smaller span index already failed.
-      }
-      const Authenticator& a = auths_[idx];
-      const int8_t pre =
-          idx < auth_sig_verdicts_.size() ? auth_sig_verdicts_[idx] : int8_t{-1};
-      const bool sig_ok = pre >= 0 ? pre == 1 : a.VerifySignature(registry_);
-      if (!sig_ok) {
-        auth_fail_idx_ = idx;
-        auth_fail_ = CheckResult::Fail("authenticator signature invalid", a.seq);
-      } else if (e.hash != a.hash) {
-        auth_fail_idx_ = idx;
-        auth_fail_ = CheckResult::Fail("log does not match issued authenticator (tamper or fork)",
-                                       a.seq);
-      }
+      CheckAuthAt(it->second, e.hash);
     }
 
     // The message-stream state machine; stops at its first failure (the
@@ -112,6 +97,55 @@ void ChunkedSyntacticChecker::Feed(std::span<const LogEntry> entries,
       }
     }
   }
+}
+
+void ChunkedSyntacticChecker::CheckAuthAt(size_t auth_index, const Hash256& log_hash) {
+  if (auth_index >= auth_fail_idx_) {
+    return;  // A smaller span index already failed.
+  }
+  const Authenticator& a = auths_[auth_index];
+  const int8_t pre =
+      auth_index < auth_sig_verdicts_.size() ? auth_sig_verdicts_[auth_index] : int8_t{-1};
+  const bool sig_ok = pre >= 0 ? pre == 1 : a.VerifySignature(registry_);
+  if (!sig_ok) {
+    auth_fail_idx_ = auth_index;
+    auth_fail_ = CheckResult::Fail("authenticator signature invalid", a.seq);
+  } else if (log_hash != a.hash) {
+    auth_fail_idx_ = auth_index;
+    auth_fail_ =
+        CheckResult::Fail("log does not match issued authenticator (tamper or fork)", a.seq);
+  }
+}
+
+void ChunkedSyntacticChecker::ResolveAuthBehindWatermark(size_t auth_index,
+                                                         const Hash256& log_hash) {
+  CheckAuthAt(auth_index, log_hash);
+}
+
+void ChunkedSyntacticChecker::SerializeResumableState(Writer& w) const {
+  smc_.SerializeState(w);
+  w.U8(attested_.has_value() ? 1 : 0);
+  if (attested_.has_value()) {
+    attested_->SerializeState(w);
+  }
+}
+
+void ChunkedSyntacticChecker::RestoreResumableState(Reader& r, uint64_t watermark_seq) {
+  smc_.RestoreState(r);
+  bool has_attested = r.U8() != 0;
+  if (has_attested != attested_.has_value()) {
+    throw SerdeError("checkpoint attested-input mode does not match the audit config");
+  }
+  if (attested_.has_value()) {
+    attested_->RestoreState(r);
+  }
+  // Behave as if entries 1..watermark had been fed (they were, by the
+  // audit that wrote the checkpoint): the next entry must chain from
+  // the ctor's prior_hash at watermark+1, and Finalize() must not
+  // mistake a fully-caught-up resume for an empty segment.
+  started_ = true;
+  expect_seq_ = watermark_seq + 1;
+  fed_ = watermark_seq;
 }
 
 CheckResult ChunkedSyntacticChecker::Finalize() const {

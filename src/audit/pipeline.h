@@ -69,6 +69,32 @@ class ChunkedSyntacticChecker {
   // fed so far.
   CheckResult Finalize() const;
 
+  // ---- Checkpoint support (src/audit/checkpoint.h) ----
+  // Chain hash of the last entry fed (h_S): what a checkpoint records
+  // as its verified watermark.
+  const Hash256& chain_cursor() const { return prior_hash_; }
+  // Seq the next fed entry must carry.
+  uint64_t next_seq() const { return expect_seq_; }
+
+  // Serializes the streaming scan state (message-stream state machine +
+  // attested-input cursor) after feeding entries 1..S; failure slots are
+  // intentionally not captured — checkpoints are only taken from
+  // fully-verified states (AnyFailure() must be false).
+  void SerializeResumableState(Writer& w) const;
+  // Restores into a freshly constructed checker whose ctor received the
+  // checkpoint's chain hash as `prior_hash`. The checker then behaves
+  // as if entries 1..`watermark_seq` (already verified when the
+  // checkpoint was written) had been fed. Throws SerdeError on
+  // malformed input.
+  void RestoreResumableState(Reader& r, uint64_t watermark_seq);
+
+  // Resolves one authenticator whose seq lies at or behind the resume
+  // watermark against `log_hash`, the log's (previously verified) chain
+  // hash at that seq — the same sig + hash checks the entry streaming
+  // by would have triggered, recorded under the same span index, so the
+  // composed verdict is bit-for-bit the from-genesis one.
+  void ResolveAuthBehindWatermark(size_t auth_index, const Hash256& log_hash);
+
  private:
   const AuditConfig cfg_;
   const KeyRegistry& registry_;
@@ -83,6 +109,10 @@ class ChunkedSyntacticChecker {
   // scan reports authenticator failures in).
   std::multimap<uint64_t, size_t> auth_by_seq_;
   bool any_auth_relevant_ = false;
+
+  // Shared sig + hash check for one authenticator, whether its seq
+  // streamed by (Feed) or was resolved behind a resume watermark.
+  void CheckAuthAt(size_t auth_index, const Hash256& log_hash);
 
   CheckResult chain_fail_;     // First chain-rule/seq failure, entry order.
   size_t auth_fail_idx_;       // Smallest failing authenticator span index.

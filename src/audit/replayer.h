@@ -62,6 +62,11 @@ class StreamingReplayer : public DeviceBackend {
 
   const ReplayResult& result() const { return result_; }
   bool diverged() const { return !result_.ok; }
+  // Checkpoint support (src/audit/checkpoint.h): true when the replay
+  // state is a pure machine state — no divergence, no queued-but-
+  // unapplied events — so (cpu, memory) captures it completely and a
+  // replayer resumed from that MaterializedState continues bit-for-bit.
+  bool Checkpointable() const { return result_.ok && pending_.empty() && !finished_; }
   uint64_t replayed_icount() const { return machine_.cpu().icount; }
   const Machine& machine() const { return machine_; }
   // For replay-time analysis (§7.5): attach an InstructionObserver.

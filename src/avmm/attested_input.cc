@@ -85,6 +85,16 @@ CheckResult AttestedInputScanner::Feed(const LogEntry& e) {
   return CheckResult::Ok();
 }
 
+void AttestedInputScanner::SerializeState(Writer& w) const {
+  w.U64(last_index_);
+  w.U8(saw_any_ ? 1 : 0);
+}
+
+void AttestedInputScanner::RestoreState(Reader& r) {
+  last_index_ = r.U64();
+  saw_any_ = r.U8() != 0;
+}
+
 CheckResult VerifyAttestedInputs(const LogSegment& segment, const KeyRegistry& registry) {
   AttestedInputScanner scanner(segment.node, registry);
   for (const LogEntry& e : segment.entries) {

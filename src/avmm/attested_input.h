@@ -26,6 +26,7 @@
 #include "src/tel/log.h"
 #include "src/tel/verifier.h"
 #include "src/util/bytes.h"
+#include "src/util/serde.h"
 
 namespace avm {
 
@@ -79,6 +80,12 @@ class AttestedInputScanner {
   AttestedInputScanner(const NodeId& node, const KeyRegistry& registry);
 
   CheckResult Feed(const LogEntry& e);
+
+  // Checkpoint support (src/audit/checkpoint.h): the replay-protection
+  // cursor (last seen device index) mid-scan, so a resumed audit
+  // rejects a replayed attestation exactly as a from-genesis scan does.
+  void SerializeState(Writer& w) const;
+  void RestoreState(Reader& r);
 
  private:
   NodeId device_;

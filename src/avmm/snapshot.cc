@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/compress/lzss.h"
 #include "src/util/serde.h"
 
 namespace avm {
@@ -57,6 +58,34 @@ SnapshotDelta SnapshotDelta::Deserialize(ByteView data) {
   }
   r.ExpectEnd();
   return d;
+}
+
+Bytes MaterializedState::Serialize() const {
+  Writer w;
+  w.Blob(cpu.Serialize());
+  w.Blob(LzssCompress(memory));
+  w.Raw(root.view());
+  return w.Take();
+}
+
+MaterializedState MaterializedState::Deserialize(ByteView data) {
+  Reader r(data);
+  MaterializedState st;
+  Bytes cpu_bytes = r.Blob();
+  Bytes memory_lzss = r.Blob();
+  Hash256 claimed = Hash256::FromBytes(r.Raw(32));
+  r.ExpectEnd();
+  st.cpu = CpuState::Deserialize(cpu_bytes);
+  try {
+    st.memory = LzssDecompress(memory_lzss);
+    st.root = ComputeStateRoot(st.cpu, st.memory);
+  } catch (const std::exception& e) {
+    throw SerdeError(std::string("materialized state undecodable: ") + e.what());
+  }
+  if (st.root != claimed) {
+    throw SerdeError("materialized state does not hash to its claimed root");
+  }
+  return st;
 }
 
 Hash256 ComputeStateRoot(const CpuState& cpu, ByteView memory) {

@@ -50,6 +50,14 @@ struct MaterializedState {
   CpuState cpu;
   Bytes memory;
   Hash256 root;
+
+  // Wire form (audit checkpoints, src/audit/checkpoint): CPU state plus
+  // LZSS-compressed memory, carrying the Merkle root the state must
+  // hash to. Deserialize recomputes the root from the decoded state and
+  // throws SerdeError when it does not match — the same authenticate-
+  // before-trust rule as snapshot verification.
+  Bytes Serialize() const;
+  static MaterializedState Deserialize(ByteView data);
 };
 
 // Computes the Merkle root the AVMM commits to: leaves are the memory

@@ -1,6 +1,7 @@
 #include "src/net/network.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace avm {
 
@@ -38,7 +39,11 @@ void SimNetwork::SendFrame(SimTime now, const NodeId& src, const NodeId& dst, By
   auto part = partitioned_.find(Key(src, dst));
   bool is_partitioned = part != partitioned_.end() && part->second;
   if (is_partitioned || (drop_rate_ > 0 && rng_.Chance(drop_rate_))) {
-    stats_[src].frames_dropped++;
+    // The frame was lost on the way to `dst`: charge the destination, so
+    // per-node accounting closes (frames addressed to a node ==
+    // frames_received + frames_dropped) and §6.7's totals satisfy
+    // sent == received + dropped.
+    stats_[dst].frames_dropped++;
     return;
   }
   queue_.push(InFlight{now + LatencyFor(src, dst), order_counter_++, src, dst, std::move(frame)});
@@ -46,11 +51,16 @@ void SimNetwork::SendFrame(SimTime now, const NodeId& src, const NodeId& dst, By
 
 void SimNetwork::DeliverUntil(SimTime t) {
   while (!queue_.empty() && queue_.top().deliver_at <= t) {
-    InFlight f = queue_.top();
+    // Move the frame out instead of deep-copying the payload; top() is
+    // const only to protect the heap ordering, which the immediate pop()
+    // discards anyway.
+    InFlight f = std::move(const_cast<InFlight&>(queue_.top()));
     queue_.pop();
     auto it = hosts_.find(f.dst);
     if (it == hosts_.end()) {
-      continue;  // Host left the simulation; frame is lost.
+      // Host left the simulation; the frame is lost at the receiver.
+      stats_[f.dst].frames_dropped++;
+      continue;
     }
     TrafficStats& s = stats_[f.dst];
     s.frames_received++;

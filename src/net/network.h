@@ -33,6 +33,11 @@ struct TrafficStats {
   uint64_t bytes_sent = 0;
   uint64_t frames_received = 0;
   uint64_t bytes_received = 0;
+  // Frames addressed to this node that never arrived (partition, random
+  // drop, or the host detached before delivery). Charged to the
+  // *destination*, so per node: frames addressed to it ==
+  // frames_received + frames_dropped, and globally (§6.7's totals)
+  // frames_sent == frames_received + frames_dropped.
   uint64_t frames_dropped = 0;
 };
 

@@ -1,6 +1,9 @@
 #include "src/sim/scenario.h"
 
+#include <filesystem>
 #include <stdexcept>
+
+#include "src/store/log_store.h"
 
 namespace avm {
 
@@ -258,8 +261,140 @@ void KvScenario::Finish() {
 }
 
 std::vector<Authenticator> KvScenario::CollectAuthsForServer() const {
-  std::vector<Authenticator> out = client_->auth_store().AllFor("kvserver");
-  out.push_back(server_->CommitLog());
+  return CollectAuths("kvserver");
+}
+
+std::vector<Authenticator> KvScenario::CollectAuths(const NodeId& target) const {
+  const Avmm& accused = target == server_->id() ? *server_ : *client_;
+  const Avmm& other = target == server_->id() ? *client_ : *server_;
+  std::vector<Authenticator> out = other.auth_store().AllFor(target);
+  out.push_back(accused.CommitLog());
+  return out;
+}
+
+// ------------------------------------------------------------- Fleet ----
+
+FleetScenario::FleetScenario(FleetScenarioConfig cfg) : cfg_(std::move(cfg)) {}
+
+FleetScenario::~FleetScenario() = default;
+
+void FleetScenario::Start() {
+  if (started_) {
+    throw std::logic_error("FleetScenario::Start: already started");
+  }
+  started_ = true;
+  for (int i = 0; i < cfg_.num_games; i++) {
+    GameScenarioConfig gc = cfg_.game;
+    gc.run = cfg_.run;
+    gc.num_players = cfg_.players_per_game;
+    gc.seed = cfg_.seed * 7919 + static_cast<uint64_t>(i) + 1;
+    auto game = std::make_unique<GameScenario>(gc);
+    for (const auto& [where, cheat] : cfg_.cheats) {
+      if (where.first == i) {
+        game->SetCheat(where.second, cheat);
+      }
+    }
+    game->Start();
+    games_.push_back(std::move(game));
+  }
+  for (int i = 0; i < cfg_.num_kv; i++) {
+    KvScenarioConfig kc = cfg_.kv;
+    kc.run = cfg_.run;
+    kc.seed = cfg_.seed * 104729 + static_cast<uint64_t>(i) + 1;
+    auto kv = std::make_unique<KvScenario>(kc);
+    kv->Start();
+    kvs_.push_back(std::move(kv));
+  }
+}
+
+void FleetScenario::SpillLogsTo(const std::string& base_dir) {
+  if (!started_) {
+    throw std::logic_error("FleetScenario::SpillLogsTo: call Start() first");
+  }
+  auto spill = [&](const NodeId& global, Avmm& node) {
+    std::string dir = (std::filesystem::path(base_dir) / global).string();
+    auto store = LogStore::Open(dir, node.id());
+    node.SpillTo(store.get());
+    store_by_name_[global] = store.get();
+    stores_.push_back(std::move(store));
+  };
+  for (int i = 0; i < cfg_.num_games; i++) {
+    GameScenario& g = *games_[static_cast<size_t>(i)];
+    std::string prefix = "g" + std::to_string(i) + "/";
+    spill(prefix + "server", g.server());
+    for (int p = 0; p < cfg_.players_per_game; p++) {
+      spill(prefix + g.player_id(p), g.player(p));
+    }
+  }
+  for (int i = 0; i < cfg_.num_kv; i++) {
+    spill("kv" + std::to_string(i) + "/kvserver", kvs_[static_cast<size_t>(i)]->server());
+  }
+}
+
+void FleetScenario::RunFor(SimTime duration) {
+  for (auto& g : games_) {
+    g->RunFor(duration);
+  }
+  for (auto& kv : kvs_) {
+    kv->RunFor(duration);
+  }
+}
+
+void FleetScenario::Finish() {
+  for (auto& g : games_) {
+    g->Finish();
+  }
+  for (auto& kv : kvs_) {
+    kv->Finish();
+  }
+  for (auto& store : stores_) {
+    store->Flush();
+  }
+}
+
+std::vector<FleetScenario::AuditeeRef> FleetScenario::Auditees() {
+  std::vector<AuditeeRef> out;
+  auto store_for = [&](const NodeId& global) -> LogStore* {
+    auto it = store_by_name_.find(global);
+    return it == store_by_name_.end() ? nullptr : it->second;
+  };
+  for (int i = 0; i < cfg_.num_games; i++) {
+    GameScenario* g = games_[static_cast<size_t>(i)].get();
+    std::string prefix = "g" + std::to_string(i) + "/";
+    AuditeeRef server;
+    server.global_name = prefix + "server";
+    server.local_name = "server";
+    server.avmm = &g->server();
+    server.registry = &g->registry();
+    server.reference_image = &g->reference_server_image();
+    server.store = store_for(server.global_name);
+    server.collect_auths = [g] { return g->CollectAuths("server"); };
+    out.push_back(std::move(server));
+    for (int p = 0; p < cfg_.players_per_game; p++) {
+      AuditeeRef player;
+      player.global_name = prefix + g->player_id(p);
+      player.local_name = g->player_id(p);
+      player.avmm = &g->player(p);
+      player.registry = &g->registry();
+      player.reference_image = &g->reference_client_image();
+      player.store = store_for(player.global_name);
+      NodeId local = player.local_name;
+      player.collect_auths = [g, local] { return g->CollectAuths(local); };
+      out.push_back(std::move(player));
+    }
+  }
+  for (int i = 0; i < cfg_.num_kv; i++) {
+    KvScenario* kv = kvs_[static_cast<size_t>(i)].get();
+    AuditeeRef server;
+    server.global_name = "kv" + std::to_string(i) + "/kvserver";
+    server.local_name = "kvserver";
+    server.avmm = &kv->server();
+    server.registry = &kv->registry();
+    server.reference_image = &kv->reference_server_image();
+    server.store = store_for(server.global_name);
+    server.collect_auths = [kv] { return kv->CollectAuthsForServer(); };
+    out.push_back(std::move(server));
+  }
   return out;
 }
 

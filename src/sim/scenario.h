@@ -1,13 +1,17 @@
 // Multi-host scenario drivers: wire guest images, AVMMs, the simulated
 // network, input scripts and cheats into runnable experiments. These are
-// the symmetric multi-party setup of Figure 2(a) (the game) and the
-// client/server setup of §6.12 (the key-value store).
+// the symmetric multi-party setup of Figure 2(a) (the game), the
+// client/server setup of §6.12 (the key-value store), and the
+// multi-auditee fleet of §6.11/§8 (many independent worlds whose
+// machines are all audited by one service).
 #ifndef SRC_SIM_SCENARIO_H_
 #define SRC_SIM_SCENARIO_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/apps/cheats.h"
@@ -129,6 +133,7 @@ class KvScenario {
   const KeyRegistry& registry() const { return registry_; }
 
   std::vector<Authenticator> CollectAuthsForServer() const;
+  std::vector<Authenticator> CollectAuths(const NodeId& target) const;
 
  private:
   KvScenarioConfig cfg_;
@@ -140,6 +145,73 @@ class KvScenario {
   std::unique_ptr<Avmm> client_;
   Bytes reference_server_image_;
   SimTime now_ = 0;
+  bool started_ = false;
+};
+
+// ------------------------------------------------------------- Fleet ----
+
+class LogStore;  // src/store; owned here when logs are spilled to disk.
+
+struct FleetScenarioConfig {
+  RunConfig run = RunConfig::AvmmNoSig();
+  int num_games = 2;         // K independent game worlds (1 server + players each).
+  int players_per_game = 2;
+  int num_kv = 1;            // M key-value client/server pairs.
+  uint64_t seed = 1;
+  GameScenarioConfig game;   // Template; run/num_players/seed set per world.
+  KvScenarioConfig kv;       // Template; run/seed set per world.
+  // (game index, player index) -> cheat installed in that world.
+  std::map<std::pair<int, int>, RunnableCheat> cheats;
+};
+
+// The §6.11/§8 deployment shape: many independent accountable worlds —
+// K game servers (each with its own players) and M key-value stores —
+// whose machines are all auditable by one FleetAuditService. Each world
+// keeps its own network and key registry (an auditee registration
+// carries its registry), and node names are globalized as
+// "g<i>/<node>" / "kv<i>/<node>" so the fleet key space never collides.
+class FleetScenario {
+ public:
+  explicit FleetScenario(FleetScenarioConfig cfg);
+  ~FleetScenario();
+
+  void Start();
+  // Spills every auditable machine's log into a store::LogStore under
+  // `base_dir`/<global name>/ (creating the stores; call after Start()
+  // and before RunFor()). The stores persist checkpoints and let the
+  // audit service read logs without touching the auditees' heaps.
+  void SpillLogsTo(const std::string& base_dir);
+  void RunFor(SimTime duration);
+  void Finish();
+
+  int num_games() const { return cfg_.num_games; }
+  int num_kv() const { return cfg_.num_kv; }
+  GameScenario& game(int i) { return *games_.at(static_cast<size_t>(i)); }
+  KvScenario& kv(int i) { return *kvs_.at(static_cast<size_t>(i)); }
+
+  // One auditable machine of the fleet, with everything a
+  // FleetAuditService registration needs.
+  struct AuditeeRef {
+    NodeId global_name;  // "g0/player1", "kv1/kvserver", ...
+    NodeId local_name;   // Name inside its world's registry/log.
+    const Avmm* avmm = nullptr;
+    const KeyRegistry* registry = nullptr;
+    const Bytes* reference_image = nullptr;
+    LogStore* store = nullptr;  // Null until SpillLogsTo().
+    // Gathers the authenticators the world's other nodes hold about
+    // this machine plus a fresh end-of-log commitment.
+    std::function<std::vector<Authenticator>()> collect_auths;
+  };
+  // Every game server, game player and kv server (kv clients are load
+  // generators, not audit targets).
+  std::vector<AuditeeRef> Auditees();
+
+ private:
+  FleetScenarioConfig cfg_;
+  std::vector<std::unique_ptr<GameScenario>> games_;
+  std::vector<std::unique_ptr<KvScenario>> kvs_;
+  std::vector<std::unique_ptr<LogStore>> stores_;
+  std::map<NodeId, LogStore*> store_by_name_;
   bool started_ = false;
 };
 

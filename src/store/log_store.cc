@@ -134,6 +134,17 @@ LoadedSegment LoadSegmentFile(const std::string& path, bool sealed) {
 // LogStore
 // ---------------------------------------------------------------------------
 
+void LogStore::WriteAuxFile(const std::string& path, ByteView data, bool sync) {
+  WriteFileAtomically(path, data, sync);
+}
+
+std::optional<Bytes> LogStore::ReadAuxFile(const std::string& path) {
+  if (!fs::exists(path)) {
+    return std::nullopt;
+  }
+  return ReadFileBytes(path);
+}
+
 LogStore::LogStore(std::string dir, NodeId node, LogStoreOptions opts)
     : dir_(std::move(dir)), node_(std::move(node)), opts_(opts) {
   if (opts_.index_every == 0) {

@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,17 @@ class LogStore final : public LogSink, public SegmentSource {
   bool RecoveredTornTail() const { return recovered_torn_tail_; }
   const std::string& dir() const { return dir_; }
   const LogStoreOptions& options() const { return opts_; }
+
+  // Atomic (tmp + rename, optionally fsync'd) small-file IO for
+  // auxiliary records kept alongside the segments — audit checkpoints
+  // (src/audit/checkpoint) persist through these. A write interrupted
+  // by a crash leaves only a "*.tmp", which Recover() removes; aux
+  // files must not collide with segment names ("seg-*") and are
+  // otherwise ignored by recovery.
+  static void WriteAuxFile(const std::string& path, ByteView data, bool sync);
+  // nullopt when the file does not exist; throws StoreError on a file
+  // that exists but cannot be read.
+  static std::optional<Bytes> ReadAuxFile(const std::string& path);
 
  private:
   friend class SegmentCursor;

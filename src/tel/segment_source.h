@@ -11,6 +11,7 @@
 #define SRC_TEL_SEGMENT_SOURCE_H_
 
 #include <functional>
+#include <stdexcept>
 
 #include "src/tel/log.h"
 
@@ -37,6 +38,24 @@ class SegmentSource {
   // O(one segment) memory, not O(log), so syntactic scans work on logs
   // far larger than RAM.
   virtual void Scan(uint64_t from_seq, uint64_t to_seq, const EntryVisitor& visit) const = 0;
+
+  // The *stored* chain hash h_seq of one entry (untrusted until the
+  // chain rule verified it). Checkpointed audits (src/audit/checkpoint)
+  // use this to anchor a resume watermark and to resolve authenticators
+  // behind it without materializing a range.
+  Hash256 HashAt(uint64_t seq) const {
+    Hash256 h;
+    bool found = false;
+    Scan(seq, seq, [&](const LogEntry& e) {
+      h = e.hash;
+      found = true;
+      return false;
+    });
+    if (!found) {
+      throw std::out_of_range("SegmentSource::HashAt: seq not in log");
+    }
+    return h;
+  }
 };
 
 // The trivial source: the log already in this process's memory.

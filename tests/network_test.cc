@@ -74,7 +74,10 @@ TEST(SimNetwork, DropRateDropsFrames) {
   }
   net.DeliverUntil(1000000);
   EXPECT_TRUE(b.received.empty());
-  EXPECT_EQ(net.StatsFor("a").frames_dropped, 10u);
+  // Drops are charged to the destination (the frame was lost on its way
+  // to b), so b's accounting closes: addressed == received + dropped.
+  EXPECT_EQ(net.StatsFor("b").frames_dropped, 10u);
+  EXPECT_EQ(net.StatsFor("a").frames_dropped, 0u);
 }
 
 TEST(SimNetwork, PartialDropRateStatistics) {
@@ -138,6 +141,80 @@ TEST(SimNetwork, DetachedHostStopsReceiving) {
   net.DetachHost("b");
   net.DeliverUntil(1000000);
   EXPECT_TRUE(b.received.empty());
+  // Regression: the in-flight frame to the detached host must be
+  // accounted as dropped, not silently lost.
+  EXPECT_EQ(net.StatsFor("b").frames_dropped, 1u);
+}
+
+// §6.7 regression: with every loss class in play — random drops, a
+// partition, and a host that detached with frames in flight — the
+// global totals must close exactly: sent == received + dropped, and per
+// node: frames addressed to it == received + dropped.
+TEST(SimNetwork, TrafficTotalsCloseUnderAllLossClasses) {
+  SimNetwork net(1234);
+  net.SetDefaultLatency(10);
+  Sink a, b, c;
+  net.AttachHost("a", &a);
+  net.AttachHost("b", &b);
+  net.AttachHost("c", &c);
+
+  net.SetDropRate(0.3);
+  uint64_t to_b = 0, to_c = 0;
+  for (int i = 0; i < 200; i++) {
+    net.SendFrame(static_cast<SimTime>(i), "a", "b", ToBytes("x"));
+    to_b++;
+  }
+  net.SetDropRate(0.0);
+  net.SetPartitioned("a", "c", true);
+  for (int i = 0; i < 50; i++) {
+    net.SendFrame(static_cast<SimTime>(i), "a", "c", ToBytes("y"));
+    to_c++;
+  }
+  net.SetPartitioned("a", "c", false);
+  // Frames still in flight when the destination detaches.
+  for (int i = 0; i < 25; i++) {
+    net.SendFrame(1000, "b", "c", ToBytes("z"));
+    to_c++;
+  }
+  net.DeliverUntil(500);  // Deliver a->b traffic; b->c still queued.
+  net.DetachHost("c");
+  net.DeliverUntil(1u << 20);
+
+  TrafficStats total = net.TotalStats();
+  EXPECT_EQ(total.frames_sent, 275u);
+  EXPECT_EQ(total.frames_sent, total.frames_received + total.frames_dropped);
+  const TrafficStats& sb = net.StatsFor("b");
+  EXPECT_EQ(to_b, sb.frames_received + sb.frames_dropped);
+  const TrafficStats& sc = net.StatsFor("c");
+  EXPECT_EQ(sc.frames_received, 0u);
+  EXPECT_EQ(sc.frames_dropped, to_c);
+}
+
+// Regression for the move-out-of-the-priority-queue delivery path: the
+// delivery order across mixed timestamps and FIFO ties must be exactly
+// the schedule order, and payloads must arrive intact.
+TEST(SimNetwork, MoveDeliveryPreservesOrderAndPayloads) {
+  SimNetwork net;
+  net.SetDefaultLatency(0);
+  Sink b;
+  net.AttachHost("b", &b);
+  // Schedule out of order: timestamps 5,5,3,9,3,5 with payload ids.
+  const SimTime at[] = {5, 5, 3, 9, 3, 5};
+  for (int i = 0; i < 6; i++) {
+    Bytes payload(100, static_cast<uint8_t>(i));  // Big enough to heap-allocate.
+    net.SendFrame(at[i], "a", "b", std::move(payload));
+  }
+  net.DeliverUntil(100);
+  ASSERT_EQ(b.received.size(), 6u);
+  // Expected: by timestamp, FIFO within equal timestamps.
+  const uint8_t expect_ids[] = {2, 4, 0, 1, 5, 3};
+  const SimTime expect_at[] = {3, 3, 5, 5, 5, 9};
+  for (size_t i = 0; i < 6; i++) {
+    EXPECT_EQ(b.received[i].at, expect_at[i]) << i;
+    ASSERT_EQ(b.received[i].frame.size(), 100u);
+    EXPECT_EQ(b.received[i].frame[0], expect_ids[i]) << i;
+    EXPECT_EQ(b.received[i].frame[99], expect_ids[i]) << i;
+  }
 }
 
 TEST(SimNetwork, NextDeliveryTime) {

@@ -1,10 +1,42 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+
 #include "src/audit/online.h"
 #include "src/sim/scenario.h"
+#include "src/store/log_store.h"
 
 namespace avm {
 namespace {
+
+// Wraps a live log but can be told to report a shorter LastSeq —
+// models the auditee crashing and LogStore::Open truncating a torn
+// tail, after which the followed log legitimately *shrinks*.
+class ShrinkableSource final : public SegmentSource {
+ public:
+  explicit ShrinkableSource(const TamperEvidentLog& log) : log_(&log) {}
+
+  void ShrinkTo(uint64_t last) { forced_last_ = last; }
+  void Unshrink() { forced_last_ = UINT64_MAX; }
+
+  const NodeId& node() const override { return log_->owner(); }
+  uint64_t LastSeq() const override { return std::min(forced_last_, log_->LastSeq()); }
+  LogSegment Extract(uint64_t from_seq, uint64_t to_seq) const override {
+    return log_->Extract(from_seq, to_seq);
+  }
+  void Scan(uint64_t from_seq, uint64_t to_seq, const EntryVisitor& visit) const override {
+    for (uint64_t s = from_seq; s <= to_seq; s++) {
+      if (!visit(log_->At(s))) {
+        return;
+      }
+    }
+  }
+
+ private:
+  const TamperEvidentLog* log_;
+  uint64_t forced_last_ = UINT64_MAX;
+};
 
 GameScenarioConfig Cfg(uint64_t seed) {
   GameScenarioConfig cfg;
@@ -75,6 +107,80 @@ TEST(OnlineAudit, DivergenceIsSticky) {
   ReplayResult second = auditor.Poll();
   EXPECT_FALSE(second.ok);
   EXPECT_EQ(first.reason, second.reason);
+}
+
+TEST(OnlineAudit, TargetRewindSurfacedNotStaleProgress) {
+  GameScenario game(Cfg(5));
+  game.Start();
+  ShrinkableSource source(game.player(0).log());
+  OnlineAuditor auditor(&source, game.reference_client_image(), game.config().run.mem_size);
+  game.RunFor(kMicrosPerSecond);
+  ReplayResult first = auditor.Poll();
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(auditor.status(), OnlinePollStatus::kAdvanced);
+  uint64_t consumed = auditor.consumed_seq();
+  ASSERT_GT(consumed, 10u);
+
+  // The log "shrinks" below the consumed prefix (crash + torn-tail
+  // truncation). Poll must not pretend progress: the status is a
+  // distinct rewind, the cumulative result is unchanged, and it is
+  // sticky even if the log later grows past the old watermark (the
+  // regrown history need not match what was already consumed).
+  source.ShrinkTo(consumed / 2);
+  ReplayResult after = auditor.Poll();
+  EXPECT_TRUE(after.ok);
+  EXPECT_EQ(after.replay_icount, first.replay_icount);
+  EXPECT_EQ(auditor.status(), OnlinePollStatus::kTargetRewound);
+  EXPECT_TRUE(auditor.target_rewound());
+  EXPECT_EQ(auditor.LagEntries(), 0u);  // Saturates; no u64 underflow.
+  EXPECT_EQ(auditor.consumed_seq(), consumed);
+
+  source.Unshrink();
+  game.RunFor(200 * kMicrosPerMilli);
+  auditor.Poll();
+  EXPECT_EQ(auditor.status(), OnlinePollStatus::kTargetRewound);
+  EXPECT_EQ(auditor.consumed_seq(), consumed);
+}
+
+TEST(OnlineAudit, CaughtUpPollIsIdleNotRewound) {
+  GameScenario game(Cfg(6));
+  game.Start();
+  game.RunFor(500 * kMicrosPerMilli);
+  OnlineAuditor auditor(&game.player(0).log(), game.reference_client_image(),
+                        game.config().run.mem_size);
+  ASSERT_TRUE(auditor.Poll().ok);
+  EXPECT_EQ(auditor.status(), OnlinePollStatus::kAdvanced);
+  // Nothing new: the caught-up case (next_seq == last + 1) is idle, not
+  // a rewind.
+  auditor.Poll();
+  EXPECT_EQ(auditor.status(), OnlinePollStatus::kIdle);
+  EXPECT_FALSE(auditor.target_rewound());
+}
+
+TEST(OnlineAudit, StoreBackedFollowMatchesInMemory) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "avm_online_store_test").string();
+  std::filesystem::remove_all(dir);
+  GameScenario game(Cfg(7));
+  game.Start();
+  LogStoreOptions opts;
+  opts.sync = false;
+  auto store = LogStore::Open(dir, game.player_id(0), opts);
+  game.player(0).SpillTo(store.get());
+
+  OnlineAuditor mem_auditor(&game.player(0).log(), game.reference_client_image(),
+                            game.config().run.mem_size);
+  OnlineAuditor store_auditor(store.get(), game.reference_client_image(),
+                              game.config().run.mem_size);
+  for (int step = 0; step < 5; step++) {
+    game.RunFor(200 * kMicrosPerMilli);
+    ReplayResult m = mem_auditor.Poll();
+    ReplayResult s = store_auditor.Poll();
+    ASSERT_EQ(m.ok, s.ok) << "step " << step;
+    EXPECT_EQ(m.replay_icount, s.replay_icount);
+    EXPECT_EQ(mem_auditor.LagEntries(), store_auditor.LagEntries());
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(OnlineAudit, LagTracksUnconsumedEntries) {
