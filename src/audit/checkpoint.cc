@@ -93,9 +93,14 @@ std::string AuditCheckpointFileName(const NodeId& auditor) {
   return "audit-" + safe + ".ckpt";
 }
 
-void SaveAuditCheckpoint(const std::string& dir, const AuditCheckpoint& cp, bool sync) {
+void SaveAuditCheckpoint(const std::string& dir, const AuditCheckpoint& cp, bool sync,
+                         LogStore* aux_store) {
   std::filesystem::create_directories(dir);
   std::string path = (std::filesystem::path(dir) / AuditCheckpointFileName(cp.auditor)).string();
+  if (aux_store != nullptr) {
+    aux_store->WriteAuxFileBatched(path, cp.Serialize());
+    return;
+  }
   LogStore::WriteAuxFile(path, cp.Serialize(), sync);
 }
 
@@ -470,7 +475,7 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
         // Capture is a pure optimization: a full disk or an unwritable
         // directory must cost a future resume, never this verdict.
         try {
-          SaveAuditCheckpoint(checkpoint_dir, ncp, ckpt_.sync);
+          SaveAuditCheckpoint(checkpoint_dir, ncp, ckpt_.sync, ckpt_.aux_store);
           last_captured = to;
           ri.checkpoints_written++;
         } catch (const std::runtime_error&) {

@@ -39,6 +39,8 @@
 
 namespace avm {
 
+class LogStore;
+
 struct AuditCheckpoint {
   NodeId node;                // Whose log this watermark is about.
   NodeId auditor;             // Who verified the prefix (signature key id).
@@ -68,7 +70,12 @@ std::string AuditCheckpointFileName(const NodeId& auditor);
 
 // Atomically persists `cp` into `dir` (via LogStore::WriteAuxFile, so
 // a crash mid-write leaves only a *.tmp that store recovery removes).
-void SaveAuditCheckpoint(const std::string& dir, const AuditCheckpoint& cp, bool sync = false);
+// With `aux_store`, the write goes through that store's batched-fsync
+// path instead (WriteAuxFileBatched): the rename is still atomic, and
+// the fsync piggybacks on the store's next group commit rather than
+// costing the audit thread a synchronous durability round-trip.
+void SaveAuditCheckpoint(const std::string& dir, const AuditCheckpoint& cp, bool sync = false,
+                         LogStore* aux_store = nullptr);
 
 // Loads the checkpoint `auditor` previously saved in `dir`. Returns
 // nullopt when absent or unparseable (a corrupt checkpoint is a reason
@@ -96,6 +103,11 @@ struct CheckpointConfig {
   const Signer* signer = nullptr;
   // fsync checkpoint files (tests and benches leave this off).
   bool sync = false;
+  // When set, checkpoint writes go through this store's batched-fsync
+  // path (LogStore::WriteAuxFileBatched) instead of a standalone
+  // synchronous write; `sync` is then irrelevant. Typically the
+  // auditee's own store, whose directory also holds the checkpoint.
+  LogStore* aux_store = nullptr;
 };
 
 // Why the last AuditFull call did or did not resume.

@@ -220,7 +220,9 @@ FleetJobResult FleetAuditService::RunJob(Auditee& auditee, const Job& job) {
   WallTimer timer;
   switch (job.type) {
     case FleetJobType::kFullAudit: {
-      CheckpointedAuditor auditor(cfg_.checkpoint.auditor, registry, acfg, cfg_.checkpoint);
+      CheckpointConfig ckpt = cfg_.checkpoint;
+      ckpt.aux_store = reg.checkpoint_store;
+      CheckpointedAuditor auditor(ckpt.auditor, registry, acfg, ckpt);
       const std::string dir = cfg_.resume_from_checkpoints ? reg.checkpoint_dir : std::string();
       r.outcome = auditor.AuditFull(*reg.target, *reg.source, reg.reference_image, reg.auths,
                                     dir, &r.resume);

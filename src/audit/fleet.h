@@ -108,6 +108,10 @@ class FleetAuditService {
     Bytes reference_image;
     std::vector<Authenticator> auths;
     std::string checkpoint_dir;         // "" = stateless (no resume/capture).
+    // When set, checkpoint captures for this auditee are written through
+    // the store's batched-fsync path (CheckpointConfig::aux_store),
+    // typically the LogStore that owns checkpoint_dir.
+    LogStore* checkpoint_store = nullptr;
     const KeyRegistry* registry = nullptr;  // null = the service default.
     size_t mem_size = 0;                // 0 = the service's audit.mem_size.
   };

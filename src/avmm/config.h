@@ -45,6 +45,16 @@ struct RunConfig {
   // unacknowledged suffix.
   uint32_t sign_batch_entries = 8;
 
+  // Durable commit: an authenticator (or batch-window commitment) is
+  // released to the network only once every entry it covers is behind
+  // the log sink's durability watermark (TamperEvidentLog::DurableSeq,
+  // i.e. store::LogStore's group-commit fsync boundary). Off by
+  // default: without it the paper's protocol releases authenticators
+  // that a crash could orphan, leaving the node unable to re-derive
+  // what it already committed to. With no sink attached the watermark
+  // equals LastSeq() and the gate is a no-op.
+  bool durable_commit = false;
+
   // §6.5's clock-read optimization: consecutive clock reads within 5 µs
   // are delayed exponentially (50 µs * 2^(n-2), capped at 5 ms).
   bool clock_read_optimization = true;

@@ -297,12 +297,21 @@ Authenticator Avmm::CommitLog() const {
   if (signer_ == nullptr) {
     throw std::logic_error("Avmm::CommitLog: no signer");
   }
+  // Handing a commitment to an auditor is a release: under
+  // durable_commit the covered entries must be behind the watermark
+  // first, exactly like the transport's gate.
+  if (cfg_.durable_commit && log_.sink() != nullptr) {
+    log_.sink()->Flush();
+  }
   return log_.Authenticate(*signer_);
 }
 
 Authenticator Avmm::CommitLogAt(uint64_t seq) const {
   if (signer_ == nullptr) {
     throw std::logic_error("Avmm::CommitLogAt: no signer");
+  }
+  if (cfg_.durable_commit && log_.sink() != nullptr && log_.DurableSeq() < seq) {
+    log_.sink()->Flush();
   }
   return log_.AuthenticateAt(*signer_, seq);
 }
@@ -325,9 +334,20 @@ void Avmm::Finish(SimTime now) {
   if (cfg_.TamperEvident()) {
     TakeSnapshot(now);
     log_.Append(EntryType::kInfo, ToBytes("END"));
-    // Batched/async signing: seal the tail (barrier for the background
-    // signer) and push the final commitments to peers. The driver still
-    // has to deliver those frames (scenario Finish settles the network).
+    // Barrier order matters: the transport flush drains the background
+    // signer and (under durable_commit) releases deferred frames, and
+    // only then is the sink flushed -- so the store is never sealed
+    // under a signer that still holds queued entries. The driver still
+    // has to deliver those frames (scenario Finish settles the network),
+    // and frames delivered during that settle can append entries and
+    // enqueue fresh sign work; DrainPending is the post-settle barrier.
+    transport_->Flush(now);
+  }
+  log_.FlushSink();
+}
+
+void Avmm::DrainPending(SimTime now) {
+  if (cfg_.TamperEvident()) {
     transport_->Flush(now);
   }
   log_.FlushSink();

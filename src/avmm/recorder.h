@@ -88,6 +88,15 @@ class Avmm : public DeviceBackend {
   // Final snapshot + END marker; call once when the scenario stops.
   void Finish(SimTime now);
 
+  // Post-settle shutdown barrier. Frames delivered after Finish() (the
+  // scenario's network settle) append RECV/ACK/PeerCommitRecord entries
+  // and can enqueue fresh async sign work past Finish()'s barrier;
+  // without this, a caller could Seal() the store while the signer
+  // thread still holds queued entries and the sink holds unflushed
+  // appends. Drains the signer, releases anything durably gated, and
+  // flushes the sink past every entry. Idempotent; safe after Finish().
+  void DrainPending(SimTime now);
+
   // DeviceBackend (the guest's view of its "hardware").
   uint32_t PortIn(Machine& m, uint16_t port) override;
   void PortOut(Machine& m, uint16_t port, uint32_t value) override;

@@ -60,7 +60,24 @@ void Transport::SendPacket(SimTime now, const NodeId& dst, Bytes payload) {
   crypto_seconds_ += crypto_timer.ElapsedSeconds();
 
   DataFrame frame{std::move(rec), std::move(payload_sig), prev, std::move(auth)};
+  uint64_t auth_seq = frame.auth.seq;
+  uint64_t msg_id = frame.msg.msg_id;
   Bytes wire = WrapFrame(FrameType::kData, frame.Serialize());
+  if (!DurableFor(auth_seq)) {
+    // The authenticator commits to entries a crash could still lose;
+    // hold the frame until the group commit catches up (ReleaseDurable).
+    stats_.durable_deferred_frames++;
+    DeferredFrame d;
+    d.release_seq = auth_seq;
+    d.dst = dst;
+    d.wire = std::move(wire);
+    d.is_data = true;
+    d.msg_id = msg_id;
+    d.entry_content = std::move(content);
+    deferred_frames_.push_back(std::move(d));
+    return;
+  }
+  NoteAuthRelease(auth_seq);
   net_->SendFrame(now, id_, dst, wire);
 
   PendingSend pending;
@@ -69,7 +86,7 @@ void Transport::SendPacket(SimTime now, const NodeId& dst, Bytes payload) {
   pending.first_sent = now;
   pending.last_sent = now;
   pending.dst = dst;
-  unacked_[{dst, frame.msg.msg_id}] = std::move(pending);
+  unacked_[{dst, msg_id}] = std::move(pending);
 }
 
 void Transport::Tick(SimTime now) {
@@ -79,6 +96,7 @@ void Transport::Tick(SimTime now) {
     MaybeCloseWindow();
     PumpAsync();
   }
+  ReleaseDurable(now, /*force=*/true);
   for (auto it = unacked_.begin(); it != unacked_.end();) {
     PendingSend& p = it->second;
     if (now - p.last_sent >= cfg_->retransmit_timeout) {
@@ -202,7 +220,11 @@ void Transport::HandleData(SimTime now, const NodeId& src, ByteView body) {
   auto dup = acks_sent_.find(key);
   if (dup != acks_sent_.end()) {
     stats_.duplicates++;
-    net_->SendFrame(now, id_, src, dup->second);
+    // A still-deferred ack must not be pushed past the durability gate
+    // by a retransmitted data frame; it goes out via ReleaseDurable.
+    if (dup->second.released) {
+      net_->SendFrame(now, id_, src, dup->second.wire);
+    }
     return;
   }
 
@@ -218,11 +240,28 @@ void Transport::HandleData(SimTime now, const NodeId& src, ByteView body) {
   crypto_seconds_ += crypto_timer.ElapsedSeconds();
 
   AckFrame ack{id_, src, f.msg.msg_id, Sha256::Digest(content), prev, std::move(my_auth)};
+  uint64_t auth_seq = ack.auth.seq;
   Bytes wire = WrapFrame(FrameType::kAck, ack.Serialize());
-  acks_sent_[key] = wire;
+  stats_.packets_received++;
+  if (!DurableFor(auth_seq)) {
+    stats_.durable_deferred_frames++;
+    acks_sent_[key] = {wire, /*released=*/false};
+    DeferredFrame d;
+    d.release_seq = auth_seq;
+    d.dst = src;
+    d.wire = std::move(wire);
+    d.is_ack = true;
+    d.ack_key = key;
+    deferred_frames_.push_back(std::move(d));
+    if (packet_handler_) {
+      packet_handler_(now, src, f.msg.payload);
+    }
+    return;
+  }
+  NoteAuthRelease(auth_seq);
+  acks_sent_[key] = {wire, /*released=*/true};
   net_->SendFrame(now, id_, src, wire);
   stats_.acks_sent++;
-  stats_.packets_received++;
 
   if (packet_handler_) {
     packet_handler_(now, src, f.msg.payload);
@@ -272,8 +311,80 @@ void Transport::HandleAck(SimTime now, const NodeId& src, ByteView body) {
 // ----------------------------------------------------- batched signing ----
 
 void Transport::IntegrateCommit(Authenticator a) {
+  if (cfg_->durable_commit && a.seq > log_->DurableSeq()) {
+    // Signed but not yet durable: park it. ReleaseDurable promotes it to
+    // latest_commit_ once the group commit catches up, so frames never
+    // carry a commitment a crash could orphan.
+    stats_.durable_deferred_commits++;
+    pending_commits_.push_back(std::move(a));
+    return;
+  }
   if (a.seq > latest_commit_.seq) {
     latest_commit_ = std::move(a);
+  }
+}
+
+bool Transport::DurableFor(uint64_t seq) const {
+  return !cfg_->durable_commit || log_->DurableSeq() >= seq;
+}
+
+void Transport::NoteAuthRelease(uint64_t seq) {
+  stats_.max_released_auth_seq = std::max(stats_.max_released_auth_seq, seq);
+  if (cfg_->durable_commit && seq > log_->DurableSeq()) {
+    stats_.durable_gate_violations++;
+  }
+}
+
+void Transport::ReleaseDurable(SimTime now, bool force) {
+  if (!cfg_->durable_commit || (deferred_frames_.empty() && pending_commits_.empty())) {
+    return;
+  }
+  // Highest seq anything parked is waiting on. Deferred frames are in
+  // log order, so the back of the deque bounds the front.
+  uint64_t need = 0;
+  for (const Authenticator& a : pending_commits_) {
+    need = std::max(need, a.seq);
+  }
+  if (!deferred_frames_.empty()) {
+    need = std::max(need, deferred_frames_.back().release_seq);
+  }
+  if (force && log_->DurableSeq() < need) {
+    // One group commit covers everything parked.
+    log_->FlushSink();
+    stats_.durable_forced_flushes++;
+  }
+  uint64_t wm = log_->DurableSeq();
+  for (auto it = pending_commits_.begin(); it != pending_commits_.end();) {
+    if (it->seq <= wm) {
+      if (it->seq > latest_commit_.seq) {
+        latest_commit_ = std::move(*it);
+      }
+      it = pending_commits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  while (!deferred_frames_.empty() && deferred_frames_.front().release_seq <= wm) {
+    DeferredFrame d = std::move(deferred_frames_.front());
+    deferred_frames_.pop_front();
+    NoteAuthRelease(d.release_seq);
+    net_->SendFrame(now, id_, d.dst, d.wire);
+    if (d.is_ack) {
+      auto it = acks_sent_.find(d.ack_key);
+      if (it != acks_sent_.end()) {
+        it->second.released = true;
+      }
+      stats_.acks_sent++;
+    }
+    if (d.is_data) {
+      PendingSend pending;
+      pending.frame = std::move(d.wire);
+      pending.entry_content = std::move(d.entry_content);
+      pending.first_sent = now;
+      pending.last_sent = now;
+      pending.dst = d.dst;
+      unacked_[{d.dst, d.msg_id}] = std::move(pending);
+    }
   }
 }
 
@@ -322,6 +433,9 @@ ChainTail Transport::BuildTailFor(const NodeId& dst, bool advance) {
     t.links.push_back(LinkFor(log_->At(s)));
   }
   t.commit = latest_commit_;
+  if (t.commit.seq != 0) {
+    NoteAuthRelease(t.commit.seq);
+  }
   if (advance) {
     peer_known_seq_[dst] = tip;
   }
@@ -537,7 +651,7 @@ void Transport::HandleBatchData(SimTime now, const NodeId& src, ByteView body) {
   auto dup = acks_sent_.find(key);
   if (dup != acks_sent_.end()) {
     stats_.duplicates++;
-    net_->SendFrame(now, id_, src, dup->second);
+    net_->SendFrame(now, id_, src, dup->second.wire);
     return;
   }
 
@@ -557,7 +671,7 @@ void Transport::HandleBatchData(SimTime now, const NodeId& src, ByteView body) {
   AckFrame ack{id_, src, f.msg.msg_id, Sha256::Digest(content), prev, std::move(my_auth)};
   BatchAckFrame baf{std::move(ack), BuildTailFor(src, /*advance=*/true)};
   Bytes wire = WrapFrame(FrameType::kBatchAck, baf.Serialize());
-  acks_sent_[key] = wire;
+  acks_sent_[key] = {wire, /*released=*/true};
   net_->SendFrame(now, id_, src, wire);
   stats_.acks_sent++;
   stats_.packets_received++;
@@ -633,14 +747,19 @@ void Transport::HandleCommit(SimTime now, const NodeId& src, ByteView body) {
 }
 
 void Transport::Flush(SimTime now) {
+  if (cfg_->BatchedSigning()) {
+    RequestCommit(log_->LastSeq());
+    if (sign_pipeline_ != nullptr) {
+      sign_pipeline_->Barrier();
+    }
+    PumpAsync();
+  }
+  // Everything signed is now in hand; make it durable and release it
+  // (deferred kSync frames and parked window commitments alike).
+  ReleaseDurable(now, /*force=*/true);
   if (!cfg_->BatchedSigning()) {
     return;
   }
-  RequestCommit(log_->LastSeq());
-  if (sign_pipeline_ != nullptr) {
-    sign_pipeline_->Barrier();
-  }
-  PumpAsync();
   // Push the sealed window to every peer we have chain state with, so
   // their pending entries (and the auditors behind them) are covered.
   // kCommit tails do not advance peer_known_seq_: losing one cannot

@@ -27,11 +27,13 @@
 #define SRC_AVMM_TRANSPORT_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/avmm/async_signer.h"
@@ -67,6 +69,13 @@ class Transport : public NetworkDelegate {
     uint64_t peer_commits_verified = 0;   // Peer windows verified (1 RSA each).
     uint64_t frames_deferred = 0;         // Frames dropped on a chain gap
                                           // (recovered by retransmission).
+    // Durable commit (RunConfig::durable_commit).
+    uint64_t durable_deferred_frames = 0;   // Frames held for the watermark.
+    uint64_t durable_deferred_commits = 0;  // Window commitments held.
+    uint64_t durable_forced_flushes = 0;    // Group commits forced at release.
+    uint64_t max_released_auth_seq = 0;     // Highest auth seq put on the wire.
+    uint64_t durable_gate_violations = 0;   // Auths released above the
+                                            // watermark; must stay 0.
   };
 
   Transport(NodeId id, const RunConfig* cfg, TamperEvidentLog* log, const Signer* signer,
@@ -172,6 +181,30 @@ class Transport : public NetworkDelegate {
   void IntegrateCommit(Authenticator a);
   void PumpAsync();
 
+  // ----- durable commit (RunConfig::durable_commit) -----
+  // A frame whose authenticator commits to entries not yet behind the
+  // log sink's durability watermark. It is held here and put on the
+  // wire by ReleaseDurable once DurableSeq() reaches release_seq.
+  struct DeferredFrame {
+    uint64_t release_seq = 0;
+    NodeId dst;
+    Bytes wire;
+    bool is_data = false;  // Register the PendingSend at release time.
+    uint64_t msg_id = 0;
+    Bytes entry_content;
+    bool is_ack = false;  // Flip acks_sent_[ack_key].released at release.
+    std::pair<NodeId, uint64_t> ack_key;
+  };
+  bool DurableFor(uint64_t seq) const;
+  // Accounting at the moment an authenticator actually goes on the wire;
+  // durable_gate_violations counts releases above the watermark.
+  void NoteAuthRelease(uint64_t seq);
+  // Sends every deferred frame and integrates every parked commitment
+  // the watermark now covers. With `force`, first flushes the sink so
+  // everything parked is released -- Tick and Flush use this, making one
+  // group commit per quantum the worst-case release latency.
+  void ReleaseDurable(SimTime now, bool force);
+
   NodeId id_;
   const RunConfig* cfg_;
   TamperEvidentLog* log_;
@@ -187,7 +220,15 @@ class Transport : public NetworkDelegate {
   uint64_t send_counter_ = 0;
   std::map<std::pair<NodeId, uint64_t>, PendingSend> unacked_;
   // (src, msg_id) -> serialized ack frame, resent on duplicate data.
-  std::map<std::pair<NodeId, uint64_t>, Bytes> acks_sent_;
+  // `released` is false while the ack sits in deferred_frames_: a
+  // retransmitted data frame must not push the ack past the gate early.
+  struct SentAck {
+    Bytes wire;
+    bool released = true;
+  };
+  std::map<std::pair<NodeId, uint64_t>, SentAck> acks_sent_;
+  std::deque<DeferredFrame> deferred_frames_;
+  std::vector<Authenticator> pending_commits_;  // Signed, not yet durable.
   std::set<NodeId> suspended_;
   std::set<NodeId> suspected_;
 

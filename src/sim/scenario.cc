@@ -147,11 +147,24 @@ void GameScenario::Finish() {
     for (auto& p : players_) {
       p->Finish(now_);
     }
-    if (cfg_.run.BatchedSigning()) {
-      // Deliver the final kCommit frames so every node's pending
-      // RECV/ACK entries are sealed (and logged as PeerCommitRecords)
-      // before anyone is audited. The sync path is untouched.
+    if (cfg_.run.BatchedSigning() || cfg_.run.durable_commit) {
+      // Deliver the final kCommit frames (and any durably deferred
+      // data/acks) so every node's pending RECV/ACK entries are sealed
+      // (and logged as PeerCommitRecords) before anyone is audited.
+      // The plain sync path is untouched.
       net_.DeliverUntil(now_ + kMicrosPerSecond);
+      // Frames delivered during the settle appended entries and may
+      // have enqueued fresh sign work past Finish()'s barrier; drain
+      // before anyone Seal()s a store underneath a busy signer.
+      server_->DrainPending(now_ + kMicrosPerSecond);
+      for (auto& p : players_) {
+        p->DrainPending(now_ + kMicrosPerSecond);
+      }
+      net_.DeliverUntil(now_ + 2 * kMicrosPerSecond);
+      server_->log().FlushSink();
+      for (auto& p : players_) {
+        p->log().FlushSink();
+      }
     }
   }
 }
@@ -254,8 +267,16 @@ void KvScenario::Finish() {
   if (cfg_.run.TamperEvident()) {
     server_->Finish(now_);
     client_->Finish(now_);
-    if (cfg_.run.BatchedSigning()) {
+    if (cfg_.run.BatchedSigning() || cfg_.run.durable_commit) {
       net_.DeliverUntil(now_ + kMicrosPerSecond);
+      // Same post-settle barrier as GameScenario::Finish: drain sign
+      // work enqueued by the settled frames, then flush the sinks past
+      // the entries those deliveries appended.
+      server_->DrainPending(now_ + kMicrosPerSecond);
+      client_->DrainPending(now_ + kMicrosPerSecond);
+      net_.DeliverUntil(now_ + 2 * kMicrosPerSecond);
+      server_->log().FlushSink();
+      client_->log().FlushSink();
     }
   }
 }

@@ -1,0 +1,164 @@
+#include "src/store/archive.h"
+
+#include <cstring>
+
+#include "src/compress/lzss.h"
+#include "src/util/crc32.h"
+#include "src/util/serde.h"
+
+namespace avm {
+
+namespace {
+
+constexpr char kArchiveMagic[8] = {'A', 'V', 'M', 'A', 'R', 'C', 'H', '\n'};
+constexpr char kArchiveFooterMagic[8] = {'A', 'V', 'M', 'A', 'F', 'T', '1', '\n'};
+
+bool MagicAt(ByteView buf, size_t off, const char (&magic)[8]) {
+  return buf.size() >= off + 8 && std::memcmp(buf.data() + off, magic, 8) == 0;
+}
+
+}  // namespace
+
+ArchiveFooter ParseArchiveFooter(ByteView footer) {
+  if (footer.size() != kArchiveFooterSize) {
+    throw StoreError("archive footer truncated");
+  }
+  if (!MagicAt(footer, kArchiveFooterSize - 8, kArchiveFooterMagic)) {
+    throw StoreError("bad archive footer magic");
+  }
+  uint32_t footer_crc = GetU32(footer, kArchiveFooterSize - 12);
+  if (Crc32c(footer.subspan(0, kArchiveFooterSize - 12)) != footer_crc) {
+    throw StoreError("archive footer CRC mismatch");
+  }
+  ArchiveFooter f;
+  f.entry_count = GetU64(footer, 0);
+  f.first_seq = GetU64(footer, 8);
+  f.last_seq = GetU64(footer, 16);
+  f.prior_hash = Hash256::FromBytes(footer.subspan(24, 32));
+  f.chain_hash = Hash256::FromBytes(footer.subspan(56, 32));
+  f.body_len = GetU64(footer, 88);
+  f.index_offset = GetU64(footer, 96);
+  f.body_crc = GetU32(footer, 104);
+  f.format_version = GetU32(footer, 108);
+  f.archived_watermark = GetU64(footer, 112);
+  f.cumulative_entries = GetU64(footer, 120);
+  f.node_hash = Hash256::FromBytes(footer.subspan(128, 32));
+  if (f.format_version != kArchiveFormatVersion) {
+    throw StoreError("archive format version " + std::to_string(f.format_version) +
+                     " not understood");
+  }
+  if (f.first_seq == 0) {
+    throw StoreError("archived segment: sequence numbers are 1-based");
+  }
+  if (f.first_seq == 1 && !f.prior_hash.IsZero()) {
+    throw StoreError("archived segment: nonzero prior hash at seq 1");
+  }
+  if (f.last_seq + 1 - f.first_seq != f.entry_count) {
+    throw StoreError("archived segment: entry count disagrees with seq range");
+  }
+  if (f.archived_watermark < f.last_seq || f.cumulative_entries < f.entry_count) {
+    throw StoreError("archived segment: whole-store state behind the segment it frames");
+  }
+  return f;
+}
+
+ArchiveInfo ReadArchiveInfo(ByteView file) {
+  if (file.size() < 8 + 4 + kArchiveFooterSize) {
+    throw StoreError("archived segment truncated");
+  }
+  if (!MagicAt(file, 0, kArchiveMagic)) {
+    throw StoreError("bad archived-segment magic");
+  }
+  size_t footer_at = file.size() - kArchiveFooterSize;
+  ArchiveInfo a;
+  a.footer = ParseArchiveFooter(file.subspan(footer_at));
+  a.info.flags = GetU32(file, 8);
+  a.info.entry_count = a.footer.entry_count;
+  a.info.header.first_seq = a.footer.first_seq;
+  a.info.last_seq = a.footer.last_seq;
+  a.info.header.prior_hash = a.footer.prior_hash;
+  a.info.chain_hash = a.footer.chain_hash;
+  a.info.body_len = a.footer.body_len;
+  a.info.body_offset = 8 + 4;
+  uint64_t index_offset = a.footer.index_offset;
+  if (index_offset < a.info.body_offset || index_offset > footer_at ||
+      a.info.body_len != index_offset - a.info.body_offset) {
+    throw StoreError("archived segment: body extents out of bounds");
+  }
+  if (footer_at - index_offset < 4) {
+    throw StoreError("archived segment: index truncated");
+  }
+  uint32_t n = GetU32(file, index_offset);
+  if ((footer_at - index_offset - 4) != static_cast<size_t>(n) * 16) {
+    throw StoreError("archived segment: index extents out of bounds");
+  }
+  a.info.index.reserve(n);
+  uint64_t prev_seq = 0;
+  for (uint32_t i = 0; i < n; i++) {
+    SparseIndexEntry ie;
+    ie.seq = GetU64(file, index_offset + 4 + i * 16);
+    ie.offset = GetU64(file, index_offset + 4 + i * 16 + 8);
+    if (ie.seq < a.info.header.first_seq || ie.seq > a.info.last_seq || ie.seq <= prev_seq) {
+      throw StoreError("archived segment: index entry out of range");
+    }
+    prev_seq = ie.seq;
+    a.info.index.push_back(ie);
+  }
+  return a;
+}
+
+Bytes ReadArchivedRecords(ByteView file, const ArchiveInfo& info) {
+  ByteView body = file.subspan(info.info.body_offset, info.info.body_len);
+  if (Crc32c(body) != info.footer.body_crc) {
+    throw StoreError("archived-segment body CRC mismatch");
+  }
+  if ((info.info.flags & kSealedFlagLzss) == 0) {
+    return Bytes(body.begin(), body.end());
+  }
+  try {
+    return LzssDecompress(body);
+  } catch (const std::invalid_argument& e) {
+    throw StoreError(std::string("archived-segment decompression failed: ") + e.what());
+  }
+}
+
+Bytes EncodeArchivedSegment(ByteView sealed_file, uint64_t archived_watermark,
+                            uint64_t cumulative_entries, const Hash256& node_hash) {
+  // Validate the sealed image first; a corrupt segment must never be
+  // laundered into an archive with fresh CRCs.
+  SealedInfo sealed = ReadSealedInfo(sealed_file);
+  size_t sealed_footer_at = sealed_file.size() - kSegmentFooterSize;
+  uint32_t body_crc = GetU32(sealed_file, sealed_footer_at + 104);
+  ByteView body = sealed_file.subspan(sealed.body_offset, sealed.body_len);
+  if (Crc32c(body) != body_crc) {
+    throw StoreError("refusing to archive a sealed segment with a corrupt body");
+  }
+
+  Writer w;
+  w.Raw(ByteView(reinterpret_cast<const uint8_t*>(kArchiveMagic), 8));
+  w.U32(sealed.flags);
+  w.Raw(body);  // Bit-for-bit; never recompressed.
+  size_t index_offset = w.bytes().size();
+  // Index block copied verbatim: [index_offset of sealed, its footer).
+  w.Raw(sealed_file.subspan(sealed.body_offset + sealed.body_len,
+                            sealed_footer_at - (sealed.body_offset + sealed.body_len)));
+  size_t footer_at = w.bytes().size();
+  w.U64(sealed.entry_count);
+  w.U64(sealed.header.first_seq);
+  w.U64(sealed.last_seq);
+  w.Raw(sealed.header.prior_hash.view());
+  w.Raw(sealed.chain_hash.view());
+  w.U64(sealed.body_len);
+  w.U64(index_offset);
+  w.U32(body_crc);
+  w.U32(kArchiveFormatVersion);
+  w.U64(archived_watermark);
+  w.U64(cumulative_entries);
+  w.Raw(node_hash.view());
+  Bytes out = w.Take();
+  PutU32(out, Crc32c(ByteView(out).subspan(footer_at, out.size() - footer_at)));
+  Append(out, ByteView(reinterpret_cast<const uint8_t*>(kArchiveFooterMagic), 8));
+  return out;
+}
+
+}  // namespace avm

@@ -1,0 +1,80 @@
+// Cold archival tier of the segmented log store.
+//
+// Sealed segments hold exactly what an auditor needs to replay one
+// window, but their footer only describes that window. The archival
+// tier re-frames a sealed segment — body and sparse index copied
+// verbatim, never recompressed — under a *wider* footer that also binds
+// whole-store state at the moment of archival:
+//
+//   arch   := magic8 "AVMARCH\n" | u32 flags | body | index | footer
+//   footer := u64 entry_count | u64 first_seq | u64 last_seq
+//           | prior_hash (32) | chain_hash (32)
+//           | u64 body_len | u64 index_offset | u32 body_crc
+//           | u32 format_version | u64 archived_watermark
+//           | u64 cumulative_entries | node_hash (32)
+//           | u32 footer_crc | magic8 "AVMAFT1\n"
+//
+// `archived_watermark` is the store's durability watermark when the
+// segment was archived (always >= last_seq: only durable segments are
+// ever promoted), `cumulative_entries` counts every log entry from
+// genesis through last_seq, and `node_hash` is SHA-256 of the node id
+// from store.meta, so an archive file carried off-machine still names
+// whose log it is. Like segment_file.h, everything here works on
+// in-memory images and throws StoreError on untrusted input; LogStore
+// owns the file I/O and the promotion policy (archive_keep_sealed).
+#ifndef SRC_STORE_ARCHIVE_H_
+#define SRC_STORE_ARCHIVE_H_
+
+#include <cstdint>
+
+#include "src/store/segment_file.h"
+#include "src/util/bytes.h"
+
+namespace avm {
+
+constexpr uint32_t kArchiveFormatVersion = 2;
+constexpr size_t kArchiveFooterSize = 8 * 3 + 32 * 2 + 8 * 2 + 4 + 4 + 8 + 8 + 32 + 4 + 8;
+
+// The wider chain-state footer, parsed from the last kArchiveFooterSize
+// bytes of an archive file (magic + CRC validated).
+struct ArchiveFooter {
+  // Per-segment chain state, as in SealedFooter.
+  uint64_t entry_count = 0;
+  uint64_t first_seq = 0;
+  uint64_t last_seq = 0;
+  Hash256 prior_hash;
+  Hash256 chain_hash;
+  uint64_t body_len = 0;
+  uint64_t index_offset = 0;
+  uint32_t body_crc = 0;
+  // Whole-store state at archival time.
+  uint32_t format_version = kArchiveFormatVersion;
+  uint64_t archived_watermark = 0;
+  uint64_t cumulative_entries = 0;
+  Hash256 node_hash;
+};
+
+ArchiveFooter ParseArchiveFooter(ByteView footer);
+
+// Footer + index of an archive file (no body decompression). `info`
+// carries the same fields a SealedInfo would, so segment readers treat
+// both tiers identically past the open.
+struct ArchiveInfo {
+  SealedInfo info;
+  ArchiveFooter footer;
+};
+
+ArchiveInfo ReadArchiveInfo(ByteView file);
+
+// CRC-checks and (if compressed) decompresses the record stream.
+Bytes ReadArchivedRecords(ByteView file, const ArchiveInfo& info);
+
+// Re-frames a complete sealed-segment file image as an archive image.
+// The compressed body and sparse index are copied bit-for-bit; only the
+// framing changes, so archival never touches record contents.
+Bytes EncodeArchivedSegment(ByteView sealed_file, uint64_t archived_watermark,
+                            uint64_t cumulative_entries, const Hash256& node_hash);
+
+}  // namespace avm
+
+#endif  // SRC_STORE_ARCHIVE_H_

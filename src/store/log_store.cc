@@ -4,14 +4,18 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <utility>
 
+#include "src/crypto/sha256.h"
+#include "src/store/archive.h"
 #include "src/util/serde.h"
 
 namespace fs = std::filesystem;
@@ -22,6 +26,7 @@ namespace {
 
 constexpr char kMetaName[] = "store.meta";
 constexpr char kMetaMagic[8] = {'A', 'V', 'M', 'M', 'E', 'T', 'A', '\n'};
+constexpr size_t kNoSegment = std::numeric_limits<size_t>::max();
 
 std::string SegName(uint64_t first_seq, const char* ext) {
   char buf[48];
@@ -44,31 +49,40 @@ Bytes ReadFileBytes(const std::string& path) {
   return out;
 }
 
-// Reads just the leading magic and trailing footer of a sealed file.
-SealedFooter ReadSealedFooterFromFile(const std::string& path) {
+// Reads just the leading magic and the trailing `footer_size` bytes.
+Bytes ReadFileTail(const std::string& path, const char (&magic)[8], size_t footer_size) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw StoreError("cannot open " + path);
   }
   in.seekg(0, std::ios::end);
   std::streamoff size = in.tellg();
-  if (size < static_cast<std::streamoff>(8 + 4 + kSegmentFooterSize)) {
-    throw StoreError("sealed segment truncated: " + path);
+  if (size < static_cast<std::streamoff>(8 + 4 + footer_size)) {
+    throw StoreError("segment file truncated: " + path);
   }
   Bytes head(8);
-  Bytes tail(kSegmentFooterSize);
+  Bytes tail(footer_size);
   in.seekg(0);
   in.read(reinterpret_cast<char*>(head.data()), 8);
-  in.seekg(size - static_cast<std::streamoff>(kSegmentFooterSize));
-  in.read(reinterpret_cast<char*>(tail.data()), static_cast<std::streamoff>(kSegmentFooterSize));
+  in.seekg(size - static_cast<std::streamoff>(footer_size));
+  in.read(reinterpret_cast<char*>(tail.data()), static_cast<std::streamoff>(footer_size));
   if (!in) {
     throw StoreError("short read on " + path);
   }
-  const char expect[8] = {'A', 'V', 'M', 'S', 'E', 'A', 'L', '\n'};
-  if (std::memcmp(head.data(), expect, 8) != 0) {
-    throw StoreError("bad sealed-segment magic: " + path);
+  if (std::memcmp(head.data(), magic, 8) != 0) {
+    throw StoreError("bad segment magic: " + path);
   }
-  return ParseSealedFooter(tail);
+  return tail;
+}
+
+SealedFooter ReadSealedFooterFromFile(const std::string& path) {
+  constexpr char kSealMagic[8] = {'A', 'V', 'M', 'S', 'E', 'A', 'L', '\n'};
+  return ParseSealedFooter(ReadFileTail(path, kSealMagic, kSegmentFooterSize));
+}
+
+ArchiveFooter ReadArchiveFooterFromFile(const std::string& path) {
+  constexpr char kArchMagic[8] = {'A', 'V', 'M', 'A', 'R', 'C', 'H', '\n'};
+  return ParseArchiveFooter(ReadFileTail(path, kArchMagic, kArchiveFooterSize));
 }
 
 // Makes directory-level operations (create/rename/unlink) durable.
@@ -108,26 +122,6 @@ void WriteFileAtomically(const std::string& path, ByteView data, bool sync) {
   }
 }
 
-struct LoadedSegment {
-  Bytes records;
-  std::vector<SparseIndexEntry> index;  // Empty for active segments.
-};
-
-// Materializes one segment file's (uncompressed) record stream.
-LoadedSegment LoadSegmentFile(const std::string& path, bool sealed) {
-  Bytes file = ReadFileBytes(path);
-  LoadedSegment loaded;
-  if (sealed) {
-    SealedInfo info = ReadSealedInfo(file);
-    loaded.records = ReadSealedRecords(file, info);
-    loaded.index = std::move(info.index);
-  } else {
-    DecodeSegmentHeader(file);
-    loaded.records.assign(file.begin() + static_cast<ptrdiff_t>(kSegmentHeaderSize), file.end());
-  }
-  return loaded;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -138,6 +132,20 @@ void LogStore::WriteAuxFile(const std::string& path, ByteView data, bool sync) {
   WriteFileAtomically(path, data, sync);
 }
 
+void LogStore::WriteAuxFileBatched(const std::string& path, ByteView data) {
+  // Rename now (readers immediately see the complete new file), fsync
+  // at the store's next group commit.
+  WriteFileAtomically(path, data, /*sync=*/false);
+  if (!opts_.sync) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    pending_aux_.push_back(path);
+  }
+  flusher_cv_.notify_all();
+}
+
 std::optional<Bytes> LogStore::ReadAuxFile(const std::string& path) {
   if (!fs::exists(path)) {
     return std::nullopt;
@@ -146,7 +154,7 @@ std::optional<Bytes> LogStore::ReadAuxFile(const std::string& path) {
 }
 
 LogStore::LogStore(std::string dir, NodeId node, LogStoreOptions opts)
-    : dir_(std::move(dir)), node_(std::move(node)), opts_(opts) {
+    : dir_(std::move(dir)), node_(std::move(node)), opts_(std::move(opts)) {
   if (opts_.index_every == 0) {
     opts_.index_every = 1;
   }
@@ -155,17 +163,77 @@ LogStore::LogStore(std::string dir, NodeId node, LogStoreOptions opts)
 std::unique_ptr<LogStore> LogStore::Open(const std::string& dir, const NodeId& node,
                                          LogStoreOptions opts) {
   // Constructor is private; no make_unique.
-  std::unique_ptr<LogStore> store(new LogStore(dir, node, opts));
+  std::unique_ptr<LogStore> store(new LogStore(dir, node, std::move(opts)));
   store->Recover();
+  store->StartBackground();
   return store;
 }
 
 std::unique_ptr<LogStore> LogStore::Open(const std::string& dir, LogStoreOptions opts) {
-  return Open(dir, NodeId(), opts);
+  return Open(dir, NodeId(), std::move(opts));
 }
 
 LogStore::~LogStore() {
-  CloseActiveFile();
+  // Shutdown order: stop the delay flusher, drain the sealer/archiver
+  // pool (so no background thread touches the active file), then close
+  // the active file and settle batched aux syncs.
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    stopping_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+  if (pool_) {
+    try {
+      pool_->Wait();
+    } catch (...) {
+    }
+    pool_.reset();
+  }
+  std::unique_lock<std::mutex> lk(state_mu_);
+  CloseActiveFileLocked();
+  try {
+    DrainAuxLocked(lk);
+  } catch (...) {
+  }
+}
+
+void LogStore::Kill(const char* point) const {
+  if (opts_.test_hook) {
+    opts_.test_hook(point);
+  }
+}
+
+void LogStore::CheckWritableLocked() const {
+  if (!background_error_.empty()) {
+    throw StoreError(background_error_);
+  }
+  if (write_failed_) {
+    throw StoreError("LogStore: store is poisoned after a failed write; reopen it");
+  }
+}
+
+void LogStore::AdvanceDurable(uint64_t seq) {
+  uint64_t cur = durable_seq_.load(std::memory_order_relaxed);
+  while (cur < seq && !durable_seq_.compare_exchange_weak(cur, seq, std::memory_order_release,
+                                                          std::memory_order_relaxed)) {
+  }
+}
+
+void LogStore::RecordBackgroundError(const char* stage) {
+  std::string what = "unknown error";
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
+  std::lock_guard<std::mutex> lk(state_mu_);
+  if (background_error_.empty()) {
+    background_error_ = std::string(stage) + ": " + what;
+  }
 }
 
 void LogStore::Recover() {
@@ -202,15 +270,19 @@ void LogStore::Recover() {
   }
 
   // Enumerate segment files, reading each one once: whole-file bytes
-  // for the (at most one, small) active .log, footer-only for sealed
-  // segments. A leftover .tmp is an interrupted seal (the .log it was
-  // built from still exists); a .log shadowed by a .seal of the same
-  // first seq is the other half of that crash window.
+  // for raw .log segments (bounded by the seal threshold each), footer
+  // only for sealed and archived ones. A leftover .tmp is an
+  // interrupted promotion; a .log shadowed by a .seal (or a .seal by an
+  // .arch) of the same first seq is the other half of that crash
+  // window — the promoted copy is complete (it was renamed into place
+  // atomically), so the older-tier file is dropped.
   struct FoundSegment {
     std::string log_path;
     Bytes log_bytes;
     std::string seal_path;
     SealedFooter footer;
+    std::string arch_path;
+    ArchiveFooter arch_footer;
   };
   std::map<uint64_t, FoundSegment> by_seq;
   for (const fs::directory_entry& de : fs::directory_iterator(dir_)) {
@@ -239,31 +311,58 @@ void LogStore::Recover() {
       FoundSegment& found = by_seq[footer.first_seq];
       found.seal_path = de.path().string();
       found.footer = footer;
+    } else if (name.ends_with(".arch")) {
+      ArchiveFooter footer = ReadArchiveFooterFromFile(de.path().string());
+      if (footer.node_hash != Sha256::Digest(std::string_view(node_))) {
+        throw StoreError("archived segment " + de.path().string() + " belongs to another node");
+      }
+      FoundSegment& found = by_seq[footer.first_seq];
+      found.arch_path = de.path().string();
+      found.arch_footer = footer;
     }
   }
 
-  Bytes active_bytes;
+  std::map<uint64_t, Bytes> raw_bytes;
   for (auto& [first_seq, found] : by_seq) {
-    if (!found.seal_path.empty() && !found.log_path.empty()) {
-      fs::remove(found.log_path);  // Sealed copy is complete; drop the raw one.
-      found.log_path.clear();
+    // Highest tier wins; lower-tier copies of the same segment are the
+    // un-unlinked half of an interrupted promotion.
+    if (!found.arch_path.empty() || !found.seal_path.empty()) {
+      if (!found.log_path.empty()) {
+        fs::remove(found.log_path);
+        found.log_path.clear();
+      }
+    }
+    if (!found.arch_path.empty() && !found.seal_path.empty()) {
+      fs::remove(found.seal_path);
+      found.seal_path.clear();
     }
     SegmentState seg;
     seg.first_seq = first_seq;
-    if (!found.seal_path.empty()) {
+    if (!found.arch_path.empty()) {
+      seg.path = found.arch_path;
+      seg.tier = Tier::kArchived;
+      seg.last_seq = found.arch_footer.last_seq;
+      seg.prior_hash = found.arch_footer.prior_hash;
+      seg.chain_hash = found.arch_footer.chain_hash;
+    } else if (!found.seal_path.empty()) {
       seg.path = found.seal_path;
-      seg.sealed = true;
+      seg.tier = Tier::kSealed;
       seg.last_seq = found.footer.last_seq;
       seg.prior_hash = found.footer.prior_hash;
       seg.chain_hash = found.footer.chain_hash;
     } else {
       seg.path = found.log_path;
-      active_bytes = std::move(found.log_bytes);
+      seg.tier = Tier::kActive;  // Raw; split into rolled/active below.
+      raw_bytes[first_seq] = std::move(found.log_bytes);
     }
     segments_.push_back(std::move(seg));
   }
 
-  // Validate the chain of segment boundaries and recover the active one.
+  // Validate the chain of segment boundaries and recover raw segments.
+  // Any raw segment before the last is one an interrupted promotion
+  // left rolled-but-unsealed; it must be complete (it was flushed
+  // durably before the next segment started), and StartBackground
+  // re-enqueues it for promotion.
   uint64_t expect_seq = 1;
   Hash256 expect_hash = Hash256::Zero();
   for (size_t i = 0; i < segments_.size(); i++) {
@@ -271,24 +370,32 @@ void LogStore::Recover() {
     if (seg.first_seq != expect_seq) {
       throw StoreError("store is missing a segment before seq " + std::to_string(seg.first_seq));
     }
-    if (!seg.sealed) {
-      if (i + 1 != segments_.size()) {
-        throw StoreError("unsealed segment in the middle of the store: " + seg.path);
-      }
-      ActiveScan scan = ScanActiveSegment(active_bytes, opts_.index_every);
+    if (seg.tier == Tier::kActive) {
+      bool is_last = i + 1 == segments_.size();
+      ActiveScan scan = ScanActiveSegment(raw_bytes[seg.first_seq], opts_.index_every);
       if (scan.torn) {
+        if (!is_last) {
+          throw StoreError("rolled segment " + seg.path + " is torn mid-store");
+        }
         fs::resize_file(seg.path, kSegmentHeaderSize + scan.valid_bytes);
         recovered_torn_tail_ = true;
       }
       seg.last_seq = scan.last_seq;
       seg.prior_hash = scan.header.prior_hash;
       seg.chain_hash = scan.chain_hash;
-      active_stream_bytes_ = scan.valid_bytes;
-      active_entry_count_ = scan.entry_count;
-      active_index_ = std::move(scan.index);
-      active_file_ = std::fopen(seg.path.c_str(), "ab");
-      if (active_file_ == nullptr) {
-        throw StoreError("cannot reopen active segment " + seg.path);
+      seg.entry_count = scan.entry_count;
+      seg.stream_bytes = scan.valid_bytes;
+      seg.index = std::move(scan.index);
+      if (is_last) {
+        active_stream_bytes_ = scan.valid_bytes;
+        active_entry_count_ = scan.entry_count;
+        active_index_ = seg.index;
+        active_file_ = std::fopen(seg.path.c_str(), "ab");
+        if (active_file_ == nullptr) {
+          throw StoreError("cannot reopen active segment " + seg.path);
+        }
+      } else {
+        seg.tier = Tier::kRolled;
       }
     }
     if (seg.prior_hash != expect_hash) {
@@ -297,14 +404,35 @@ void LogStore::Recover() {
     expect_seq = seg.last_seq + 1;
     expect_hash = seg.chain_hash;
   }
-  last_seq_ = expect_seq - 1;
+  last_seq_.store(expect_seq - 1, std::memory_order_release);
   last_hash_ = expect_hash;
+  // Everything that survived recovery is on disk by definition.
+  durable_seq_.store(expect_seq - 1, std::memory_order_release);
 }
 
-void LogStore::StartSegment() {
+void LogStore::StartBackground() {
+  pool_ = std::make_unique<ThreadPool>(opts_.sealer_threads + 1);
+  std::vector<size_t> rolled;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    for (size_t i = 0; i < segments_.size(); i++) {
+      if (segments_[i].tier == Tier::kRolled) {
+        rolled.push_back(i);
+      }
+    }
+  }
+  for (size_t idx : rolled) {
+    EnqueuePromotion(idx);
+  }
+  if (opts_.group_commit.max_delay_ms > 0) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+void LogStore::StartSegmentLocked() {
   SegmentState seg;
-  seg.first_seq = last_seq_ + 1;
-  seg.last_seq = last_seq_;
+  seg.first_seq = last_seq_.load(std::memory_order_relaxed) + 1;
+  seg.last_seq = seg.first_seq - 1;
   seg.prior_hash = last_hash_;
   seg.chain_hash = last_hash_;
   seg.path = (fs::path(dir_) / SegName(seg.first_seq, "log")).string();
@@ -323,101 +451,169 @@ void LogStore::StartSegment() {
 }
 
 void LogStore::Append(const LogEntry& e) {
-  if (write_failed_) {
-    throw StoreError("LogStore::Append: store is poisoned after a failed write; reopen it");
-  }
-  if (e.seq != last_seq_ + 1) {
-    throw StoreError("LogStore::Append: expected seq " + std::to_string(last_seq_ + 1) + ", got " +
-                     std::to_string(e.seq));
-  }
-  if (active_file_ == nullptr) {
-    StartSegment();
-  }
-  Bytes record;
-  EncodeRecord(e, record);
-  if (std::fwrite(record.data(), 1, record.size(), active_file_) != record.size()) {
-    // Roll the file back to the last record boundary so the partial
-    // frame cannot sit in front of a retried append (recovery would
-    // then truncate everything after it, including acknowledged
-    // entries). If even the rollback fails, poison the store.
-    std::fflush(active_file_);
-    std::error_code ec;
-    fs::resize_file(segments_.back().path, kSegmentHeaderSize + active_stream_bytes_, ec);
-    if (ec) {
-      write_failed_ = true;
+  size_t promote = kNoSegment;
+  {
+    std::unique_lock<std::mutex> lk(state_mu_);
+    CheckWritableLocked();
+    if (e.seq != last_seq_.load(std::memory_order_relaxed) + 1) {
+      throw StoreError("LogStore::Append: expected seq " +
+                       std::to_string(last_seq_.load(std::memory_order_relaxed) + 1) + ", got " +
+                       std::to_string(e.seq));
     }
-    throw StoreError("short write on " + segments_.back().path);
+    if (active_file_ == nullptr) {
+      StartSegmentLocked();
+    }
+    Bytes record;
+    EncodeRecord(e, record);
+    if (std::fwrite(record.data(), 1, record.size(), active_file_) != record.size()) {
+      // Roll the file back to the last record boundary so the partial
+      // frame cannot sit in front of a retried append (recovery would
+      // then truncate everything after it, including acknowledged
+      // entries). If even the rollback fails, poison the store.
+      std::fflush(active_file_);
+      std::error_code ec;
+      fs::resize_file(segments_.back().path, kSegmentHeaderSize + active_stream_bytes_, ec);
+      if (ec) {
+        write_failed_ = true;
+      }
+      throw StoreError("short write on " + segments_.back().path);
+    }
+    // State (including the sparse-index waypoint) advances only once the
+    // record is fully written, so a failed append leaves no residue.
+    if (active_entry_count_ % opts_.index_every == 0) {
+      active_index_.push_back({e.seq, active_stream_bytes_});
+    }
+    active_stream_bytes_ += record.size();
+    active_entry_count_++;
+    last_hash_ = e.hash;
+    last_seq_.store(e.seq, std::memory_order_release);
+    segments_.back().last_seq = e.seq;
+    segments_.back().chain_hash = e.hash;
+    batch_.Add(record.size(), e.seq);
+    if (active_stream_bytes_ >= opts_.seal_threshold_bytes) {
+      promote = RollActiveLocked();
+    } else if (batch_.ThresholdDue(opts_.group_commit)) {
+      GroupCommitLocked(lk);
+    }
   }
-  // State (including the sparse-index waypoint) advances only once the
-  // record is fully written, so a failed append leaves no residue.
-  if (active_entry_count_ % opts_.index_every == 0) {
-    active_index_.push_back({e.seq, active_stream_bytes_});
-  }
-  active_stream_bytes_ += record.size();
-  active_entry_count_++;
-  last_seq_ = e.seq;
-  last_hash_ = e.hash;
-  segments_.back().last_seq = e.seq;
-  segments_.back().chain_hash = e.hash;
-  if (active_stream_bytes_ >= opts_.seal_threshold_bytes) {
-    Seal();
+  if (promote != kNoSegment) {
+    Kill("post-roll");
+    EnqueuePromotion(promote);
   }
 }
 
-void LogStore::Seal() {
-  if (active_file_ == nullptr) {
-    return;
+bool LogStore::FsyncActiveOffLock(std::unique_lock<std::mutex>& lk) {
+  if (!opts_.sync || active_file_ == nullptr) {
+    return true;
   }
-  SegmentState& seg = segments_.back();
-  if (active_entry_count_ == 0) {
-    // Nothing recorded; drop the empty file instead of sealing it.
-    CloseActiveFile();
-    fs::remove(seg.path);
-    segments_.pop_back();
-    return;
+  int fd = ::fileno(active_file_);
+  uint64_t gen = active_gen_;
+  lk.unlock();
+  bool ok = true;
+  {
+    std::lock_guard<std::mutex> fl(flush_mu_);
+    // If the file was closed meanwhile, the close path fsynced it.
+    if (gen == active_gen_) {
+      ok = ::fsync(fd) == 0;
+    }
   }
-  // ENOSPC and friends surface at flush time with buffered stdio, so a
-  // seal must not trust the in-memory counters until the bytes are
-  // verifiably on disk -- otherwise the footer would claim entries the
-  // body does not contain.
-  if (std::fflush(active_file_) != 0) {
-    write_failed_ = true;
-    throw StoreError("flush failed while sealing " + seg.path);
+  lk.lock();
+  return ok;
+}
+
+void LogStore::GroupCommitLocked(std::unique_lock<std::mutex>& lk) {
+  if (active_file_ != nullptr && !batch_.Empty()) {
+    Kill("pre-flush");
+    if (std::fflush(active_file_) != 0) {
+      write_failed_ = true;
+      throw StoreError("group-commit flush failed on " + segments_.back().path);
+    }
+    uint64_t target = batch_.last_seq();
+    batch_.Clear();
+    if (!FsyncActiveOffLock(lk)) {
+      write_failed_ = true;
+      throw StoreError("group-commit fsync failed in " + dir_);
+    }
+    AdvanceDurable(target);
+    Kill("post-flush");
   }
-  Bytes file = ReadFileBytes(seg.path);
-  if (file.size() != kSegmentHeaderSize + active_stream_bytes_) {
-    write_failed_ = true;
-    throw StoreError("on-disk size of " + seg.path + " disagrees with the appended records");
-  }
-  ByteView records = ByteView(file).subspan(kSegmentHeaderSize);
-  Bytes sealed =
-      EncodeSealedSegment({seg.first_seq, seg.prior_hash}, records, active_index_,
-                          active_entry_count_, seg.last_seq, seg.chain_hash, opts_.compress_sealed);
-  std::string sealed_path = (fs::path(dir_) / SegName(seg.first_seq, "seal")).string();
-  WriteFileAtomically(sealed_path, sealed, opts_.sync);
-  CloseActiveFile();
-  fs::remove(seg.path);
-  if (opts_.sync) {
-    SyncDirectory(dir_);
-  }
-  seg.path = sealed_path;
-  seg.sealed = true;
+  DrainAuxLocked(lk);
 }
 
 void LogStore::Flush() {
-  std::lock_guard<std::mutex> lock(io_mu_);
+  std::unique_lock<std::mutex> lk(state_mu_);
+  CheckWritableLocked();
   if (active_file_ != nullptr) {
     // A flush that fails has NOT made the acknowledged entries durable;
     // callers must hear about it.
-    if (std::fflush(active_file_) != 0 ||
-        (opts_.sync && ::fsync(::fileno(active_file_)) != 0)) {
+    if (std::fflush(active_file_) != 0) {
+      write_failed_ = true;
+      throw StoreError("flush failed on " + segments_.back().path);
+    }
+    batch_.Clear();
+    if (!FsyncActiveOffLock(lk)) {
       write_failed_ = true;
       throw StoreError("flush failed on " + segments_.back().path);
     }
   }
+  // Everything below last_seq_ is now either in the just-flushed active
+  // file or in a segment that was flushed durably when it rolled.
+  AdvanceDurable(last_seq_.load(std::memory_order_relaxed));
+  DrainAuxLocked(lk);
 }
 
-void LogStore::CloseActiveFile() {
+void LogStore::DrainAuxLocked(std::unique_lock<std::mutex>& lk) {
+  if (!opts_.sync) {
+    pending_aux_.clear();
+    return;
+  }
+  if (pending_aux_.empty()) {
+    return;
+  }
+  std::vector<std::string> paths;
+  paths.swap(pending_aux_);
+  lk.unlock();
+  Kill("aux-pre-sync");
+  std::set<std::string> dirs;
+  for (const std::string& p : paths) {
+    int fd = ::open(p.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+    dirs.insert(fs::path(p).parent_path().string());
+  }
+  for (const std::string& d : dirs) {
+    SyncDirectory(d);
+  }
+  lk.lock();
+}
+
+size_t LogStore::RollActiveLocked() {
+  if (active_file_ == nullptr) {
+    return kNoSegment;
+  }
+  SegmentState& seg = segments_.back();
+  // The rolled segment must be durable before a new one starts: the
+  // watermark says "every seq at or below is on stable storage", and a
+  // rolled file never sees another flush.
+  if (std::fflush(active_file_) != 0 ||
+      (opts_.sync && ::fsync(::fileno(active_file_)) != 0)) {
+    write_failed_ = true;
+    throw StoreError("flush failed while rolling " + seg.path);
+  }
+  seg.tier = Tier::kRolled;
+  seg.entry_count = active_entry_count_;
+  seg.stream_bytes = active_stream_bytes_;
+  seg.index = std::move(active_index_);
+  CloseActiveFileLocked();
+  AdvanceDurable(seg.last_seq);
+  batch_.Clear();
+  return segments_.size() - 1;
+}
+
+void LogStore::CloseActiveFileLocked() {
+  std::lock_guard<std::mutex> fl(flush_mu_);
   if (active_file_ != nullptr) {
     std::fflush(active_file_);
     if (opts_.sync) {
@@ -425,42 +621,258 @@ void LogStore::CloseActiveFile() {
     }
     std::fclose(active_file_);
     active_file_ = nullptr;
+    active_gen_++;
   }
   active_stream_bytes_ = 0;
   active_entry_count_ = 0;
   active_index_.clear();
 }
 
-void LogStore::SyncActiveFile() const {
-  std::lock_guard<std::mutex> lock(io_mu_);
-  if (active_file_ != nullptr) {
-    std::fflush(active_file_);
+void LogStore::EnqueuePromotion(size_t seg_index) {
+  pool_->Submit([this, seg_index] { RunPromotion(seg_index); });
+}
+
+void LogStore::RunPromotion(size_t seg_index) {
+  try {
+    PromoteToSealed(seg_index);
+  } catch (...) {
+    RecordBackgroundError("sealer");
+    return;
+  }
+  try {
+    MaybeArchive();
+  } catch (...) {
+    RecordBackgroundError("archiver");
   }
 }
 
+void LogStore::PromoteToSealed(size_t seg_index) {
+  std::string log_path;
+  SegmentHeader header;
+  uint64_t entry_count = 0;
+  uint64_t last_seq = 0;
+  Hash256 chain_hash;
+  std::vector<SparseIndexEntry> index;
+  size_t stream_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    SegmentState& seg = segments_[seg_index];
+    if (seg.tier != Tier::kRolled) {
+      return;  // Already promoted (e.g. re-enqueued after recovery).
+    }
+    log_path = seg.path;
+    header = {seg.first_seq, seg.prior_hash};
+    entry_count = seg.entry_count;
+    last_seq = seg.last_seq;
+    chain_hash = seg.chain_hash;
+    index = seg.index;
+    stream_bytes = seg.stream_bytes;
+  }
+  // The rolled file is immutable; read and compress it off the lock so
+  // the recording thread never waits on LZSS.
+  Bytes file = ReadFileBytes(log_path);
+  if (file.size() != kSegmentHeaderSize + stream_bytes) {
+    throw StoreError("on-disk size of " + log_path + " disagrees with the appended records");
+  }
+  ByteView records = ByteView(file).subspan(kSegmentHeaderSize);
+  Bytes sealed = EncodeSealedSegment(header, records, index, entry_count, last_seq, chain_hash,
+                                     opts_.compress_sealed);
+  std::string sealed_path = (fs::path(dir_) / SegName(header.first_seq, "seal")).string();
+  Kill("pre-seal-rename");
+  WriteFileAtomically(sealed_path, sealed, opts_.sync);
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    SegmentState& seg = segments_[seg_index];
+    seg.path = sealed_path;
+    seg.tier = Tier::kSealed;
+    seg.index.clear();
+    seg.index.shrink_to_fit();
+  }
+  Kill("pre-seal-unlink");
+  fs::remove(log_path);
+  if (opts_.sync) {
+    SyncDirectory(dir_);
+  }
+}
+
+void LogStore::MaybeArchive() {
+  if (opts_.archive_keep_sealed == std::numeric_limits<size_t>::max()) {
+    return;
+  }
+  // One archival scan at a time; concurrent promotion workers would
+  // otherwise race to re-frame the same oldest segment.
+  std::lock_guard<std::mutex> al(archive_mu_);
+  for (;;) {
+    size_t idx = kNoSegment;
+    std::string seal_path;
+    uint64_t first_seq = 0;
+    uint64_t seg_last_seq = 0;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      size_t sealed_count = 0;
+      size_t oldest = kNoSegment;
+      for (size_t i = 0; i < segments_.size(); i++) {
+        if (segments_[i].tier == Tier::kSealed) {
+          sealed_count++;
+          if (oldest == kNoSegment) {
+            oldest = i;
+          }
+        }
+      }
+      if (oldest == kNoSegment || sealed_count <= opts_.archive_keep_sealed) {
+        return;
+      }
+      // The tiers stay a prefix of the store (archival < sealed < raw):
+      // archive only when everything older is already archived. If an
+      // older segment is still being sealed, its promotion worker will
+      // pick this scan up afterwards.
+      for (size_t i = 0; i < oldest; i++) {
+        if (segments_[i].tier != Tier::kArchived) {
+          return;
+        }
+      }
+      idx = oldest;
+      seal_path = segments_[idx].path;
+      first_seq = segments_[idx].first_seq;
+      seg_last_seq = segments_[idx].last_seq;
+    }
+    Bytes sealed = ReadFileBytes(seal_path);
+    // Sequence numbers are dense from 1, so the cumulative entry count
+    // through this segment is its last seq.
+    Bytes arch = EncodeArchivedSegment(sealed, durable_seq_.load(std::memory_order_acquire),
+                                       seg_last_seq, Sha256::Digest(std::string_view(node_)));
+    std::string arch_path = (fs::path(dir_) / SegName(first_seq, "arch")).string();
+    Kill("pre-archive-rename");
+    WriteFileAtomically(arch_path, arch, opts_.sync);
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      segments_[idx].path = arch_path;
+      segments_[idx].tier = Tier::kArchived;
+    }
+    Kill("pre-archive-unlink");
+    fs::remove(seal_path);
+    if (opts_.sync) {
+      SyncDirectory(dir_);
+    }
+  }
+}
+
+void LogStore::Seal() {
+  size_t promote = kNoSegment;
+  {
+    std::unique_lock<std::mutex> lk(state_mu_);
+    CheckWritableLocked();
+    if (active_file_ != nullptr) {
+      if (active_entry_count_ == 0) {
+        // Nothing recorded; drop the empty file instead of sealing it.
+        std::string path = segments_.back().path;
+        CloseActiveFileLocked();
+        segments_.pop_back();
+        lk.unlock();
+        fs::remove(path);
+        lk.lock();
+      } else {
+        promote = RollActiveLocked();
+      }
+    }
+  }
+  if (promote != kNoSegment) {
+    EnqueuePromotion(promote);
+  }
+  // Barrier: every pending promotion (including ones other rolls
+  // enqueued) finishes before Seal returns.
+  if (pool_) {
+    pool_->Wait();
+  }
+  std::unique_lock<std::mutex> lk(state_mu_);
+  if (!background_error_.empty()) {
+    throw StoreError(background_error_);
+  }
+  DrainAuxLocked(lk);
+}
+
+void LogStore::FlusherLoop() {
+  std::unique_lock<std::mutex> lk(state_mu_);
+  while (!stopping_) {
+    uint32_t delay_ms = opts_.group_commit.max_delay_ms;
+    flusher_cv_.wait_for(lk, std::chrono::milliseconds(delay_ms > 0 ? delay_ms : 50),
+                         [this] { return stopping_; });
+    if (stopping_) {
+      break;
+    }
+    if (write_failed_ || !background_error_.empty()) {
+      continue;
+    }
+    if (batch_.DelayDue(opts_.group_commit) || !pending_aux_.empty()) {
+      try {
+        GroupCommitLocked(lk);
+      } catch (const std::exception& e) {
+        if (background_error_.empty()) {
+          background_error_ = std::string("flusher: ") + e.what();
+        }
+      }
+    }
+  }
+}
+
+std::optional<Hash256> LogStore::SinkLastHash() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return last_seq_.load(std::memory_order_relaxed) == 0 ? std::nullopt
+                                                        : std::optional<Hash256>(last_hash_);
+}
+
+Hash256 LogStore::LastHash() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return last_hash_;
+}
+
+size_t LogStore::SegmentCount() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  return segments_.size();
+}
+
 size_t LogStore::SealedCount() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
   size_t n = 0;
   for (const SegmentState& s : segments_) {
-    n += s.sealed ? 1 : 0;
+    n += (s.tier == Tier::kSealed || s.tier == Tier::kArchived) ? 1 : 0;
+  }
+  return n;
+}
+
+size_t LogStore::ArchivedCount() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  size_t n = 0;
+  for (const SegmentState& s : segments_) {
+    n += s.tier == Tier::kArchived ? 1 : 0;
   }
   return n;
 }
 
 uint64_t LogStore::DiskBytes() const {
+  std::lock_guard<std::mutex> lk(state_mu_);
   uint64_t total = 0;
   for (const SegmentState& s : segments_) {
-    if (s.sealed) {
-      std::error_code ec;
-      uint64_t sz = fs::file_size(s.path, ec);
-      total += ec ? 0 : sz;
-    } else {
-      total += kSegmentHeaderSize + active_stream_bytes_;
+    switch (s.tier) {
+      case Tier::kSealed:
+      case Tier::kArchived: {
+        std::error_code ec;
+        uint64_t sz = fs::file_size(s.path, ec);
+        total += ec ? 0 : sz;
+        break;
+      }
+      case Tier::kRolled:
+        total += kSegmentHeaderSize + s.stream_bytes;
+        break;
+      case Tier::kActive:
+        total += kSegmentHeaderSize + active_stream_bytes_;
+        break;
     }
   }
   return total;
 }
 
-const LogStore::SegmentState* LogStore::SegmentContaining(uint64_t seq) const {
+const LogStore::SegmentState* LogStore::SegmentContainingLocked(uint64_t seq) const {
   for (const SegmentState& s : segments_) {
     if (seq >= s.first_seq && seq <= s.last_seq) {
       return &s;
@@ -469,15 +881,86 @@ const LogStore::SegmentState* LogStore::SegmentContaining(uint64_t seq) const {
   return nullptr;
 }
 
+LogStore::SegSnapshot LogStore::SnapshotSegment(uint64_t first_seq) const {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  for (const SegmentState& s : segments_) {
+    if (s.first_seq == first_seq) {
+      SegSnapshot snap;
+      snap.path = s.path;
+      snap.tier = s.tier;
+      snap.first_seq = s.first_seq;
+      snap.valid_bytes = s.stream_bytes;
+      if (s.tier == Tier::kActive) {
+        // Push buffered records to the OS so the read below sees them;
+        // a reader must only parse bytes the writer has handed off
+        // (anything later could be a half-buffered record).
+        if (active_file_ != nullptr) {
+          std::fflush(active_file_);
+        }
+        snap.valid_bytes = active_stream_bytes_;
+      }
+      return snap;
+    }
+  }
+  throw StoreError("segment starting at seq " + std::to_string(first_seq) + " vanished");
+}
+
+LogStore::LoadedRecords LogStore::LoadSegment(const SegSnapshot& snap) const {
+  Bytes file = ReadFileBytes(snap.path);
+  LoadedRecords out;
+  switch (snap.tier) {
+    case Tier::kActive:
+    case Tier::kRolled: {
+      DecodeSegmentHeader(file);
+      size_t avail = file.size() - kSegmentHeaderSize;
+      size_t take = std::min(avail, snap.valid_bytes);
+      out.records.assign(file.begin() + static_cast<ptrdiff_t>(kSegmentHeaderSize),
+                         file.begin() + static_cast<ptrdiff_t>(kSegmentHeaderSize + take));
+      break;
+    }
+    case Tier::kSealed: {
+      SealedInfo info = ReadSealedInfo(file);
+      out.records = ReadSealedRecords(file, info);
+      out.index = std::move(info.index);
+      break;
+    }
+    case Tier::kArchived: {
+      ArchiveInfo info = ReadArchiveInfo(file);
+      out.records = ReadArchivedRecords(file, info);
+      out.index = std::move(info.info.index);
+      break;
+    }
+  }
+  return out;
+}
+
+LogStore::LoadedRecords LogStore::LoadSegmentBySeq(uint64_t first_seq) const {
+  // Promotion can unlink the snapshotted path between the snapshot and
+  // the open; re-resolve against the live segment table and retry. A
+  // genuinely unreadable segment fails every attempt and rethrows.
+  for (int attempt = 0;; attempt++) {
+    SegSnapshot snap = SnapshotSegment(first_seq);
+    try {
+      return LoadSegment(snap);
+    } catch (const StoreError&) {
+      if (attempt >= 4) {
+        throw;
+      }
+    }
+  }
+}
+
 LogEntry LogStore::ReadEntry(uint64_t seq) const {
-  const SegmentState* seg = SegmentContaining(seq);
-  if (seg == nullptr) {
-    throw StoreError("LogStore::ReadEntry: seq " + std::to_string(seq) + " not in store");
+  uint64_t first_seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    const SegmentState* seg = SegmentContainingLocked(seq);
+    if (seg == nullptr) {
+      throw StoreError("LogStore::ReadEntry: seq " + std::to_string(seq) + " not in store");
+    }
+    first_seq = seg->first_seq;
   }
-  if (!seg->sealed) {
-    SyncActiveFile();
-  }
-  LoadedSegment loaded = LoadSegmentFile(seg->path, seg->sealed);
+  LoadedRecords loaded = LoadSegmentBySeq(first_seq);
   size_t offset = 0;
   for (const SparseIndexEntry& ie : loaded.index) {
     if (ie.seq <= seq && ie.offset < loaded.records.size()) {
@@ -497,29 +980,39 @@ LogEntry LogStore::ReadEntry(uint64_t seq) const {
 }
 
 SegmentCursor LogStore::Cursor(uint64_t from_seq, uint64_t to_seq) const {
-  if (from_seq == 0 || from_seq > to_seq || to_seq > last_seq_) {
+  if (from_seq == 0 || from_seq > to_seq || to_seq > LastSeq()) {
     throw std::out_of_range("LogStore::Cursor: bad range");
   }
-  SyncActiveFile();
-  const SegmentState* first_seg = SegmentContaining(from_seq);
-  if (first_seg == nullptr) {
-    throw StoreError("LogStore::Cursor: range start not in store");
-  }
-  // h_{from-1}: the segment boundary hash when the range starts a
-  // segment, else the stored hash of the entry just before the range.
-  Hash256 prior = from_seq == first_seg->first_seq ? first_seg->prior_hash
-                                                   : ReadEntry(from_seq - 1).hash;
-  std::vector<SegmentCursor::SegRef> refs;
-  for (const SegmentState& s : segments_) {
-    if (s.last_seq >= from_seq && s.first_seq <= to_seq && s.last_seq >= s.first_seq) {
-      refs.push_back({s.path, s.sealed, s.first_seq});
+  Hash256 prior;
+  bool prior_from_entry = false;
+  std::vector<uint64_t> seg_seqs;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    const SegmentState* first_seg = SegmentContainingLocked(from_seq);
+    if (first_seg == nullptr) {
+      throw StoreError("LogStore::Cursor: range start not in store");
+    }
+    // h_{from-1}: the segment boundary hash when the range starts a
+    // segment, else the stored hash of the entry just before the range.
+    if (from_seq == first_seg->first_seq) {
+      prior = first_seg->prior_hash;
+    } else {
+      prior_from_entry = true;
+    }
+    for (const SegmentState& s : segments_) {
+      if (s.last_seq >= from_seq && s.first_seq <= to_seq && s.last_seq >= s.first_seq) {
+        seg_seqs.push_back(s.first_seq);
+      }
     }
   }
-  return SegmentCursor(std::move(refs), from_seq, to_seq, prior);
+  if (prior_from_entry) {
+    prior = ReadEntry(from_seq - 1).hash;
+  }
+  return SegmentCursor(this, std::move(seg_seqs), from_seq, to_seq, prior);
 }
 
 LogSegment LogStore::Extract(uint64_t from_seq, uint64_t to_seq) const {
-  if (from_seq == 0 || from_seq > to_seq || to_seq > last_seq_) {
+  if (from_seq == 0 || from_seq > to_seq || to_seq > LastSeq()) {
     throw std::out_of_range("LogStore::Extract: bad range");
   }
   SegmentCursor cur = Cursor(from_seq, to_seq);
@@ -546,25 +1039,26 @@ void LogStore::Scan(uint64_t from_seq, uint64_t to_seq, const EntryVisitor& visi
 // SegmentCursor
 // ---------------------------------------------------------------------------
 
-SegmentCursor::SegmentCursor(std::vector<SegRef> segs, uint64_t from_seq, uint64_t to_seq,
-                             Hash256 prior_hash)
-    : segs_(std::move(segs)),
+SegmentCursor::SegmentCursor(const LogStore* store, std::vector<uint64_t> seg_seqs,
+                             uint64_t from_seq, uint64_t to_seq, Hash256 prior_hash)
+    : store_(store),
+      seg_seqs_(std::move(seg_seqs)),
       from_seq_(from_seq),
       to_seq_(to_seq),
       next_seq_(from_seq),
       prior_hash_(prior_hash) {}
 
 bool SegmentCursor::LoadNextSegment() {
-  if (next_seg_ >= segs_.size()) {
+  if (next_seg_ >= seg_seqs_.size()) {
     return false;
   }
-  const SegRef& ref = segs_[next_seg_++];
-  LoadedSegment loaded = LoadSegmentFile(ref.path, ref.sealed);
+  uint64_t first_seq = seg_seqs_[next_seg_++];
+  LogStore::LoadedRecords loaded = store_->LoadSegmentBySeq(first_seq);
   records_ = std::move(loaded.records);
   offset_ = 0;
   // Sparse index: jump to the last waypoint at or before the first seq
   // this cursor still needs, instead of decoding from the segment start.
-  uint64_t target = std::max(next_seq_, ref.first_seq);
+  uint64_t target = std::max(next_seq_, first_seq);
   for (const SparseIndexEntry& ie : loaded.index) {
     if (ie.seq <= target && ie.offset < records_.size()) {
       offset_ = ie.offset;

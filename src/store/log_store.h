@@ -2,12 +2,26 @@
 // log. The paper's AVMM log grows without bound (~2.6 MB/min, Figure 3)
 // and must survive until an auditor fetches it; keeping it in the
 // serving process's heap caps both uptime and auditability. LogStore
-// isolates that per-tenant state behind a storage layer: entries are
-// appended to an active segment file with CRC framing, segments roll at
-// a byte threshold and are sealed with the §6.4 LZSS stage plus a
-// footer carrying the chain state at the boundary, and a sparse index
-// lets extraction and streaming audits touch only the segments they
-// need.
+// isolates that per-tenant state behind a storage layer, organized as
+// three tiers with background promotion between them:
+//
+//   hot (seg-*.log)      append-only, CRC-framed records, group commit:
+//                        fsyncs are batched under a {bytes, entries,
+//                        max_delay} policy instead of per append.
+//   sealed (seg-*.seal)  rolled segments, LZSS-compressed (§6.4) with a
+//                        sparse index and a chain-state footer; built
+//                        by a background sealer pool so compression
+//                        never stalls the recording thread.
+//   archival (seg-*.arch) cold segments past `archive_keep_sealed`,
+//                        re-framed (never recompressed) under the wider
+//                        whole-store footer of src/store/archive.h.
+//
+// The store publishes a monotone *durability watermark*
+// (DurableSeq()): the highest sequence number whose group-commit
+// window has been flushed — every entry at or below it survives a
+// crash. The authenticator protocol cites this watermark
+// (RunConfig::durable_commit) to avoid releasing evidence for entries
+// that could still be lost.
 //
 // Layering: LogStore is a LogSink (TamperEvidentLog tees entries into
 // it as they are appended) and a SegmentSource (the Auditor reads
@@ -16,39 +30,78 @@
 // only framing (CRCs, seq continuity, boundary hashes); tamper
 // detection remains the auditor's job.
 //
-// Threading: writes (Append/Seal/Flush) are single-threaded and must
-// not overlap reads -- record first, audit after, as the recorder does.
-// Concurrent const readers (Extract/Scan/Cursor, e.g. SpotCheckMany's
-// worker pool) are safe with each other: each opens its own file
-// handles, and the shared stdio flush is serialized internally.
+// Threading contract (v2):
+//  - Writes (Append/Seal/Flush/WriteAuxFileBatched) take one logical
+//    writer: the recording thread. Two threads must not interleave
+//    Append calls, but the writer MAY now overlap reads and the
+//    store's own background threads.
+//  - Reads (Extract/Scan/Cursor/ReadEntry) are safe from any thread,
+//    concurrently with the writer, with each other, and with segment
+//    promotion: readers snapshot per-segment state under the store
+//    mutex and re-resolve if a file is promoted out from under them
+//    mid-read, so a segment being compressed still streams
+//    bit-for-bit.
+//  - Watermark accessors (DurableSeq/LastSeq/SinkLastSeq) are lock-free
+//    atomics, callable from any thread (the async signer polls them).
+//  - Background threads: a sealer/archiver pool of
+//    `sealer_threads` workers (0 = promote inline on the rolling
+//    thread, the deterministic v1 behavior) and, when
+//    group_commit.max_delay_ms > 0, a flusher that enforces the delay
+//    bound. Background failures poison the store and surface as
+//    StoreError from the next write. Seal() is the shutdown barrier:
+//    it rolls the active segment and drains every pending promotion.
 #ifndef SRC_STORE_LOG_STORE_H_
 #define SRC_STORE_LOG_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/store/group_commit.h"
 #include "src/store/segment_file.h"
 #include "src/tel/log.h"
 #include "src/tel/segment_source.h"
+#include "src/util/threadpool.h"
 
 namespace avm {
 
 struct LogStoreOptions {
-  // Roll and seal the active segment once its record stream reaches
-  // this many bytes. ~1 MiB keeps per-audit memory bounded while
-  // amortizing the LZSS pass over many entries.
+  // Roll the active segment once its record stream reaches this many
+  // bytes. ~1 MiB keeps per-audit memory bounded while amortizing the
+  // LZSS pass over many entries.
   size_t seal_threshold_bytes = 1u << 20;
   // Sparse-index granularity: one waypoint every N entries.
   size_t index_every = 64;
   // LZSS-compress sealed segments (§6.4). Off stores records verbatim.
   bool compress_sealed = true;
-  // fsync segment files on Flush() and after sealing. Off is fine for
-  // tests and benches that do not measure durability.
+  // fsync segment files at group commits and after sealing. Off is fine
+  // for tests and benches that do not measure durability (the watermark
+  // then advances on fflush, the usual test surrogate).
   bool sync = true;
+  // Background sealer/compressor/archiver workers. 0 promotes inline on
+  // the thread that rolled the segment — bit-for-bit the synchronous v1
+  // write path, and what deterministic crash tests use.
+  unsigned sealer_threads = 1;
+  // Batched-fsync policy for the hot tier (see group_commit.h).
+  GroupCommitPolicy group_commit;
+  // Keep at most this many segments in the sealed tier; older ones are
+  // promoted to the archival tier. SIZE_MAX disables archival.
+  size_t archive_keep_sealed = std::numeric_limits<size_t>::max();
+  // Test-only crash hook, invoked at named points of the write path
+  // ("pre-flush", "post-flush", "post-roll", "pre-seal-rename",
+  // "pre-seal-unlink", "pre-archive-rename", "pre-archive-unlink",
+  // "aux-pre-sync"). Kill-point tests copy the directory here to get a
+  // byte-exact crash image. May be called with internal locks held and
+  // from background threads; it must not call back into the store.
+  std::function<void(const char*)> test_hook;
 };
 
 class SegmentCursor;
@@ -59,8 +112,9 @@ class LogStore final : public LogSink, public SegmentSource {
   // machine whose log this is; it is persisted in `store.meta` on first
   // open and must match on subsequent opens (empty = take it from the
   // meta file, for auditors that only know the directory). Recovery
-  // replays segment headers/footers, re-scans the one active segment,
-  // and truncates a torn tail record.
+  // replays segment headers/footers, re-scans unsealed segments,
+  // truncates a torn tail record, and re-enqueues any rolled-but-
+  // unsealed segment an interrupted promotion left behind.
   static std::unique_ptr<LogStore> Open(const std::string& dir, const NodeId& node,
                                         LogStoreOptions opts = {});
   static std::unique_ptr<LogStore> Open(const std::string& dir, LogStoreOptions opts = {});
@@ -69,31 +123,43 @@ class LogStore final : public LogSink, public SegmentSource {
   LogStore(const LogStore&) = delete;
   LogStore& operator=(const LogStore&) = delete;
 
-  // LogSink: appends one entry (seq must be LastSeq() + 1) to the
-  // active segment, rolling and sealing when the threshold is reached.
+  // LogSink: appends one entry (seq must be LastSeq() + 1) to the hot
+  // tier, rolling (and scheduling promotion) at the byte threshold and
+  // group-committing under the batched-fsync policy.
   void Append(const LogEntry& e) override;
+  // Forces a group commit now: everything appended so far becomes
+  // durable and the watermark advances to LastSeq(). Also drains
+  // batched aux-file syncs.
   void Flush() override;
-  uint64_t SinkLastSeq() const override { return last_seq_; }
-  std::optional<Hash256> SinkLastHash() const override {
-    return last_seq_ == 0 ? std::nullopt : std::optional<Hash256>(last_hash_);
-  }
+  uint64_t SinkLastSeq() const override { return last_seq_.load(std::memory_order_acquire); }
+  std::optional<Hash256> SinkLastHash() const override;
+  // The durability watermark: every entry with seq <= DurableSeq() is
+  // on stable storage (monotone; lock-free).
+  uint64_t SinkDurableSeq() const override { return DurableSeq(); }
+  uint64_t DurableSeq() const { return durable_seq_.load(std::memory_order_acquire); }
 
-  // Seals the active segment now regardless of size (e.g. at shutdown).
+  // Shutdown barrier: rolls the active segment regardless of size and
+  // drains the sealer pool, so every segment is sealed (or archived)
+  // when it returns. The right order at shutdown is signer first, then
+  // Seal() — see Avmm::Finish.
   void Seal();
 
   // SegmentSource.
   const NodeId& node() const override { return node_; }
-  uint64_t LastSeq() const override { return last_seq_; }
+  uint64_t LastSeq() const override { return last_seq_.load(std::memory_order_acquire); }
   LogSegment Extract(uint64_t from_seq, uint64_t to_seq) const override;
   void Scan(uint64_t from_seq, uint64_t to_seq, const EntryVisitor& visit) const override;
 
   // Streaming reader over [from_seq, to_seq]; holds one segment's
-  // entries at a time.
+  // entries at a time and tolerates concurrent tier promotion.
   SegmentCursor Cursor(uint64_t from_seq, uint64_t to_seq) const;
 
-  Hash256 LastHash() const { return last_hash_; }
-  size_t SegmentCount() const { return segments_.size(); }
+  Hash256 LastHash() const;
+  size_t SegmentCount() const;
+  // Segments no longer in the raw format (sealed or archival tier).
   size_t SealedCount() const;
+  // Archival-tier segments only.
+  size_t ArchivedCount() const;
   // Total bytes currently on disk (Figure 3's metric, but durable).
   uint64_t DiskBytes() const;
   // True if Open() found and truncated a torn tail record.
@@ -108,6 +174,12 @@ class LogStore final : public LogSink, public SegmentSource {
   // files must not collide with segment names ("seg-*") and are
   // otherwise ignored by recovery.
   static void WriteAuxFile(const std::string& path, ByteView data, bool sync);
+  // Batched variant: the rename is immediate (readers see the new file
+  // atomically) but the fsync rides the store's next group commit
+  // instead of happening per file, so checkpoint writes during an audit
+  // cost no extra disk round-trips. Crash window: the file may revert
+  // to its previous content, never to a torn state.
+  void WriteAuxFileBatched(const std::string& path, ByteView data);
   // nullopt when the file does not exist; throws StoreError on a file
   // that exists but cannot be read.
   static std::optional<Bytes> ReadAuxFile(const std::string& path);
@@ -115,21 +187,66 @@ class LogStore final : public LogSink, public SegmentSource {
  private:
   friend class SegmentCursor;
 
+  enum class Tier { kActive, kRolled, kSealed, kArchived };
+
   struct SegmentState {
     std::string path;
-    bool sealed = false;
+    Tier tier = Tier::kActive;
     uint64_t first_seq = 0;
     uint64_t last_seq = 0;  // first_seq - 1 when empty.
     Hash256 prior_hash;
     Hash256 chain_hash;
+    // Raw-tier bookkeeping, frozen at roll time (promotion inputs).
+    uint64_t entry_count = 0;
+    size_t stream_bytes = 0;
+    std::vector<SparseIndexEntry> index;
+  };
+
+  // What a reader needs to open one segment, captured under state_mu_.
+  struct SegSnapshot {
+    std::string path;
+    Tier tier = Tier::kActive;
+    uint64_t first_seq = 0;
+    size_t valid_bytes = 0;  // Raw tiers: record-stream bytes on disk.
+  };
+
+  struct LoadedRecords {
+    Bytes records;
+    std::vector<SparseIndexEntry> index;  // Empty for raw tiers.
   };
 
   LogStore(std::string dir, NodeId node, LogStoreOptions opts);
   void Recover();
-  void StartSegment();
-  void CloseActiveFile();
-  void SyncActiveFile() const;
-  const SegmentState* SegmentContaining(uint64_t seq) const;
+  void StartBackground();
+
+  void Kill(const char* point) const;
+  void CheckWritableLocked() const;
+  void AdvanceDurable(uint64_t seq);
+  void StartSegmentLocked();
+  // Group commit: fflush under the lock, fsync off it, then advance the
+  // watermark to the last appended seq the flush covered.
+  void GroupCommitLocked(std::unique_lock<std::mutex>& lk);
+  // fsync of the active file without blocking appends; returns false on
+  // fsync failure. Drops and reacquires `lk`.
+  bool FsyncActiveOffLock(std::unique_lock<std::mutex>& lk);
+  void DrainAuxLocked(std::unique_lock<std::mutex>& lk);
+  // Rolls the active segment: flushes it durably (watermark now covers
+  // the whole segment), closes it and marks it kRolled. Returns the
+  // segment index to promote, or SIZE_MAX if nothing was rolled.
+  size_t RollActiveLocked();
+  void CloseActiveFileLocked();
+  void EnqueuePromotion(size_t seg_index);
+  void RunPromotion(size_t seg_index);
+  void PromoteToSealed(size_t seg_index);
+  void MaybeArchive();
+  void RecordBackgroundError(const char* stage);
+  void FlusherLoop();
+
+  const SegmentState* SegmentContainingLocked(uint64_t seq) const;
+  SegSnapshot SnapshotSegment(uint64_t first_seq) const;
+  LoadedRecords LoadSegment(const SegSnapshot& snap) const;
+  // Snapshot + load with re-resolution when promotion moves the file.
+  LoadedRecords LoadSegmentBySeq(uint64_t first_seq) const;
   // Reads one entry back from the store (used for prior hashes).
   LogEntry ReadEntry(uint64_t seq) const;
 
@@ -137,29 +254,46 @@ class LogStore final : public LogSink, public SegmentSource {
   NodeId node_;
   LogStoreOptions opts_;
 
+  // --- Guarded by state_mu_ ---
+  mutable std::mutex state_mu_;
   std::vector<SegmentState> segments_;  // Ascending; active is last if open.
-  uint64_t last_seq_ = 0;
   Hash256 last_hash_;
-  bool recovered_torn_tail_ = false;
+  GroupCommitBatch batch_;
+  std::vector<std::string> pending_aux_;  // Renamed, awaiting fsync.
+  std::string background_error_;  // First sealer/archiver/flusher failure.
   // Set when a failed write could not be rolled back to a record
   // boundary; the store refuses further appends (reopen to recover).
   bool write_failed_ = false;
-
   // Active (unsealed) segment writer state.
   std::FILE* active_file_ = nullptr;
   size_t active_stream_bytes_ = 0;
   uint64_t active_entry_count_ = 0;
   std::vector<SparseIndexEntry> active_index_;
+  bool stopping_ = false;
 
-  // Serializes the stdio flush that concurrent const readers perform
-  // before opening the active file. This does NOT make writes safe to
-  // run concurrently with reads (see the threading note above).
-  mutable std::mutex io_mu_;
+  // --- Lock-free ---
+  std::atomic<uint64_t> last_seq_{0};
+  std::atomic<uint64_t> durable_seq_{0};
+  bool recovered_torn_tail_ = false;  // Written only during Recover().
+
+  // Serializes the off-lock fsync of a group commit against closing the
+  // active file (lock order: state_mu_ before flush_mu_). active_gen_
+  // changes only with both held, so holding either is enough to read it.
+  mutable std::mutex flush_mu_;
+  uint64_t active_gen_ = 0;
+
+  std::mutex archive_mu_;  // One archival scan at a time.
+
+  std::unique_ptr<ThreadPool> pool_;  // Sealer/archiver workers.
+  std::thread flusher_;
+  std::condition_variable flusher_cv_;
 };
 
 // Streams entries of one [from, to] range, loading one segment's record
 // stream at a time (memory stays bounded by the seal threshold no
-// matter how large the whole log is).
+// matter how large the whole log is). Holds a pointer to the store, so
+// a segment promoted to another tier mid-iteration is transparently
+// re-resolved; the cursor must not outlive the store.
 class SegmentCursor {
  public:
   // The entry the cursor is positioned on, or nullptr when exhausted.
@@ -173,17 +307,12 @@ class SegmentCursor {
  private:
   friend class LogStore;
 
-  struct SegRef {
-    std::string path;
-    bool sealed = false;
-    uint64_t first_seq = 0;
-  };
-
-  SegmentCursor(std::vector<SegRef> segs, uint64_t from_seq, uint64_t to_seq,
-                Hash256 prior_hash);
+  SegmentCursor(const LogStore* store, std::vector<uint64_t> seg_seqs, uint64_t from_seq,
+                uint64_t to_seq, Hash256 prior_hash);
   bool LoadNextSegment();
 
-  std::vector<SegRef> segs_;
+  const LogStore* store_;
+  std::vector<uint64_t> seg_seqs_;  // first_seq of each segment in range.
   size_t next_seg_ = 0;
   uint64_t from_seq_ = 0;
   uint64_t to_seq_ = 0;

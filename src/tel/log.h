@@ -108,6 +108,11 @@ class LogSink {
   // Chain hash of the sink's last entry, if the sink tracks one;
   // SetSink uses it to reject a sink that diverges from this log.
   virtual std::optional<Hash256> SinkLastHash() const { return std::nullopt; }
+  // Durability watermark: the highest seq the sink guarantees survives
+  // a crash. Sinks without a weaker durability notion (in-memory tees)
+  // report everything they hold; LogStore reports its group-commit
+  // watermark. Must be safe to call from any thread.
+  virtual uint64_t SinkDurableSeq() const { return SinkLastSeq(); }
 };
 
 // The append-only log a machine maintains about itself.
@@ -126,6 +131,11 @@ class TamperEvidentLog {
   void FlushSink();
 
   uint64_t LastSeq() const { return entries_.size(); }
+  // The durability watermark the attached sink publishes, or LastSeq()
+  // when no sink is attached (an in-memory-only log has no weaker
+  // durability boundary to wait for). RunConfig::durable_commit gates
+  // authenticator release on this.
+  uint64_t DurableSeq() const { return sink_ ? sink_->SinkDurableSeq() : LastSeq(); }
   Hash256 LastHash() const { return entries_.empty() ? Hash256::Zero() : entries_.back().hash; }
   const NodeId& owner() const { return owner_; }
 

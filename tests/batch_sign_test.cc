@@ -345,6 +345,98 @@ TEST(BatchCrashRecovery, TailResignedFromDurableStore) {
   fs::remove_all(dir);
 }
 
+// Regression for the shutdown-ordering bug: with the async signer and
+// durable_commit, frames that arrive after the signer's flush barrier
+// keep appending entries, so a process can die between "signer flushed"
+// and "store sealed" while released evidence must still be covered by
+// what the store recovers. The gate's contract: no authenticator is
+// ever released above the durability watermark, so the crash image
+// always authenticates everything that left the node.
+TEST(BatchCrashRecovery, CrashBetweenSignerFlushAndSealResignsFromStore) {
+  std::string dir =
+      (fs::path(::testing::TempDir()) / "avm_crash_flush_vs_seal").string();
+  fs::remove_all(dir);
+  RunConfig cfg = RunConfig::AvmmRsa768Async(4);
+  cfg.durable_commit = true;
+  Prng rng(3);
+  Signer alice_signer("alice", cfg.scheme, rng);
+  Signer bob_signer("bob", cfg.scheme, rng);
+  KeyRegistry registry;
+  registry.RegisterSigner(alice_signer);
+  registry.RegisterSigner(bob_signer);
+  SimNetwork net;
+  TamperEvidentLog alice_log("alice"), bob_log("bob");
+  AuthenticatorStore alice_auths, bob_auths;
+
+  // The watermark moves only when the gate forces a group commit: the
+  // entry/byte thresholds are unreachable and there is no flush timer.
+  LogStoreOptions opts;
+  opts.sync = false;
+  opts.sealer_threads = 0;
+  opts.group_commit.max_entries = 1u << 20;
+  opts.group_commit.max_bytes = 1u << 30;
+  opts.group_commit.max_delay_ms = 0;
+  auto store = LogStore::Open(dir, "alice", opts);
+  alice_log.SetSink(store.get());
+
+  Transport alice("alice", &cfg, &alice_log, &alice_signer, &net, &registry, &alice_auths);
+  Transport bob("bob", &cfg, &bob_log, &bob_signer, &net, &registry, &bob_auths);
+  net.AttachHost("alice", &alice);
+  net.AttachHost("bob", &bob);
+  bob.SetPacketHandler([](SimTime, const NodeId&, const Bytes&) {});
+
+  for (int i = 0; i < 10; i++) {
+    SimTime t = static_cast<SimTime>(i + 1) * kMicrosPerSecond;
+    alice.SendPacket(t, "bob", ToBytes("m-" + std::to_string(i)));
+    net.DeliverUntil(t);
+    alice.Tick(t);
+    bob.Tick(t);
+    net.DeliverUntil(t);
+    // The invariant under test, at every step: nothing signed has been
+    // released above the store's watermark.
+    ASSERT_EQ(alice.stats().durable_gate_violations, 0u);
+    ASSERT_LE(alice.stats().max_released_auth_seq, store->DurableSeq());
+  }
+  // Signer flush barrier -- and then MORE frames settle (bob's final
+  // commitments), appending entries past the barrier.
+  alice.Flush(20 * kMicrosPerSecond);
+  bob.Flush(20 * kMicrosPerSecond);
+  net.DeliverUntil(21 * kMicrosPerSecond);
+  // The gate actually engaged: the watermark only moves on forced
+  // flushes in this config, so every commitment the async signer
+  // produced was parked until one. (Asserted after the flush barrier --
+  // whether the signer thread finishes a window mid-run is timing.)
+  EXPECT_GT(alice.stats().durable_forced_flushes, 0u);
+  EXPECT_GT(alice.stats().durable_deferred_commits, 0u);
+  ASSERT_EQ(alice.stats().durable_gate_violations, 0u);
+  uint64_t released = alice.stats().max_released_auth_seq;
+  EXPECT_GT(released, 0u);
+  EXPECT_LE(released, store->DurableSeq());
+
+  // Crash here: between the signer flush and Seal(). Everything
+  // in-memory vanishes; only the store's directory survives.
+  std::vector<Authenticator> alice_commits = bob_auths.AllFor("alice");
+  ASSERT_FALSE(alice_commits.empty());
+  alice_log.SetSink(nullptr);
+  store.reset();  // Never Seal()ed.
+
+  // Recovery covers every released authenticator, and a re-signed tail
+  // commitment authenticates the whole recovered log for auditors.
+  auto recovered = LogStore::Open(dir, opts);
+  ASSERT_GE(recovered->LastSeq(), released);
+  Authenticator resigned;
+  resigned.node = "alice";
+  resigned.seq = recovered->LastSeq();
+  resigned.hash = recovered->LastHash();
+  resigned.signature = alice_signer.SignDigest(
+      Authenticator::SignedPayloadDigest(resigned.node, resigned.seq, resigned.hash));
+  alice_commits.push_back(resigned);
+  LogSegment seg = recovered->Extract(1, recovered->LastSeq());
+  EXPECT_TRUE(VerifyAgainstAuthenticators(seg, alice_commits, registry).ok);
+  recovered.reset();
+  fs::remove_all(dir);
+}
+
 // ------------------------------- sign-mode sweep: verdicts identical ----
 
 RunConfig GameModeConfig(SignMode mode) {
@@ -402,6 +494,70 @@ INSTANTIATE_TEST_SUITE_P(Modes, SignModeSweep,
                          [](const ::testing::TestParamInfo<SignMode>& info) {
                            return SignModeName(info.param);
                          });
+
+// durable_commit changes only *when* evidence is released, never what
+// it says: same-seed runs with and without the gate (stores attached)
+// must produce identical audit verdicts in every sign mode, with zero
+// gate violations and stores that read back the logs bit for bit.
+TEST_P(SignModeSweep, DurableCommitVerdictsIdenticalWithStores) {
+  GameScenario baseline(SweepGame(GetParam(), 41));
+  baseline.Start();
+  baseline.RunFor(2 * kMicrosPerSecond);
+  baseline.Finish();
+
+  std::string base =
+      (fs::path(::testing::TempDir()) /
+       (std::string("avm_durable_sweep_") + SignModeName(GetParam()))).string();
+  fs::remove_all(base);
+  std::vector<std::unique_ptr<LogStore>> stores;
+  GameScenarioConfig dcfg = SweepGame(GetParam(), 41);
+  dcfg.run.durable_commit = true;
+  GameScenario durable(dcfg);
+  durable.Start();
+  LogStoreOptions opts;
+  opts.sync = false;
+  opts.seal_threshold_bytes = 16384;
+  opts.group_commit.max_entries = 32;
+  opts.group_commit.max_delay_ms = 0;
+  auto spill = [&](Avmm& node, const std::string& name) {
+    stores.push_back(LogStore::Open((fs::path(base) / name).string(), name, opts));
+    node.SpillTo(stores.back().get());
+  };
+  spill(durable.server(), "server");
+  for (int i = 0; i < durable.num_players(); i++) {
+    spill(durable.player(i), durable.player_id(i));
+  }
+  durable.RunFor(2 * kMicrosPerSecond);
+  durable.Finish();
+
+  // Same verdicts, node by node.
+  for (int i = 0; i < baseline.num_players(); i++) {
+    AuditOutcome want = baseline.AuditPlayer(i);
+    AuditOutcome got = durable.AuditPlayer(i);
+    EXPECT_EQ(want.ok, got.ok) << SignModeName(GetParam()) << " player " << i;
+    EXPECT_EQ(want.evidence.has_value(), got.evidence.has_value());
+    EXPECT_TRUE(got.ok) << got.Describe();
+  }
+  // No evidence ever outran the watermark, on any node.
+  std::vector<Avmm*> nodes = {&durable.server()};
+  for (int i = 0; i < durable.num_players(); i++) {
+    nodes.push_back(&durable.player(i));
+  }
+  for (size_t n = 0; n < nodes.size(); n++) {
+    EXPECT_EQ(nodes[n]->transport().stats().durable_gate_violations, 0u)
+        << nodes[n]->id();
+    EXPECT_EQ(nodes[n]->log().LastSeq(), stores[n]->LastSeq()) << nodes[n]->id();
+    EXPECT_EQ(stores[n]->DurableSeq(), stores[n]->LastSeq()) << nodes[n]->id();
+    // The store reads back the node's log bit for bit (across whatever
+    // mix of hot/sealed tiers the run left behind).
+    stores[n]->Seal();
+    EXPECT_EQ(stores[n]->Extract(1, stores[n]->LastSeq()).Serialize(),
+              nodes[n]->log().Extract(1, nodes[n]->log().LastSeq()).Serialize())
+        << nodes[n]->id();
+    nodes[n]->log().SetSink(nullptr);
+  }
+  fs::remove_all(base);
+}
 
 // Real RSA-768 end to end through the KV scenario: full audit and a
 // spot check must pass identically in every sign mode.
