@@ -12,12 +12,17 @@
 #include <vector>
 
 #include "src/avmm/config.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace avm {
 
 // Machine-readable results: BENCH_<name>.json in the working directory,
 // one {metric, value, unit} row per Add() call, so the perf trajectory
 // can be tracked PR-over-PR without scraping the human-readable tables.
+// Written atomically (tmp + rename) so a crashed bench never leaves a
+// truncated JSON for the trajectory scraper to choke on.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
@@ -30,24 +35,35 @@ class BenchJson {
     rows_.push_back({metric, value, unit});
   }
 
+  // Attach the current obs metrics snapshot (and phase aggregates) to
+  // the JSON under an "obs" key, so the telemetry that explains a run's
+  // numbers travels with them.
+  void EmbedObsSnapshot() { embed_obs_ = true; }
+
   void Write() {
     if (written_ || rows_.empty()) {
       return;
     }
     written_ = true;
     std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
+    std::string out = "{\"bench\":\"" + name_ + "\",\"results\":[";
+    char row[512];
+    for (size_t i = 0; i < rows_.size(); i++) {
+      std::snprintf(row, sizeof(row), "%s{\"metric\":\"%s\",\"value\":%.6g,\"unit\":\"%s\"}",
+                    i == 0 ? "" : ",", rows_[i].metric.c_str(), rows_[i].value,
+                    rows_[i].unit.c_str());
+      out += row;
+    }
+    out += "]";
+    if (embed_obs_) {
+      out += ",\"obs\":" + obs::SnapshotJson();
+    }
+    out += "}\n";
+    std::string error;
+    if (!obs::WriteFileAtomic(path, out, &error)) {
+      std::fprintf(stderr, "  BENCH JSON WRITE FAILED: %s\n", error.c_str());
       return;
     }
-    std::fprintf(f, "{\"bench\":\"%s\",\"results\":[", name_.c_str());
-    for (size_t i = 0; i < rows_.size(); i++) {
-      std::fprintf(f, "%s{\"metric\":\"%s\",\"value\":%.6g,\"unit\":\"%s\"}",
-                   i == 0 ? "" : ",", rows_[i].metric.c_str(), rows_[i].value,
-                   rows_[i].unit.c_str());
-    }
-    std::fprintf(f, "]}\n");
-    std::fclose(f);
     std::printf("  wrote %s (%zu metrics)\n", path.c_str(), rows_.size());
   }
 
@@ -60,6 +76,7 @@ class BenchJson {
   std::string name_;
   std::vector<Row> rows_;
   bool written_ = false;
+  bool embed_obs_ = false;
 };
 
 // The paper's five evaluation configurations (Figure 5/6/7's x-axis).

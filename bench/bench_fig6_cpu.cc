@@ -9,6 +9,8 @@
 // execution vs. trace recording vs. signing/verification vs. snapshots,
 // per configuration. The "accountability share" column corresponds to
 // the paper's daemon-hyperthread utilization.
+#include <algorithm>
+
 #include "bench/bench_common.h"
 #include "src/audit/replayer.h"
 #include "src/sim/scenario.h"
@@ -124,6 +126,52 @@ loop:
   json.Add("audit_replay_speedup", replay_mips[1] / replay_mips[0], "x");
 }
 
+// Telemetry must be free when off and near-free when on: the same
+// recording run with obs disabled vs enabled must produce a
+// bit-identical serialized log (verdict/wire equivalence) and stay
+// under the <2% overhead budget CI asserts on telemetry_overhead_pct.
+void RunTelemetryOverhead(BenchJson& json) {
+  constexpr int kReps = 3;
+  PrintRule();
+  std::printf("  telemetry overhead: identical recording run, obs off vs on (min of %d)\n",
+              kReps);
+  auto run_once = [&](bool on, Bytes* wire) {
+    obs::SetEnabled(on);
+    obs::ResetTrace();
+    GameScenarioConfig cfg;
+    cfg.run = RunConfig::AvmmRsa768();
+    cfg.num_players = 2;
+    cfg.seed = 6;
+    GameScenario game(cfg);
+    game.Start();
+    WallTimer t;
+    game.RunFor(4 * kMicrosPerSecond);
+    double s = t.ElapsedSeconds();
+    game.Finish();
+    LogSegment seg = game.server().log().Extract(1, game.server().log().LastSeq());
+    *wire = seg.Serialize();
+    return s;
+  };
+  double best[2] = {1e99, 1e99};
+  Bytes wire[2];
+  for (int on = 0; on < 2; on++) {
+    for (int rep = 0; rep < kReps; rep++) {
+      Bytes w;
+      best[on] = std::min(best[on], run_once(on != 0, &w));
+      wire[on] = std::move(w);
+    }
+  }
+  obs::SetEnabled(false);
+  const bool identical = wire[0] == wire[1];
+  const double pct = 100.0 * (best[1] - best[0]) / best[0];
+  std::printf("  %-26s %10.3f s\n", "obs off", best[0]);
+  std::printf("  %-26s %10.3f s  (%+.2f%%)\n", "obs on", best[1], pct);
+  std::printf("  serialized server log bit-identical: %s (%zu bytes)\n",
+              identical ? "yes" : "NO (BUG)", wire[0].size());
+  json.Add("telemetry_overhead_pct", pct, "%");
+  json.Add("telemetry_log_identical", identical ? 1 : 0, "bool");
+}
+
 }  // namespace
 }  // namespace avm
 
@@ -134,5 +182,6 @@ int main() {
   avm::Run();
   avm::BenchJson json("fig6_cpu");
   avm::RunReplaySpeed(json);
+  avm::RunTelemetryOverhead(json);
   return 0;
 }

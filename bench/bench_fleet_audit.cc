@@ -60,17 +60,19 @@ void RunColdVsResumed(BenchJson& json) {
   // Cold: no checkpoint on disk; this run verifies from genesis and
   // plants the watermark.
   ResumeInfo cold_info;
-  WallTimer cold_t;
-  AuditOutcome cold = auditor.AuditFull(kv.server(), *store, kv.reference_server_image(),
-                                        auths, dir, &cold_info);
-  double cold_s = cold_t.ElapsedSeconds();
+  AuditOutcome cold;
+  double cold_s = obs::TimeSection("bench.cold_audit", [&] {
+    cold = auditor.AuditFull(kv.server(), *store, kv.reference_server_image(), auths, dir,
+                             &cold_info);
+  });
 
   // Resumed: same audit again, now from the watermark.
   ResumeInfo res_info;
-  WallTimer res_t;
-  AuditOutcome resumed = auditor.AuditFull(kv.server(), *store, kv.reference_server_image(),
-                                           auths, dir, &res_info);
-  double resumed_s = res_t.ElapsedSeconds();
+  AuditOutcome resumed;
+  double resumed_s = obs::TimeSection("bench.resumed_audit", [&] {
+    resumed = auditor.AuditFull(kv.server(), *store, kv.reference_server_image(), auths, dir,
+                                &res_info);
+  });
 
   bool verdicts_same = cold.ok == resumed.ok &&
                        cold.syntactic.reason == resumed.syntactic.reason &&
@@ -161,6 +163,15 @@ void RunShardSweep(BenchJson& json) {
     }
     service.Drain();
     double wall = t.ElapsedSeconds();
+    // The fleet operator's scrape surface: Prometheus text, a metrics
+    // snapshot, and a Perfetto-loadable Chrome trace of this run's
+    // spans. Overwritten per sweep point; the last (largest) run wins.
+    std::string export_err;
+    if (!service.ExportPrometheus("OBS_fleet_audit.prom", &export_err) ||
+        !service.ExportSnapshotJson("OBS_fleet_audit.snapshot.json", &export_err) ||
+        !service.ExportChromeTrace("OBS_fleet_audit.trace.json", &export_err)) {
+      std::fprintf(stderr, "  OBS EXPORT FAILED: %s\n", export_err.c_str());
+    }
     FleetStats stats = service.stats();
     double rate = static_cast<double>(stats.entries_scanned) / std::max(wall, 1e-9);
     if (workers == 1) {
@@ -173,6 +184,10 @@ void RunShardSweep(BenchJson& json) {
     }
     json.Add("entries_per_s_workers_" + std::to_string(workers), rate, "entries/s");
   }
+  std::printf("  obs: %.3f s in fleet.service spans across %llu jobs; exported\n"
+              "  OBS_fleet_audit.{prom,snapshot.json,trace.json}\n",
+              obs::PhaseSeconds(obs::kPhaseFleetService),
+              static_cast<unsigned long long>(obs::PhaseCount(obs::kPhaseFleetService)));
   fs::remove_all(base);
 }
 
@@ -183,7 +198,10 @@ int main() {
   avm::PrintHeader("Audit service: checkpointed re-audits + fleet sharding (§6.11/§8)",
                    "one auditor follows many machines; audit lag is the §6.11 metric");
   avm::PrintScaleNote();
+  avm::obs::SetEnabled(true);
+  avm::obs::ResetTrace();
   avm::BenchJson json("fleet_audit");
+  json.EmbedObsSnapshot();
   avm::RunColdVsResumed(json);
   avm::RunShardSweep(json);
   return 0;

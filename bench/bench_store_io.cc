@@ -69,6 +69,7 @@ double SustainedAppend(const TamperEvidentLog& log, const std::string& dir,
 
 void Run() {
   BenchJson json("store_io");
+  json.EmbedObsSnapshot();
   // Record a 3-player game: the same workload Figure 3 measures.
   GameScenarioConfig cfg;
   cfg.run = RunConfig::AvmmRsa768();
@@ -127,12 +128,11 @@ void Run() {
 
   // Extraction: whole-log and 1000-entry windows, disk vs. memory.
   auto store = LogStore::Open(base + "-lzss");
-  WallTimer full_disk;
-  LogSegment seg_disk = store->Extract(1, store->LastSeq());
-  double full_disk_s = full_disk.ElapsedSeconds();
-  WallTimer full_mem;
-  LogSegment seg_mem = log.Extract(1, log.LastSeq());
-  double full_mem_s = full_mem.ElapsedSeconds();
+  LogSegment seg_disk, seg_mem;
+  double full_disk_s = obs::TimeSection(
+      "bench.extract_disk", [&] { seg_disk = store->Extract(1, store->LastSeq()); });
+  double full_mem_s =
+      obs::TimeSection("bench.extract_mem", [&] { seg_mem = log.Extract(1, log.LastSeq()); });
   std::printf("\n  full extract (%zu entries): disk %.3fs, memory %.3fs (match: %s)\n",
               seg_disk.entries.size(), full_disk_s, full_mem_s,
               seg_disk.Serialize() == seg_mem.Serialize() ? "yes" : "NO");
@@ -154,8 +154,41 @@ void Run() {
   json.Add("extract_full_disk", full_disk_s, "s");
   json.Add("extract_window_ms", 1000.0 * win_disk_s / kWindows, "ms");
 
+  // Telemetry on/off: the full append+seal path must lay down
+  // bit-identical bytes on disk and stay under the <2% overhead budget
+  // CI asserts on telemetry_overhead_pct (store spans fire per group
+  // commit / per seal, never per entry).
+  constexpr int kObsReps = 3;
+  double sweep_best[2] = {1e99, 1e99};
+  uint64_t sweep_disk[2] = {0, 0};
+  for (int on = 0; on < 2; on++) {
+    obs::SetEnabled(on != 0);
+    obs::ResetTrace();
+    for (int rep = 0; rep < kObsReps; rep++) {
+      auto s2 = FreshStore(base + "-obs", log.owner(), true);
+      WallTimer t;
+      for (const LogEntry& e : log.entries()) {
+        s2->Append(e);
+      }
+      s2->Seal();
+      sweep_best[on] = std::min(sweep_best[on], t.ElapsedSeconds());
+      sweep_disk[on] = s2->DiskBytes();
+    }
+  }
+  obs::SetEnabled(false);
+  const bool disk_identical = sweep_disk[0] == sweep_disk[1];
+  const double overhead_pct = 100.0 * (sweep_best[1] - sweep_best[0]) / sweep_best[0];
+  std::printf("\n  telemetry overhead (append+seal, min of %d): off %.3fs, on %.3fs (%+.2f%%)\n",
+              kObsReps, sweep_best[0], sweep_best[1], overhead_pct);
+  std::printf("  disk bytes identical with telemetry on: %s (%llu bytes)\n",
+              disk_identical ? "yes" : "NO (BUG)",
+              static_cast<unsigned long long>(sweep_disk[0]));
+  json.Add("telemetry_overhead_pct", overhead_pct, "%");
+  json.Add("telemetry_disk_identical", disk_identical ? 1 : 0, "bool");
+
   fs::remove_all(base + "-raw");
   fs::remove_all(base + "-lzss");
+  fs::remove_all(base + "-obs");
 }
 
 }  // namespace

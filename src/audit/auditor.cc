@@ -14,6 +14,7 @@
 #include "src/audit/pipeline.h"
 #include "src/avmm/attested_input.h"
 #include "src/avmm/message.h"
+#include "src/obs/trace.h"
 #include "src/tel/batch.h"
 #include "src/util/serde.h"
 #include "src/vm/trace.h"
@@ -189,12 +190,17 @@ AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
   PoolJoinGuard join_guard{pipelined ? pool : nullptr, &replay_moot};
 
   WallTimer syn_timer;
-  out.syntactic = VerifyAgainstAuthenticators(segment, auths, *registry_, pool);
+  obs::Span syn_span(obs::kPhaseAuditSyntactic, "audit");
+  {
+    obs::Span rsa_span(obs::kPhaseAuditRsaVerify, "audit");
+    out.syntactic = VerifyAgainstAuthenticators(segment, auths, *registry_, pool);
+  }
   if (out.syntactic.ok) {
     if (pipelined) {
       replay_submitted = true;
       pool->Submit([&] {
         WallTimer sem_timer;
+        obs::Span replay_span(obs::kPhaseAuditReplay, "audit");
         try {
           // In-place construction: the replayer registers itself as the
           // machine's device backend, so it must never move.
@@ -229,6 +235,7 @@ AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
     out.syntactic = VerifyAttestedInputs(segment, *registry_);
   }
   out.syntactic_seconds = syn_timer.ElapsedSeconds();
+  syn_span.End();
   if (!out.syntactic.ok) {
     replay_moot.store(true, std::memory_order_relaxed);
   }
@@ -259,6 +266,7 @@ AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
     out.semantic_seconds = pipelined_sem_seconds;
   } else {
     WallTimer sem_timer;
+    obs::Span replay_span(obs::kPhaseAuditReplay, "audit");
     out.semantic = start_state != nullptr
                        ? ReplaySegment(segment, *start_state)
                        : ReplaySegment(segment, reference_image, cfg_.mem_size);

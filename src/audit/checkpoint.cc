@@ -13,6 +13,7 @@
 #include "src/avmm/recorder.h"
 #include "src/avmm/snapshot.h"
 #include "src/crypto/sha256.h"
+#include "src/obs/trace.h"
 #include "src/store/log_store.h"
 #include "src/util/serde.h"
 #include "src/util/threadpool.h"
@@ -259,6 +260,7 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
   const uint64_t cadence = checkpoint_dir.empty() ? 0 : ckpt_.every_entries;
 
   WallTimer gate_timer;  // The auth gate's RSA work is syntactic cost.
+  obs::Span gate_span(obs::kPhaseAuditRsaVerify, "audit");
 
   // Authenticator gate + precomputed sig verdicts, exactly as the
   // pipelined full audit does: replay is only worth starting when every
@@ -285,11 +287,13 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
     replay_gate = replay_gate && auth_sig_verdicts[i] == 1;
   }
   const double gate_seconds = gate_timer.ElapsedSeconds();
+  gate_span.End();
 
   // Try to resume from a persisted checkpoint.
   ResumeState resume;
   bool resumed = false;
   if (cadence > 0) {
+    obs::Span load_span(obs::kPhaseAuditCheckpointIo, "audit");
     std::string reject;
     std::optional<AuditCheckpoint> cp = LoadAuditCheckpoint(checkpoint_dir, ckpt_.auditor,
                                                             &reject);
@@ -391,6 +395,7 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
       to = std::min(to, std::max(boundary, s));
     }
     WallTimer syn_timer;
+    obs::Span syn_span(obs::kPhaseAuditSyntactic, "audit");
     LogSegment chunk;
     try {
       chunk = source.Extract(s, to);
@@ -417,6 +422,7 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
     }
     checker->Feed(chunk.entries, smc_verdicts);
     syn_seconds += syn_timer.ElapsedSeconds();
+    syn_span.End();  // join_replay() wait time is not syntactic work.
 
     join_replay();
     if (replay_gate && !checker->AnyFailure() && replay_err == nullptr) {
@@ -425,6 +431,7 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
         task_in_flight = true;
         pool->Submit([&] {
           WallTimer sem_timer;
+          obs::Span replay_span(obs::kPhaseAuditReplay, "audit");
           try {
             replayer->Feed(inflight.entries);
           } catch (...) {
@@ -438,6 +445,7 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
         });
       } else {
         WallTimer sem_timer;
+        obs::Span replay_span(obs::kPhaseAuditReplay, "audit");
         try {
           replayer->Feed(chunk.entries);
         } catch (...) {
@@ -475,6 +483,7 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
         // Capture is a pure optimization: a full disk or an unwritable
         // directory must cost a future resume, never this verdict.
         try {
+          obs::Span save_span(obs::kPhaseAuditCheckpointIo, "audit");
           SaveAuditCheckpoint(checkpoint_dir, ncp, ckpt_.sync, ckpt_.aux_store);
           last_captured = to;
           ri.checkpoints_written++;
@@ -531,8 +540,10 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
   }
 
   WallTimer finish_timer;
+  obs::Span finish_span(obs::kPhaseAuditReplay, "audit");
   out.semantic = replayer->Finish();
   out.semantic_seconds = sem_seconds + finish_timer.ElapsedSeconds();
+  finish_span.End();
   out.ok = out.semantic.ok;
   if (!out.ok) {
     build_evidence(EvidenceKind::kReplayDivergence, out.semantic.reason);

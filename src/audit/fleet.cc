@@ -1,10 +1,13 @@
 #include "src/audit/fleet.h"
 
+#include <atomic>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "src/avmm/recorder.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/util/threadpool.h"
 
 namespace avm {
@@ -29,10 +32,38 @@ FleetAuditService::FleetAuditService(const KeyRegistry* registry, FleetAuditConf
   if (cfg_.audit.threads == 0) {
     cfg_.audit.threads = 1;
   }
+  RegisterObsMetrics();
   unsigned workers = ResolveThreads(cfg_.workers);
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; i++) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void FleetAuditService::RegisterObsMetrics() {
+  // Distinct {svc} label per instance: the registry is process-wide,
+  // but stats() must report this service's work only.
+  static std::atomic<uint64_t> next_serial{0};
+  svc_label_ = std::to_string(next_serial.fetch_add(1, std::memory_order_relaxed));
+  auto& reg = obs::Registry::Global();
+  const obs::Labels ls{{"svc", svc_label_}};
+  obs_.jobs_completed = reg.GetCounter("fleet_jobs_completed", ls);
+  obs_.full_audits = reg.GetCounter("fleet_full_audits", ls);
+  obs_.spot_checks = reg.GetCounter("fleet_spot_checks", ls);
+  obs_.online_polls = reg.GetCounter("fleet_online_polls", ls);
+  obs_.audits_resumed = reg.GetCounter("fleet_audits_resumed", ls);
+  obs_.audits_cold = reg.GetCounter("fleet_audits_cold", ls);
+  obs_.checkpoints_written = reg.GetCounter("fleet_checkpoints_written", ls);
+  obs_.checkpoints_rejected = reg.GetCounter("fleet_checkpoints_rejected", ls);
+  obs_.entries_scanned = reg.GetCounter("fleet_entries_scanned", ls);
+  obs_.entries_skipped = reg.GetCounter("fleet_entries_skipped", ls);
+  obs_.faults_detected = reg.GetCounter("fleet_faults_detected", ls);
+  obs_.targets_rewound = reg.GetCounter("fleet_targets_rewound", ls);
+  for (int t = 0; t < 3; t++) {
+    const obs::Labels lt{{"svc", svc_label_},
+                         {"type", FleetJobTypeName(static_cast<FleetJobType>(t))}};
+    obs_.queue_wait_us[t] = reg.GetHistogram("fleet_queue_wait_us", lt);
+    obs_.service_us[t] = reg.GetHistogram("fleet_service_us", lt);
   }
 }
 
@@ -86,6 +117,9 @@ uint64_t FleetAuditService::Submit(const NodeId& node, Job job) {
   }
   job.id = next_job_id_++;
   job.submit_index = submit_counter_++;
+  if (obs::Enabled()) {
+    job.submit_us = obs::NowMicros();
+  }
   it->second.queue.push_back(job);
   outstanding_++;
   lock.unlock();
@@ -151,8 +185,43 @@ std::vector<FleetJobResult> FleetAuditService::ResultsFor(const NodeId& node) co
 }
 
 FleetStats FleetAuditService::stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return stats_;
+  // Compatibility view over this instance's registry counters. No mu_:
+  // counter reads are atomic, and the legacy contract was only ever a
+  // point-in-time snapshot.
+  FleetStats s;
+  s.jobs_completed = obs_.jobs_completed->Value();
+  s.full_audits = obs_.full_audits->Value();
+  s.spot_checks = obs_.spot_checks->Value();
+  s.online_polls = obs_.online_polls->Value();
+  s.audits_resumed = obs_.audits_resumed->Value();
+  s.audits_cold = obs_.audits_cold->Value();
+  s.checkpoints_written = obs_.checkpoints_written->Value();
+  s.checkpoints_rejected = obs_.checkpoints_rejected->Value();
+  s.entries_scanned = obs_.entries_scanned->Value();
+  s.entries_skipped = obs_.entries_skipped->Value();
+  s.faults_detected = obs_.faults_detected->Value();
+  s.targets_rewound = obs_.targets_rewound->Value();
+  return s;
+}
+
+std::string FleetAuditService::MetricsPrometheus() const {
+  return obs::PrometheusText(obs::Registry::Global().Snapshot());
+}
+
+std::string FleetAuditService::MetricsSnapshotJson() const {
+  return obs::SnapshotJson();
+}
+
+bool FleetAuditService::ExportPrometheus(const std::string& path, std::string* error) const {
+  return obs::WritePrometheus(path, error);
+}
+
+bool FleetAuditService::ExportSnapshotJson(const std::string& path, std::string* error) const {
+  return obs::WriteSnapshotJson(path, error);
+}
+
+bool FleetAuditService::ExportChromeTrace(const std::string& path, std::string* error) const {
+  return obs::WriteChromeTrace(path, error);
 }
 
 bool FleetAuditService::PickJob(Auditee** auditee, Job* job) {
@@ -218,6 +287,7 @@ FleetJobResult FleetAuditService::RunJob(Auditee& auditee, const Job& job) {
   r.type = job.type;
   r.priority = job.priority;
   WallTimer timer;
+  obs::Span span(obs::kPhaseFleetService, "fleet");
   switch (job.type) {
     case FleetJobType::kFullAudit: {
       CheckpointConfig ckpt = cfg_.checkpoint;
@@ -243,10 +313,19 @@ FleetJobResult FleetAuditService::RunJob(Auditee& auditee, const Job& job) {
       r.online = auditee.online->Poll();
       r.online_status = auditee.online->status();
       r.online_lag_entries = auditee.online->LagEntries();
+      // §6.11: the fleet's view of how far behind each auditee's replay
+      // is, scrapable without polling Result().
+      obs::Registry::Global()
+          .GetGauge("fleet_online_lag_entries",
+                    {{"node", reg.node}, {"svc", svc_label_}})
+          ->Set(static_cast<int64_t>(r.online_lag_entries));
       break;
     }
   }
+  span.End();
   r.seconds = timer.ElapsedSeconds();
+  obs_.service_us[static_cast<int>(job.type)]->Record(
+      static_cast<uint64_t>(r.seconds * 1e6));
   return r;
 }
 
@@ -260,6 +339,10 @@ void FleetAuditService::WorkerLoop() {
       if (auditee == nullptr) {
         return;  // stopping_ and nothing runnable for this worker.
       }
+    }
+    if (job.submit_us != 0) {
+      obs_.queue_wait_us[static_cast<int>(job.type)]->Record(
+          obs::NowMicros() - job.submit_us);
     }
 
     FleetJobResult result;
@@ -282,38 +365,38 @@ void FleetAuditService::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       auditee->running = false;
       result.completion_index = completion_counter_++;
-      stats_.jobs_completed++;
+      obs_.jobs_completed->Inc();
       switch (result.type) {
         case FleetJobType::kFullAudit:
-          stats_.full_audits++;
+          obs_.full_audits->Inc();
           if (result.resume.resumed) {
-            stats_.audits_resumed++;
-            stats_.entries_skipped += result.resume.resumed_from;
+            obs_.audits_resumed->Inc();
+            obs_.entries_skipped->Inc(result.resume.resumed_from);
           } else {
-            stats_.audits_cold++;
+            obs_.audits_cold->Inc();
           }
           if (result.resume.checkpoint_rejected) {
-            stats_.checkpoints_rejected++;
+            obs_.checkpoints_rejected->Inc();
           }
-          stats_.checkpoints_written += result.resume.checkpoints_written;
-          stats_.entries_scanned += result.resume.entries_scanned;
+          obs_.checkpoints_written->Inc(result.resume.checkpoints_written);
+          obs_.entries_scanned->Inc(result.resume.entries_scanned);
           if (!result.outcome.ok) {
-            stats_.faults_detected++;
+            obs_.faults_detected->Inc();
           }
           break;
         case FleetJobType::kSpotCheck:
-          stats_.spot_checks++;
+          obs_.spot_checks->Inc();
           if (!result.outcome.ok) {
-            stats_.faults_detected++;
+            obs_.faults_detected->Inc();
           }
           break;
         case FleetJobType::kOnlinePoll:
-          stats_.online_polls++;
+          obs_.online_polls->Inc();
           if (result.online_status == OnlinePollStatus::kDiverged) {
-            stats_.faults_detected++;
+            obs_.faults_detected->Inc();
           }
           if (result.online_status == OnlinePollStatus::kTargetRewound) {
-            stats_.targets_rewound++;
+            obs_.targets_rewound->Inc();
           }
           break;
       }

@@ -21,6 +21,14 @@
 //
 // Verdicts are those of the single-auditee entry points, bit for bit:
 // sharding, priorities and checkpoints change only wall-clock time.
+//
+// Telemetry: the service's counters live in the process-wide obs
+// registry (labeled {svc=<instance serial>}); FleetStats and stats()
+// remain as a compatibility view read back from those counters. The
+// scheduler additionally records per-job-type queue-wait and service
+// -time histograms and a per-node online-lag gauge (§6.11), and the
+// Export* methods write the Prometheus / JSON / Chrome-trace artifacts
+// a fleet operator scrapes.
 #ifndef SRC_AUDIT_FLEET_H_
 #define SRC_AUDIT_FLEET_H_
 
@@ -37,6 +45,7 @@
 #include "src/audit/auditor.h"
 #include "src/audit/checkpoint.h"
 #include "src/audit/online.h"
+#include "src/obs/metrics.h"
 
 namespace avm {
 
@@ -144,7 +153,15 @@ class FleetAuditService {
 
   std::optional<FleetJobResult> Result(uint64_t job_id) const;
   std::vector<FleetJobResult> ResultsFor(const NodeId& node) const;
+  // Compatibility view: rebuilt from this instance's registry counters.
   FleetStats stats() const;
+
+  // Telemetry exporters (process-wide registry + trace buffer).
+  std::string MetricsPrometheus() const;
+  std::string MetricsSnapshotJson() const;
+  bool ExportPrometheus(const std::string& path, std::string* error = nullptr) const;
+  bool ExportSnapshotJson(const std::string& path, std::string* error = nullptr) const;
+  bool ExportChromeTrace(const std::string& path, std::string* error = nullptr) const;
 
  private:
   struct Job {
@@ -153,6 +170,7 @@ class FleetAuditService {
     FleetPriority priority = FleetPriority::kNormal;
     uint64_t from_snapshot = 0, to_snapshot = 0;  // Spot checks.
     uint64_t submit_index = 0;  // FIFO tiebreak within one priority.
+    uint64_t submit_us = 0;     // Queue-wait stamp (0 when telemetry is off).
   };
 
   struct Auditee {
@@ -165,6 +183,7 @@ class FleetAuditService {
   };
 
   uint64_t Submit(const NodeId& node, Job job);
+  void RegisterObsMetrics();
   void WorkerLoop();
   // Under mu_: picks (auditee, job) per the fairness policy, or returns
   // false when nothing is runnable.
@@ -186,7 +205,32 @@ class FleetAuditService {
   size_t outstanding_ = 0;  // Queued + running jobs.
   bool stopping_ = false;
   bool paused_ = false;
-  FleetStats stats_;
+
+  // The FleetStats fields, migrated onto the process-wide registry.
+  // Each service instance gets a distinct {svc=<serial>} label so two
+  // services in one process don't share counters; stats() reads these
+  // back into the legacy struct. Registry slots are leaked-by-design
+  // (Registry::Global() outlives every service), so raw pointers are
+  // safe for the service's lifetime.
+  struct ObsMetrics {
+    obs::Counter* jobs_completed = nullptr;
+    obs::Counter* full_audits = nullptr;
+    obs::Counter* spot_checks = nullptr;
+    obs::Counter* online_polls = nullptr;
+    obs::Counter* audits_resumed = nullptr;
+    obs::Counter* audits_cold = nullptr;
+    obs::Counter* checkpoints_written = nullptr;
+    obs::Counter* checkpoints_rejected = nullptr;
+    obs::Counter* entries_scanned = nullptr;
+    obs::Counter* entries_skipped = nullptr;
+    obs::Counter* faults_detected = nullptr;
+    obs::Counter* targets_rewound = nullptr;
+    // Scheduler health, indexed by FleetJobType.
+    obs::Histogram* queue_wait_us[3] = {nullptr, nullptr, nullptr};
+    obs::Histogram* service_us[3] = {nullptr, nullptr, nullptr};
+  };
+  ObsMetrics obs_;
+  std::string svc_label_;
 
   std::vector<std::thread> workers_;
 };

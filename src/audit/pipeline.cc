@@ -7,6 +7,7 @@
 
 #include "src/audit/replayer.h"
 #include "src/avmm/recorder.h"
+#include "src/obs/trace.h"
 #include "src/util/threadpool.h"
 
 namespace avm {
@@ -275,9 +276,12 @@ AuditOutcome PipelinedStreamingAuditFull(const Avmm& target, const SegmentSource
   }
   // Fan the gate's RSA checks across the (otherwise still idle) pool,
   // as VerifyAgainstAuthenticators does on the materialized path.
-  pool.ParallelFor(relevant.size(), [&](size_t k) {
-    auth_sig_verdicts[relevant[k]] = auths[relevant[k]].VerifySignature(registry) ? 1 : 0;
-  });
+  {
+    obs::Span rsa_span(obs::kPhaseAuditRsaVerify, "audit");
+    pool.ParallelFor(relevant.size(), [&](size_t k) {
+      auth_sig_verdicts[relevant[k]] = auths[relevant[k]].VerifySignature(registry) ? 1 : 0;
+    });
+  }
   bool replay_worthwhile = !relevant.empty();
   for (size_t i : relevant) {
     replay_worthwhile = replay_worthwhile && auth_sig_verdicts[i] == 1;
@@ -303,6 +307,7 @@ AuditOutcome PipelinedStreamingAuditFull(const Avmm& target, const SegmentSource
         // blocked in Push() waiting for the replay consumer is not
         // syntactic work.
         WallTimer syn_timer;
+        obs::Span syn_span(obs::kPhaseAuditSyntactic, "audit");
         const uint64_t to = std::min<uint64_t>(s + chunk_entries - 1, last);
         LogSegment chunk;
         try {
@@ -330,6 +335,7 @@ AuditOutcome PipelinedStreamingAuditFull(const Avmm& target, const SegmentSource
         }
         checker.Feed(chunk.entries, smc_verdicts);
         syn_seconds += syn_timer.ElapsedSeconds();
+        syn_span.End();  // Blocked time in Push() is not syntactic work.
         // Replay's result is discarded on any syntactic failure, so
         // stop shipping chunks once one is recorded (the checker still
         // scans the rest of the log: a later chain break or unreadable
@@ -359,6 +365,7 @@ AuditOutcome PipelinedStreamingAuditFull(const Avmm& target, const SegmentSource
       // producer's syntactic work is not replay cost (symmetric with
       // the producer's syn_timer).
       WallTimer sem_timer;
+      obs::Span replay_span(obs::kPhaseAuditReplay, "audit");
       try {
         replayer.Feed(chunk.entries);
       } catch (...) {
@@ -423,8 +430,10 @@ AuditOutcome PipelinedStreamingAuditFull(const Avmm& target, const SegmentSource
   }
 
   WallTimer finish_timer;
+  obs::Span finish_span(obs::kPhaseAuditReplay, "audit");
   out.semantic = replayer.Finish();
   out.semantic_seconds = sem_seconds + finish_timer.ElapsedSeconds();
+  finish_span.End();
   out.ok = out.semantic.ok;
   if (!out.ok) {
     build_evidence(EvidenceKind::kReplayDivergence, out.semantic.reason);

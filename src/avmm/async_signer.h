@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "src/crypto/keys.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tel/log.h"
 #include "src/util/threadpool.h"
 
@@ -30,7 +32,13 @@ namespace avm {
 class AsyncSignPipeline {
  public:
   AsyncSignPipeline(NodeId node, const Signer* signer, size_t max_inflight = 64)
-      : node_(std::move(node)), signer_(signer), max_inflight_(max_inflight), pool_(2) {}
+      : node_(std::move(node)), signer_(signer), max_inflight_(max_inflight), pool_(2) {
+    auto& reg = obs::Registry::Global();
+    const obs::Labels labels{{"node", std::string(node_)}};
+    queue_depth_ = reg.GetGauge("signer_queue_depth", labels);
+    sign_us_ = reg.GetHistogram("signer_sign_us", labels);
+    signed_counter_ = reg.GetCounter("signer_signed_total", labels);
+  }
 
   ~AsyncSignPipeline() { pool_.Wait(); }
 
@@ -48,16 +56,26 @@ class AsyncSignPipeline {
         lock.lock();
       }
       inflight_++;
+      queue_depth_->Set(static_cast<int64_t>(inflight_));
     }
     pool_.Submit([this, seq, hash] {
       Authenticator a;
       a.node = node_;
       a.seq = seq;
       a.hash = hash;
-      a.signature = signer_->SignDigest(Authenticator::SignedPayloadDigest(node_, seq, hash));
+      {
+        obs::Span span(obs::kPhaseSignerSign, "signer");
+        const uint64_t t0 = obs::Enabled() ? obs::NowMicros() : 0;
+        a.signature = signer_->SignDigest(Authenticator::SignedPayloadDigest(node_, seq, hash));
+        if (t0 != 0) {
+          sign_us_->Record(obs::NowMicros() - t0);
+        }
+      }
+      signed_counter_->Inc();
       std::lock_guard<std::mutex> g(mu_);
       done_.push_back(std::move(a));
       inflight_--;
+      queue_depth_->Set(static_cast<int64_t>(inflight_));
       signed_total_++;
     });
   }
@@ -84,6 +102,11 @@ class AsyncSignPipeline {
   std::vector<Authenticator> done_;
   size_t inflight_ = 0;
   uint64_t signed_total_ = 0;
+  // Registry-owned telemetry (stable pointers; signer metrics survive
+  // the pipeline because async signers are per-run, metrics per-node).
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* sign_us_ = nullptr;
+  obs::Counter* signed_counter_ = nullptr;
   ThreadPool pool_;
 };
 

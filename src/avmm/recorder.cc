@@ -36,6 +36,26 @@ Avmm::Avmm(NodeId id, RunConfig cfg, ByteView image, const Signer* signer, SimNe
     SnapshotMeta meta = snapshot_mgr_.Take(machine_, 0);
     log_.Append(EntryType::kSnapshot, meta.Serialize());
   }
+  RegisterObsMetrics();
+}
+
+void Avmm::RegisterObsMetrics() {
+  auto& reg = obs::Registry::Global();
+  const obs::Labels ls{{"node", std::string(id_)}};
+  auto pub = [&](const char* name, const uint64_t* field) {
+    obs_handles_.push_back(
+        reg.RegisterCallbackGauge(name, ls, [field] { return static_cast<int64_t>(*field); }));
+  };
+  pub("avmm_frames_rendered", &stats_.frames_rendered);
+  pub("avmm_guest_packets_sent", &stats_.guest_packets_sent);
+  pub("avmm_guest_packets_delivered", &stats_.guest_packets_delivered);
+  pub("avmm_clock_reads", &stats_.clock_reads);
+  pub("avmm_clock_reads_delayed", &stats_.clock_reads_delayed);
+  pub("avmm_trace_events", &stats_.trace_events);
+  obs_handles_.push_back(reg.RegisterCallbackGauge(
+      "avmm_exec_ms", ls, [this] { return static_cast<int64_t>(exec_seconds_ * 1e3); }));
+  obs_handles_.push_back(reg.RegisterCallbackGauge(
+      "avmm_record_ms", ls, [this] { return static_cast<int64_t>(record_seconds_ * 1e3); }));
 }
 
 Avmm::~Avmm() = default;

@@ -170,6 +170,12 @@ class Avmm : public DeviceBackend {
   uint64_t vmware_equiv_bytes_ = 0;
   double exec_seconds_ = 0;
   double record_seconds_ = 0;
+
+  // Publishes stats_ and the Figure-6 cost split into the obs registry
+  // as callback gauges; stats_ stays the compatibility view. Last so
+  // the callbacks unregister first on destruction.
+  void RegisterObsMetrics();
+  std::vector<obs::Registry::CallbackHandle> obs_handles_;
 };
 
 }  // namespace avm

@@ -18,6 +18,38 @@ Transport::Transport(NodeId id, const RunConfig* cfg, TamperEvidentLog* log, con
   if (cfg_->BatchedSigning() && cfg_->sign_mode == SignMode::kAsync && signer_ != nullptr) {
     sign_pipeline_ = std::make_unique<AsyncSignPipeline>(id_, signer_);
   }
+  RegisterObsMetrics();
+}
+
+void Transport::RegisterObsMetrics() {
+  auto& reg = obs::Registry::Global();
+  const obs::Labels ls{{"node", std::string(id_)}};
+  auto pub = [&](const char* name, const uint64_t* field) {
+    obs_handles_.push_back(
+        reg.RegisterCallbackGauge(name, ls, [field] { return static_cast<int64_t>(*field); }));
+  };
+  pub("transport_packets_sent", &stats_.packets_sent);
+  pub("transport_packets_received", &stats_.packets_received);
+  pub("transport_acks_sent", &stats_.acks_sent);
+  pub("transport_acks_received", &stats_.acks_received);
+  pub("transport_retransmits", &stats_.retransmits);
+  pub("transport_duplicates", &stats_.duplicates);
+  pub("transport_verify_failures", &stats_.verify_failures);
+  pub("transport_dropped_suspended", &stats_.dropped_suspended);
+  pub("transport_batch_commits_signed", &stats_.batch_commits_signed);
+  pub("transport_peer_commits_verified", &stats_.peer_commits_verified);
+  pub("transport_frames_deferred", &stats_.frames_deferred);
+  pub("transport_durable_deferred_frames", &stats_.durable_deferred_frames);
+  pub("transport_durable_deferred_commits", &stats_.durable_deferred_commits);
+  pub("transport_durable_forced_flushes", &stats_.durable_forced_flushes);
+  pub("transport_max_released_auth_seq", &stats_.max_released_auth_seq);
+  pub("transport_durable_gate_violations", &stats_.durable_gate_violations);
+  obs_handles_.push_back(reg.RegisterCallbackGauge("transport_crypto_ms", ls, [this] {
+    return static_cast<int64_t>(crypto_seconds_ * 1e3);
+  }));
+  obs_handles_.push_back(reg.RegisterCallbackGauge("transport_logging_ms", ls, [this] {
+    return static_cast<int64_t>(logging_seconds_ * 1e3);
+  }));
 }
 
 void Transport::Violation(const std::string& what) {

@@ -40,6 +40,7 @@
 #include "src/avmm/config.h"
 #include "src/avmm/message.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 #include "src/tel/batch.h"
 #include "src/tel/log.h"
 #include "src/tel/verifier.h"
@@ -243,6 +244,12 @@ class Transport : public NetworkDelegate {
   std::vector<std::string> violations_;
   double crypto_seconds_ = 0;
   double logging_seconds_ = 0;
+
+  // Publishes stats_ into the obs registry as callback gauges (the
+  // struct stays the per-instance compatibility view). Declared last so
+  // the callbacks unregister before anything they read is destroyed.
+  void RegisterObsMetrics();
+  std::vector<obs::Registry::CallbackHandle> obs_handles_;
 };
 
 }  // namespace avm

@@ -7,7 +7,24 @@ namespace avm {
 
 void SimNetwork::AttachHost(const NodeId& id, NetworkDelegate* delegate) {
   hosts_[id] = delegate;
-  stats_.try_emplace(id);
+  auto [it, inserted] = stats_.try_emplace(id);
+  if (inserted) {
+    // §6.7 traffic accounting, published once per node (re-attach after
+    // DetachHost reuses the same TrafficStats and gauges).
+    auto& reg = obs::Registry::Global();
+    const obs::Labels ls{{"node", std::string(id)}};
+    TrafficStats* s = &it->second;
+    auto& handles = obs_handles_[id];
+    auto pub = [&](const char* name, const uint64_t* field) {
+      handles.push_back(
+          reg.RegisterCallbackGauge(name, ls, [field] { return static_cast<int64_t>(*field); }));
+    };
+    pub("net_frames_sent", &s->frames_sent);
+    pub("net_bytes_sent", &s->bytes_sent);
+    pub("net_frames_received", &s->frames_received);
+    pub("net_bytes_received", &s->bytes_received);
+    pub("net_frames_dropped", &s->frames_dropped);
+  }
 }
 
 void SimNetwork::DetachHost(const NodeId& id) {

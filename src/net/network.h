@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/crypto/keys.h"
+#include "src/obs/metrics.h"
 #include "src/util/bytes.h"
 #include "src/util/clock.h"
 #include "src/util/prng.h"
@@ -86,7 +87,12 @@ class SimNetwork {
   static std::pair<NodeId, NodeId> Key(const NodeId& a, const NodeId& b);
 
   std::map<NodeId, NetworkDelegate*> hosts_;
+  // std::map values have stable addresses, so the per-node obs callback
+  // gauges registered at AttachHost may point into this map. Stats
+  // survive DetachHost (tests read them afterwards); the handles
+  // unregister when the network is destroyed.
   std::map<NodeId, TrafficStats> stats_;
+  std::map<NodeId, std::vector<obs::Registry::CallbackHandle>> obs_handles_;
   std::map<std::pair<NodeId, NodeId>, SimTime> link_latency_;
   std::map<std::pair<NodeId, NodeId>, bool> partitioned_;
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> queue_;

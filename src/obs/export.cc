@@ -1,0 +1,268 @@
+#include "src/obs/export.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/obs/trace.h"
+
+namespace avm {
+namespace obs {
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendLabelsJson(std::string* out, const Labels& labels) {
+  *out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      *out += ',';
+    }
+    first = false;
+    *out += '"';
+    AppendJsonEscaped(out, k);
+    *out += "\":\"";
+    AppendJsonEscaped(out, v);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+// {node="server",type="full"} — empty string for no labels. `extra` is
+// appended last (used for the histogram "le" label).
+std::string PromLabels(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += SanitizeMetricName(k);
+    out += "=\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) {
+      out += ',';
+    }
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void FillError(std::string* error, const std::string& path, const char* op) {
+  if (error != nullptr) {
+    *error = std::string(op) + " " + path + ": " + std::strerror(errno);
+  }
+}
+
+}  // namespace
+
+std::string MetricsJson(const MetricsSnapshot& snap) {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricRow& row : snap.rows) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, row.name);
+    out += "\",\"labels\":";
+    AppendLabelsJson(&out, row.labels);
+    out += ",\"type\":\"";
+    out += KindName(row.kind);
+    out += '"';
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":" + std::to_string(row.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + std::to_string(row.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\"count\":" + std::to_string(row.hist.count);
+        out += ",\"sum\":" + std::to_string(row.hist.sum);
+        out += ",\"buckets\":[";
+        bool bfirst = true;
+        for (size_t i = 0; i < Histogram::kBuckets; i++) {
+          if (row.hist.buckets[i] == 0) {
+            continue;  // Sparse: a 40-bucket histogram is mostly zeros.
+          }
+          if (!bfirst) {
+            out += ',';
+          }
+          bfirst = false;
+          out += '[' + std::to_string(Histogram::BucketUpperBound(i)) + ',' +
+                 std::to_string(row.hist.buckets[i]) + ']';
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snap, const std::string& prefix) {
+  std::string out;
+  std::string last_typed;  // Emit # TYPE once per metric name.
+  for (const MetricRow& row : snap.rows) {
+    const std::string name = prefix + SanitizeMetricName(row.name);
+    if (name != last_typed) {
+      out += "# TYPE " + name + " " + KindName(row.kind) + "\n";
+      last_typed = name;
+    }
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        out += name + PromLabels(row.labels) + " " + std::to_string(row.counter_value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += name + PromLabels(row.labels) + " " + std::to_string(row.gauge_value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        uint64_t cum = 0;
+        for (size_t i = 0; i < Histogram::kBuckets; i++) {
+          if (row.hist.buckets[i] == 0 && i + 1 < Histogram::kBuckets) {
+            continue;  // Skip empty interior buckets; +Inf always emitted.
+          }
+          cum += row.hist.buckets[i];
+          const std::string le = (i + 1 == Histogram::kBuckets)
+                                     ? "+Inf"
+                                     : std::to_string(Histogram::BucketUpperBound(i));
+          out += name + "_bucket" + PromLabels(row.labels, "le=\"" + le + "\"") + " " +
+                 std::to_string(cum) + "\n";
+        }
+        out += name + "_sum" + PromLabels(row.labels) + " " + std::to_string(row.hist.sum) + "\n";
+        out += name + "_count" + PromLabels(row.labels) + " " + std::to_string(row.hist.count) +
+               "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string SnapshotJson() {
+  std::string out = "{\"enabled\":";
+  out += Enabled() ? "true" : "false";
+  out += ",\"metrics\":";
+  out += MetricsJson(Registry::Global().Snapshot());
+  out += ",\"phases\":[";
+  bool first = true;
+  for (const auto& [phase, totals] : PhaseAggregates()) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"phase\":\"";
+    AppendJsonEscaped(&out, phase);
+    out += "\",\"count\":" + std::to_string(totals.count);
+    out += ",\"total_us\":" + std::to_string(totals.total_us) + "}";
+  }
+  out += "],\"trace\":{\"events\":" + std::to_string(TraceEventCount());
+  out += ",\"dropped\":" + std::to_string(TraceEventsDropped()) + "}}";
+  return out;
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& content, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    FillError(error, tmp, "fopen");
+    return false;
+  }
+  const size_t written = content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  if (written != content.size()) {
+    FillError(error, tmp, "fwrite");
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::fclose(f) != 0) {
+    FillError(error, tmp, "fclose");
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    FillError(error, path, "rename");
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool WriteSnapshotJson(const std::string& path, std::string* error) {
+  return WriteFileAtomic(path, SnapshotJson(), error);
+}
+
+bool WritePrometheus(const std::string& path, std::string* error) {
+  return WriteFileAtomic(path, PrometheusText(Registry::Global().Snapshot()), error);
+}
+
+bool WriteChromeTrace(const std::string& path, std::string* error) {
+  return WriteFileAtomic(path, ChromeTraceJson(), error);
+}
+
+}  // namespace obs
+}  // namespace avm

@@ -1,0 +1,44 @@
+// Telemetry exporters: JSON snapshot and Prometheus text exposition
+// over a Registry snapshot, plus atomic whole-file writes (tmp +
+// rename) shared with BenchJson so a crashed process never leaves a
+// truncated artifact for bench-smoke to parse.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace avm {
+namespace obs {
+
+// Deterministic JSON for one metrics snapshot (rows arrive sorted, all
+// values integral, histogram buckets emitted sparsely as [le, count]
+// pairs) — stable enough to pin in golden tests.
+std::string MetricsJson(const MetricsSnapshot& snap);
+
+// Prometheus text exposition format v0.0.4. Metric names are prefixed
+// ("avm_") and sanitized to [a-zA-Z0-9_:]; histograms emit cumulative
+// _bucket{le=...} series plus _sum and _count.
+std::string PrometheusText(const MetricsSnapshot& snap, const std::string& prefix = "avm_");
+
+// Full process snapshot from the global registry: metrics plus the
+// span phase aggregates and trace-buffer occupancy from src/obs/trace.h.
+std::string SnapshotJson();
+
+// Writes `content` to `path` via "<path>.tmp" + rename. Returns false
+// (and fills *error with a path + errno description, if non-null) on
+// any open/write/flush/rename failure; the destination is untouched on
+// failure.
+bool WriteFileAtomic(const std::string& path, const std::string& content,
+                     std::string* error = nullptr);
+
+// Convenience file writers over the global registry/trace buffer.
+bool WriteSnapshotJson(const std::string& path, std::string* error = nullptr);
+bool WritePrometheus(const std::string& path, std::string* error = nullptr);
+bool WriteChromeTrace(const std::string& path, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace avm
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -1,0 +1,47 @@
+#include "src/obs/sampler.h"
+
+#include <chrono>
+
+#include "src/obs/trace.h"
+
+namespace avm {
+namespace obs {
+
+GaugeSampler::GaugeSampler(Registry* registry, uint32_t period_ms, std::string suffix)
+    : registry_(registry), period_ms_(period_ms), suffix_(std::move(suffix)) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void GaugeSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void GaugeSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(period_ms_), [this] { return stop_; });
+    if (stop_) {
+      return;
+    }
+    if (!Enabled()) {
+      continue;
+    }
+    lock.unlock();  // Sample outside mu_: callbacks may take their own locks.
+    registry_->SampleGauges(suffix_);
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace avm

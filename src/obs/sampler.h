@@ -1,0 +1,54 @@
+// Periodic gauge sampler: a background thread that, while telemetry is
+// enabled, records every gauge (including the callback gauges the
+// Stats compatibility views publish through) into sibling
+// "<name>:sampled" histograms. Instantaneous values — signer queue
+// depth, durability-watermark lag, fleet online lag — become
+// distributions over the run, which is what the ROADMAP's fleet
+// scale-out item needs from §6.11-style lag tracking.
+#ifndef SRC_OBS_SAMPLER_H_
+#define SRC_OBS_SAMPLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace avm {
+namespace obs {
+
+class GaugeSampler {
+ public:
+  // Samples `registry` every `period_ms` while obs::Enabled(). Starts
+  // immediately; Stop() (or destruction) joins the thread.
+  explicit GaugeSampler(Registry* registry, uint32_t period_ms = 100,
+                        std::string suffix = ":sampled");
+  GaugeSampler(const GaugeSampler&) = delete;
+  GaugeSampler& operator=(const GaugeSampler&) = delete;
+  ~GaugeSampler() { Stop(); }
+
+  void Stop();
+
+  // Completed sampling ticks (skipped ticks while disabled don't count).
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  Registry* registry_;
+  const uint32_t period_ms_;
+  const std::string suffix_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<uint64_t> ticks_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace avm
+
+#endif  // SRC_OBS_SAMPLER_H_

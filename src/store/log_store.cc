@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "src/crypto/sha256.h"
+#include "src/obs/trace.h"
 #include "src/store/archive.h"
 #include "src/util/serde.h"
 
@@ -165,6 +166,7 @@ std::unique_ptr<LogStore> LogStore::Open(const std::string& dir, const NodeId& n
   // Constructor is private; no make_unique.
   std::unique_ptr<LogStore> store(new LogStore(dir, node, std::move(opts)));
   store->Recover();
+  store->RegisterObsMetrics();
   store->StartBackground();
   return store;
 }
@@ -198,6 +200,29 @@ LogStore::~LogStore() {
     DrainAuxLocked(lk);
   } catch (...) {
   }
+}
+
+void LogStore::RegisterObsMetrics() {
+  auto& reg = obs::Registry::Global();
+  const obs::Labels labels{{"node", std::string(node_)}};
+  obs_.appends = reg.GetCounter("store_appends_total", labels);
+  obs_.group_commits = reg.GetCounter("store_group_commits_total", labels);
+  obs_.seals = reg.GetCounter("store_seals_total", labels);
+  obs_.archives = reg.GetCounter("store_archives_total", labels);
+  // §6.11's lag, at the storage layer: how far acknowledged appends run
+  // ahead of the durability watermark. Lock-free reads, so the
+  // callbacks are safe from the snapshot/sampler thread at any time.
+  obs_handles_.push_back(reg.RegisterCallbackGauge(
+      "store_last_seq", labels,
+      [this] { return static_cast<int64_t>(last_seq_.load(std::memory_order_acquire)); }));
+  obs_handles_.push_back(reg.RegisterCallbackGauge(
+      "store_durable_seq", labels,
+      [this] { return static_cast<int64_t>(durable_seq_.load(std::memory_order_acquire)); }));
+  obs_handles_.push_back(reg.RegisterCallbackGauge("store_watermark_lag_entries", labels, [this] {
+    const uint64_t last = last_seq_.load(std::memory_order_acquire);
+    const uint64_t durable = durable_seq_.load(std::memory_order_acquire);
+    return static_cast<int64_t>(last - std::min(durable, last));
+  }));
 }
 
 void LogStore::Kill(const char* point) const {
@@ -485,6 +510,7 @@ void LogStore::Append(const LogEntry& e) {
     }
     active_stream_bytes_ += record.size();
     active_entry_count_++;
+    obs_.appends->Inc();
     last_hash_ = e.hash;
     last_seq_.store(e.seq, std::memory_order_release);
     segments_.back().last_seq = e.seq;
@@ -523,6 +549,8 @@ bool LogStore::FsyncActiveOffLock(std::unique_lock<std::mutex>& lk) {
 
 void LogStore::GroupCommitLocked(std::unique_lock<std::mutex>& lk) {
   if (active_file_ != nullptr && !batch_.Empty()) {
+    obs::Span span(obs::kPhaseStoreFlushWait, "store");
+    obs_.group_commits->Inc();
     Kill("pre-flush");
     if (std::fflush(active_file_) != 0) {
       write_failed_ = true;
@@ -541,9 +569,11 @@ void LogStore::GroupCommitLocked(std::unique_lock<std::mutex>& lk) {
 }
 
 void LogStore::Flush() {
+  obs::Span span(obs::kPhaseStoreFlushWait, "store");
   std::unique_lock<std::mutex> lk(state_mu_);
   CheckWritableLocked();
   if (active_file_ != nullptr) {
+    obs_.group_commits->Inc();
     // A flush that fails has NOT made the acknowledged entries durable;
     // callers must hear about it.
     if (std::fflush(active_file_) != 0) {
@@ -670,6 +700,8 @@ void LogStore::PromoteToSealed(size_t seg_index) {
   }
   // The rolled file is immutable; read and compress it off the lock so
   // the recording thread never waits on LZSS.
+  obs::Span span(obs::kPhaseStoreSeal, "store");
+  obs_.seals->Inc();
   Bytes file = ReadFileBytes(log_path);
   if (file.size() != kSegmentHeaderSize + stream_bytes) {
     throw StoreError("on-disk size of " + log_path + " disagrees with the appended records");
@@ -736,6 +768,8 @@ void LogStore::MaybeArchive() {
       first_seq = segments_[idx].first_seq;
       seg_last_seq = segments_[idx].last_seq;
     }
+    obs::Span span(obs::kPhaseStoreArchive, "store");
+    obs_.archives->Inc();
     Bytes sealed = ReadFileBytes(seal_path);
     // Sequence numbers are dense from 1, so the cumulative entry count
     // through this segment is its last seq.

@@ -65,6 +65,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/store/group_commit.h"
 #include "src/store/segment_file.h"
 #include "src/tel/log.h"
@@ -218,6 +219,7 @@ class LogStore final : public LogSink, public SegmentSource {
   LogStore(std::string dir, NodeId node, LogStoreOptions opts);
   void Recover();
   void StartBackground();
+  void RegisterObsMetrics();
 
   void Kill(const char* point) const;
   void CheckWritableLocked() const;
@@ -287,6 +289,20 @@ class LogStore final : public LogSink, public SegmentSource {
   std::unique_ptr<ThreadPool> pool_;  // Sealer/archiver workers.
   std::thread flusher_;
   std::condition_variable flusher_cv_;
+
+  // Telemetry (src/obs): always-on counters for the write path plus
+  // watermark callback gauges labeled {node}. Counter pointers live in
+  // the process-wide registry; the handles must be declared last so
+  // the callbacks (which read last_seq_/durable_seq_) unregister before
+  // any other member is destroyed.
+  struct ObsMetrics {
+    obs::Counter* appends = nullptr;
+    obs::Counter* group_commits = nullptr;
+    obs::Counter* seals = nullptr;
+    obs::Counter* archives = nullptr;
+  };
+  ObsMetrics obs_;
+  std::vector<obs::Registry::CallbackHandle> obs_handles_;
 };
 
 // Streams entries of one [from, to] range, loading one segment's record
