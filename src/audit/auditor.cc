@@ -317,8 +317,35 @@ AuditOutcome UnreadableSourceOutcome(const std::runtime_error& e) {
 
 }  // namespace
 
+std::optional<AuditOutcome> DetectLogRewind(const Avmm& target, const SegmentSource& source,
+                                            std::span<const Authenticator> auths,
+                                            const KeyRegistry& registry, size_t mem_size) {
+  const uint64_t served_last = source.LastSeq();
+  for (const Authenticator& a : auths) {
+    if (a.node == source.node() && a.seq > served_last && a.VerifySignature(registry)) {
+      AuditOutcome out;
+      out.syntactic =
+          CheckResult::Fail("log rewound: authenticator commits seq " + std::to_string(a.seq) +
+                                " but the served log ends at " + std::to_string(served_last),
+                            a.seq);
+      Evidence ev;
+      ev.kind = EvidenceKind::kProtocolViolation;
+      ev.accused = target.id();
+      ev.claim = out.syntactic.reason;
+      ev.auths.push_back(a.Serialize());
+      ev.mem_size = mem_size;
+      out.evidence = std::move(ev);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
 AuditOutcome Auditor::AuditFull(const Avmm& target, const SegmentSource& source,
                                 ByteView reference_image, std::span<const Authenticator> auths) {
+  if (auto rewound = DetectLogRewind(target, source, auths, *registry_, cfg_.mem_size)) {
+    return *std::move(rewound);
+  }
   ThreadPool* pool = EnsurePool();
   if (pool != nullptr && cfg_.pipelined && source.LastSeq() >= 1) {
     // Streaming pipeline: the syntactic check of chunk i+1 overlaps the

@@ -80,6 +80,19 @@ struct AuditOutcome {
   std::string Describe() const;
 };
 
+// Full-audit precheck shared by Auditor and CheckpointedAuditor: a
+// signature-verified authenticator past the end of the served log is
+// evidence of a rewind (§4.3) — the machine signed a commitment at
+// seq X but cannot produce a log containing it. Honest crash recovery
+// never looks like this (no authenticator is released above the
+// durability watermark), and spot checks audit a window by design, so
+// the check applies to full audits only. Unverified signatures are
+// skipped: a forged authenticator must not frame the auditee. Returns
+// the failed outcome with kProtocolViolation evidence, or nullopt.
+std::optional<AuditOutcome> DetectLogRewind(const Avmm& target, const SegmentSource& source,
+                                            std::span<const Authenticator> auths,
+                                            const KeyRegistry& registry, size_t mem_size);
+
 // Positions (seq) and metadata of the kSnapshot entries in a log.
 struct SnapshotIndexEntry {
   uint64_t seq;

@@ -255,6 +255,9 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
     out.ok = false;
     return out;
   }
+  if (auto rewound = DetectLogRewind(target, source, auths, *registry_, cfg_.mem_size)) {
+    return *std::move(rewound);
+  }
   ThreadPool* pool = EnsurePool();
   const size_t chunk_entries = cfg_.pipeline_chunk_entries > 0 ? cfg_.pipeline_chunk_entries : 2048;
   const uint64_t cadence = checkpoint_dir.empty() ? 0 : ckpt_.every_entries;
@@ -480,14 +483,22 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
         if (ckpt_.signer != nullptr) {
           ncp.signature = ckpt_.signer->SignDigest(ncp.PayloadDigest());
         }
-        // Capture is a pure optimization: a full disk or an unwritable
-        // directory must cost a future resume, never this verdict.
+        // Plain-file capture is a pure optimization: a full disk or an
+        // unwritable directory must cost a future resume, never this
+        // verdict. A failure from the auditee's own store, though, is a
+        // store-health signal (poisoned writer, failed fsync) that the
+        // fleet's retry/recovery path must see — rethrow it so the job
+        // errors, the owner can reopen the store, and the audit reruns
+        // instead of silently losing its checkpoint cadence.
         try {
           obs::Span save_span(obs::kPhaseAuditCheckpointIo, "audit");
           SaveAuditCheckpoint(checkpoint_dir, ncp, ckpt_.sync, ckpt_.aux_store);
           last_captured = to;
           ri.checkpoints_written++;
         } catch (const std::runtime_error&) {
+          if (ckpt_.aux_store != nullptr) {
+            throw;
+          }
         }
       }
     }

@@ -1,11 +1,15 @@
 #include "src/audit/fleet.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "src/avmm/recorder.h"
+#include "src/chaos/fault_plan.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
 #include "src/util/threadpool.h"
@@ -59,6 +63,14 @@ void FleetAuditService::RegisterObsMetrics() {
   obs_.entries_skipped = reg.GetCounter("fleet_entries_skipped", ls);
   obs_.faults_detected = reg.GetCounter("fleet_faults_detected", ls);
   obs_.targets_rewound = reg.GetCounter("fleet_targets_rewound", ls);
+  obs_.jobs_failed = reg.GetCounter("fleet_jobs_failed", ls);
+  obs_.job_retries = reg.GetCounter("fleet_job_retries", ls);
+  obs_.quarantines = reg.GetCounter("fleet_quarantines", ls);
+  obs_.quarantine_releases = reg.GetCounter("fleet_quarantine_releases", ls);
+  obs_.store_recoveries = reg.GetCounter("fleet_store_recoveries", ls);
+  obs_.degraded_results = reg.GetCounter("fleet_degraded_results", ls);
+  obs_.retry_backoff_us = reg.GetHistogram("fleet_retry_backoff_us", ls);
+  obs_.quarantined_auditees = reg.GetGauge("fleet_quarantined_auditees", ls);
   for (int t = 0; t < 3; t++) {
     const obs::Labels lt{{"svc", svc_label_},
                          {"type", FleetJobTypeName(static_cast<FleetJobType>(t))}};
@@ -159,6 +171,54 @@ void FleetAuditService::Resume() {
   work_cv_.notify_all();
 }
 
+void FleetAuditService::Kick() {
+  work_cv_.notify_all();
+}
+
+void FleetAuditService::Rehabilitate(const NodeId& node) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = auditees_.find(node);
+    if (it == auditees_.end()) {
+      throw std::out_of_range("FleetAuditService: unknown auditee " + node);
+    }
+    Auditee& a = it->second;
+    if (a.quarantined) {
+      a.quarantined = false;
+      obs_.quarantine_releases->Inc();
+      obs_.quarantined_auditees->Add(-1);
+    }
+    a.consecutive_errors = 0;
+    a.quarantine_until_us = 0;
+    a.last_error.clear();
+  }
+  work_cv_.notify_all();
+}
+
+uint64_t FleetAuditService::NowUs() const {
+  if (cfg_.clock) {
+    return cfg_.clock();
+  }
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+uint64_t FleetAuditService::NextDueLocked() const {
+  uint64_t due = std::numeric_limits<uint64_t>::max();
+  for (const auto& [node, a] : auditees_) {
+    if (a.running || a.queue.empty() || a.quarantined) {
+      // Quarantined auditees answer immediately (degraded); they never
+      // make a worker wait on time.
+      continue;
+    }
+    for (const Job& q : a.queue) {
+      due = std::min(due, q.not_before_us);
+    }
+  }
+  return due;
+}
+
 void FleetAuditService::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
@@ -201,6 +261,16 @@ FleetStats FleetAuditService::stats() const {
   s.entries_skipped = obs_.entries_skipped->Value();
   s.faults_detected = obs_.faults_detected->Value();
   s.targets_rewound = obs_.targets_rewound->Value();
+  s.jobs_failed = obs_.jobs_failed->Value();
+  s.job_retries = obs_.job_retries->Value();
+  s.quarantines = obs_.quarantines->Value();
+  s.quarantine_releases = obs_.quarantine_releases->Value();
+  s.store_recoveries = obs_.store_recoveries->Value();
+  s.degraded_results = obs_.degraded_results->Value();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    s.last_error = last_error_;
+  }
   return s;
 }
 
@@ -224,15 +294,18 @@ bool FleetAuditService::ExportChromeTrace(const std::string& path, std::string* 
   return obs::WriteChromeTrace(path, error);
 }
 
-bool FleetAuditService::PickJob(Auditee** auditee, Job* job) {
+bool FleetAuditService::PickJob(Auditee** auditee, Job* job, bool* degraded,
+                                std::string* degraded_error) {
   if (paused_) {
     return false;
   }
+  const uint64_t now = NowUs();
   // Fairness policy: consider only auditees with no job in flight; for
   // each, its best queued job is the lowest (priority, submit_index).
   // Across auditees, pick the best priority; break ties by
   // least-recently-served, then by submission order (deterministic for
-  // the tests regardless of worker count).
+  // the tests regardless of worker count). Jobs still waiting out a
+  // retry backoff are invisible to this pass.
   Auditee* best_a = nullptr;
   const Job* best_j = nullptr;
   size_t best_pos = 0;
@@ -240,15 +313,28 @@ bool FleetAuditService::PickJob(Auditee** auditee, Job* job) {
     if (a.running || a.queue.empty()) {
       continue;
     }
+    if (a.quarantined && cfg_.retry.quarantine_release_us > 0 && a.quarantine_until_us <= now) {
+      // Timed quarantine expired: the auditee gets a fresh start.
+      a.quarantined = false;
+      a.consecutive_errors = 0;
+      obs_.quarantine_releases->Inc();
+      obs_.quarantined_auditees->Add(-1);
+    }
     const Job* cand = nullptr;
     size_t cand_pos = 0;
     for (size_t i = 0; i < a.queue.size(); i++) {
       const Job& q = a.queue[i];
+      if (!a.quarantined && q.not_before_us > now) {
+        continue;  // Quarantined jobs answer degraded immediately.
+      }
       if (cand == nullptr || q.priority < cand->priority ||
           (q.priority == cand->priority && q.submit_index < cand->submit_index)) {
         cand = &q;
         cand_pos = i;
       }
+    }
+    if (cand == nullptr) {
+      continue;
     }
     if (best_j == nullptr || cand->priority < best_j->priority ||
         (cand->priority == best_j->priority &&
@@ -268,6 +354,12 @@ bool FleetAuditService::PickJob(Auditee** auditee, Job* job) {
   best_a->running = true;
   best_a->last_served = ++serve_counter_;
   *auditee = best_a;
+  *degraded = best_a->quarantined;
+  if (best_a->quarantined) {
+    *degraded_error = "auditee quarantined after " +
+                      std::to_string(best_a->consecutive_errors) +
+                      " consecutive job errors; last: " + best_a->last_error;
+  }
   return true;
 }
 
@@ -333,11 +425,26 @@ void FleetAuditService::WorkerLoop() {
   for (;;) {
     Auditee* auditee = nullptr;
     Job job;
+    bool degraded = false;
+    std::string degraded_error;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stopping_ || PickJob(&auditee, &job); });
-      if (auditee == nullptr) {
-        return;  // stopping_ and nothing runnable for this worker.
+      for (;;) {
+        if (stopping_) {
+          return;
+        }
+        if (PickJob(&auditee, &job, &degraded, &degraded_error)) {
+          break;
+        }
+        const uint64_t due = NextDueLocked();
+        if (cfg_.clock || due == std::numeric_limits<uint64_t>::max()) {
+          // Nothing waiting on time, or a virtual clock whose advance
+          // this thread cannot observe: sleep until Submit()/Kick().
+          work_cv_.wait(lock);
+        } else {
+          const uint64_t now = NowUs();
+          work_cv_.wait_for(lock, std::chrono::microseconds(due > now ? due - now : 1));
+        }
       }
     }
     if (job.submit_us != 0) {
@@ -346,26 +453,153 @@ void FleetAuditService::WorkerLoop() {
     }
 
     FleetJobResult result;
-    try {
-      result = RunJob(*auditee, job);
-    } catch (const std::exception& e) {
-      // A job must never take the service (or Drain()) down with it:
-      // an unwritable store, a hostile log that defeats the audit's own
-      // exception handling — the job fails, the worker survives.
-      result.job_id = job.id;
-      result.node = auditee->reg.node;
-      result.type = job.type;
-      result.priority = job.priority;
-      result.outcome.ok = false;
-      result.outcome.syntactic =
-          CheckResult::Fail(std::string("audit job aborted: ") + e.what());
+    bool failed = false;
+    std::string error;
+    if (degraded) {
+      // A quarantined auditee still gets an answer for every submitted
+      // job — an explicit degraded failure, never a silent pass and
+      // never a hang.
+      failed = true;
+      error = degraded_error;
+    } else {
+      try {
+        // The attempt timer spans the injected stall too: a slow-peer
+        // stall is exactly what a per-job timeout exists to catch.
+        WallTimer attempt_timer;
+        // Injected faults for this attempt (chaos plan and/or test hook).
+        bool kill = false;
+        uint64_t stall_us = 0;
+        std::string what;
+        if (cfg_.fault_hook) {
+          FleetJobFault f = cfg_.fault_hook(auditee->reg.node, job.type, job.attempt);
+          stall_us += f.stall_us;
+          if (f.fail) {
+            kill = true;
+            what = f.what;
+          }
+        }
+        if (cfg_.chaos != nullptr) {
+          chaos::JobFault f =
+              cfg_.chaos->OnAuditJob(auditee->reg.node, FleetJobTypeName(job.type), job.attempt);
+          stall_us += f.stall_us;
+          if (f.fail && !kill) {
+            kill = true;
+            what = f.what;
+          }
+        }
+        if (stall_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+        }
+        if (kill) {
+          throw std::runtime_error(what.empty() ? "injected worker death" : what);
+        }
+        result = RunJob(*auditee, job);
+        const double attempt_us = attempt_timer.ElapsedSeconds() * 1e6;
+        if (cfg_.retry.job_timeout_us > 0 &&
+            attempt_us > static_cast<double>(cfg_.retry.job_timeout_us)) {
+          failed = true;
+          error = "job exceeded timeout of " + std::to_string(cfg_.retry.job_timeout_us) +
+                  "us (ran " + std::to_string(static_cast<uint64_t>(attempt_us)) + "us)";
+        }
+      } catch (const std::exception& e) {
+        // A job must never take the service (or Drain()) down with it:
+        // an unwritable store, a hostile log that defeats the audit's
+        // own exception handling — the job fails, the worker survives.
+        failed = true;
+        error = e.what();
+      } catch (...) {
+        failed = true;
+        error = "unknown non-standard exception";
+      }
     }
+
+    const unsigned max_attempts = std::max(1u, cfg_.retry.max_attempts);
+    if (failed && !degraded && job.attempt < max_attempts) {
+      // Give the owner a chance to repair the auditee before the retry;
+      // reopening a poisoned store does real IO, so call outside mu_
+      // (the registration cannot change while the auditee is running).
+      const SegmentSource* new_source = nullptr;
+      LogStore* new_store = nullptr;
+      if (auditee->reg.recover_source) {
+        RecoveredSource rs = auditee->reg.recover_source();
+        new_source = rs.source;
+        new_store = rs.checkpoint_store;
+      }
+      double raw = static_cast<double>(cfg_.retry.backoff_initial_us) *
+                   std::pow(cfg_.retry.backoff_multiplier, static_cast<double>(job.attempt - 1));
+      uint64_t backoff = cfg_.retry.backoff_max_us;
+      if (raw < static_cast<double>(cfg_.retry.backoff_max_us)) {
+        backoff = static_cast<uint64_t>(raw);
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (new_source != nullptr) {
+          auditee->reg.source = new_source;
+          if (new_store != nullptr) {
+            auditee->reg.checkpoint_store = new_store;
+          }
+          auditee->online.reset();  // The replay session pinned the old source.
+          obs_.store_recoveries->Inc();
+        }
+        auditee->running = false;
+        Job retry = job;
+        retry.attempt++;
+        retry.backoffs_us.push_back(backoff);
+        retry.not_before_us = NowUs() + backoff;
+        auditee->queue.push_back(std::move(retry));
+        obs_.job_retries->Inc();
+        obs_.retry_backoff_us->Record(backoff);
+        last_error_ = error;
+      }
+      // outstanding_ is unchanged: the job is still in flight.
+      work_cv_.notify_all();
+      continue;
+    }
+
+    if (failed) {
+      FleetJobResult r;
+      r.job_id = job.id;
+      r.node = auditee->reg.node;
+      r.type = job.type;
+      r.priority = job.priority;
+      r.job_error = true;
+      r.quarantined = degraded;
+      r.error = error;
+      r.outcome.ok = false;
+      r.outcome.syntactic = CheckResult::Fail("audit job aborted: " + error);
+      result = std::move(r);
+    }
+    result.attempts = job.attempt;
+    result.backoffs_us = job.backoffs_us;
 
     {
       std::unique_lock<std::mutex> lock(mu_);
       auditee->running = false;
       result.completion_index = completion_counter_++;
       obs_.jobs_completed->Inc();
+      if (failed) {
+        obs_.jobs_failed->Inc();
+        last_error_ = error;
+        if (degraded) {
+          obs_.degraded_results->Inc();
+        } else {
+          auditee->consecutive_errors++;
+          auditee->last_error = error;
+          if (cfg_.retry.quarantine_after > 0 && !auditee->quarantined &&
+              auditee->consecutive_errors >= cfg_.retry.quarantine_after) {
+            auditee->quarantined = true;
+            auditee->quarantine_until_us =
+                cfg_.retry.quarantine_release_us > 0
+                    ? NowUs() + cfg_.retry.quarantine_release_us
+                    : std::numeric_limits<uint64_t>::max();
+            obs_.quarantines->Inc();
+            obs_.quarantined_auditees->Add(1);
+          }
+        }
+      } else {
+        auditee->consecutive_errors = 0;
+        auditee->last_error.clear();
+      }
       switch (result.type) {
         case FleetJobType::kFullAudit:
           obs_.full_audits->Inc();

@@ -34,6 +34,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,10 +50,51 @@
 
 namespace avm {
 
+namespace chaos {
+class FaultInjector;  // src/chaos/fault_plan.h
+}
+
 enum class FleetJobType : uint8_t { kFullAudit = 0, kSpotCheck = 1, kOnlinePoll = 2 };
 enum class FleetPriority : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
 
 const char* FleetJobTypeName(FleetJobType t);
+
+// Injected by a test or chaos harness through
+// FleetAuditConfig::fault_hook: what should happen to this job attempt
+// before the audit itself runs.
+struct FleetJobFault {
+  bool fail = false;      // Kill the attempt (worker survives, job retries).
+  uint64_t stall_us = 0;  // Slow-peer stall before the attempt runs.
+  std::string what;       // Error string when fail is set.
+};
+
+// What a Registration::recover_source callback hands back after
+// repairing a broken auditee (typically: reopen a poisoned LogStore).
+// A null source means "nothing to recover, retry against the old one".
+struct RecoveredSource {
+  const SegmentSource* source = nullptr;
+  LogStore* checkpoint_store = nullptr;  // Null keeps the old store.
+};
+
+// Self-healing policy. The defaults retry transient job errors a couple
+// of times with exponential backoff and never quarantine; a fleet that
+// wants fail-fast sets max_attempts = 1. Retries apply only to *job
+// errors* (exceptions, injected faults, timeouts) — an audit that runs
+// to completion and returns a failing verdict is evidence, not an
+// error, and is never retried.
+struct FleetRetryPolicy {
+  unsigned max_attempts = 3;            // Total attempts per job (>= 1).
+  uint64_t backoff_initial_us = 10'000; // Delay before attempt 2.
+  double backoff_multiplier = 2.0;      // Exponential growth per retry.
+  uint64_t backoff_max_us = 5'000'000;  // Backoff ceiling.
+  uint64_t job_timeout_us = 0;          // 0 = no per-job timeout. A job whose
+                                        // attempt ran longer than this counts
+                                        // as failed and retries.
+  unsigned quarantine_after = 0;        // Consecutive job errors before the
+                                        // auditee is quarantined (0 = never).
+  uint64_t quarantine_release_us = 0;   // Auto-release after this long
+                                        // (0 = only Rehabilitate() releases).
+};
 
 struct FleetAuditConfig {
   // Service worker threads (0 = one per hardware thread). Sharding
@@ -69,6 +111,19 @@ struct FleetAuditConfig {
   // Resume(). Lets a caller submit a whole batch and observe the
   // fairness policy deterministically (tests do).
   bool start_paused = false;
+  // Retry / timeout / quarantine policy (see FleetRetryPolicy).
+  FleetRetryPolicy retry;
+  // Virtual clock in microseconds for backoff and quarantine deadlines.
+  // Null = steady_clock. With a virtual clock the workers cannot sleep
+  // until a deadline, so advance the clock and Kick() to re-probe.
+  std::function<uint64_t()> clock;
+  // Chaos seam: every job attempt consults the injector's
+  // kAuditWorkerDeath / kAuditSlowPeer events. Null or an empty plan is
+  // behaviorally identical to no injector.
+  chaos::FaultInjector* chaos = nullptr;
+  // Test seam with the same contract as `chaos`, as a plain callback:
+  // (node, job type, attempt number starting at 1) -> fault.
+  std::function<FleetJobFault(const NodeId&, FleetJobType, unsigned)> fault_hook;
 };
 
 struct FleetJobResult {
@@ -89,6 +144,17 @@ struct FleetJobResult {
   double seconds = 0;
   // Global completion order (0-based): what the fairness tests assert.
   uint64_t completion_index = 0;
+
+  // Robustness fields. A job that never produced a verdict (worker
+  // exception, injected fault, timeout, quarantine) reports job_error
+  // with the reason in `error`; outcome.ok is false and the syntactic
+  // check carries the same string, so a caller that only looks at the
+  // verdict still sees an honest failure — never a silent pass.
+  bool job_error = false;
+  bool quarantined = false;  // Result produced by quarantine, not by an audit.
+  std::string error;
+  unsigned attempts = 1;               // Attempts consumed (1 = first try).
+  std::vector<uint64_t> backoffs_us;   // Backoff applied before each retry.
 };
 
 struct FleetStats {
@@ -104,6 +170,13 @@ struct FleetStats {
   uint64_t entries_skipped = 0;      // Entries behind accepted checkpoints.
   uint64_t faults_detected = 0;      // Failed audits + online divergences.
   uint64_t targets_rewound = 0;      // Online polls that saw the log shrink.
+  uint64_t jobs_failed = 0;          // Jobs that exhausted every attempt.
+  uint64_t job_retries = 0;          // Attempts re-queued after a job error.
+  uint64_t quarantines = 0;          // Auditees quarantined.
+  uint64_t quarantine_releases = 0;  // Auto-releases + Rehabilitate() calls.
+  uint64_t store_recoveries = 0;     // recover_source() swaps that took effect.
+  uint64_t degraded_results = 0;     // Results answered by quarantine status.
+  std::string last_error;            // Most recent job-error string.
 };
 
 class FleetAuditService {
@@ -123,6 +196,11 @@ class FleetAuditService {
     LogStore* checkpoint_store = nullptr;
     const KeyRegistry* registry = nullptr;  // null = the service default.
     size_t mem_size = 0;                // 0 = the service's audit.mem_size.
+    // Called (without the service lock) before a failed job retries:
+    // the owner may repair the auditee — typically reopen a poisoned
+    // LogStore — and return the replacement source/store. Returning a
+    // null source leaves the registration untouched.
+    std::function<RecoveredSource()> recover_source;
   };
 
   explicit FleetAuditService(const KeyRegistry* registry, FleetAuditConfig cfg = {});
@@ -148,6 +226,15 @@ class FleetAuditService {
   // Unpauses a service constructed with start_paused (no-op otherwise).
   void Resume();
 
+  // Wakes every worker to re-probe the queues. Needed after advancing a
+  // virtual clock (cfg.clock) past a backoff or quarantine deadline —
+  // workers cannot sleep on a clock they cannot observe advancing.
+  void Kick();
+
+  // Manually releases a quarantined auditee and clears its error
+  // streak. Throws std::out_of_range for an unknown node.
+  void Rehabilitate(const NodeId& node);
+
   // Blocks until every submitted job has completed.
   void Drain();
 
@@ -171,6 +258,9 @@ class FleetAuditService {
     uint64_t from_snapshot = 0, to_snapshot = 0;  // Spot checks.
     uint64_t submit_index = 0;  // FIFO tiebreak within one priority.
     uint64_t submit_us = 0;     // Queue-wait stamp (0 when telemetry is off).
+    unsigned attempt = 1;       // 1-based attempt number.
+    uint64_t not_before_us = 0; // Backoff deadline (NowUs clock domain).
+    std::vector<uint64_t> backoffs_us;  // Backoffs applied so far.
   };
 
   struct Auditee {
@@ -180,15 +270,28 @@ class FleetAuditService {
     uint64_t last_served = 0;  // Serve counter for round robin.
     // Persistent online-replay session (lazily created, survives polls).
     std::unique_ptr<OnlineAuditor> online;
+    // Quarantine state (see FleetRetryPolicy).
+    unsigned consecutive_errors = 0;
+    bool quarantined = false;
+    uint64_t quarantine_until_us = 0;
+    std::string last_error;
   };
 
   uint64_t Submit(const NodeId& node, Job job);
   void RegisterObsMetrics();
   void WorkerLoop();
   // Under mu_: picks (auditee, job) per the fairness policy, or returns
-  // false when nothing is runnable.
-  bool PickJob(Auditee** auditee, Job* job);
+  // false when nothing is runnable. Jobs whose backoff deadline has not
+  // passed are skipped; a quarantined auditee's job is returned with
+  // *degraded set (the caller answers it without running an audit) and
+  // the quarantine explanation in *degraded_error.
+  bool PickJob(Auditee** auditee, Job* job, bool* degraded, std::string* degraded_error);
   FleetJobResult RunJob(Auditee& auditee, const Job& job);
+  // Current time on the configured clock (cfg_.clock or steady_clock).
+  uint64_t NowUs() const;
+  // Under mu_: earliest backoff/quarantine deadline among queued jobs,
+  // or UINT64_MAX when nothing is waiting on time.
+  uint64_t NextDueLocked() const;
 
   const KeyRegistry* registry_;
   FleetAuditConfig cfg_;
@@ -225,12 +328,22 @@ class FleetAuditService {
     obs::Counter* entries_skipped = nullptr;
     obs::Counter* faults_detected = nullptr;
     obs::Counter* targets_rewound = nullptr;
+    // Self-healing (chaos-sweep) instrumentation.
+    obs::Counter* jobs_failed = nullptr;
+    obs::Counter* job_retries = nullptr;
+    obs::Counter* quarantines = nullptr;
+    obs::Counter* quarantine_releases = nullptr;
+    obs::Counter* store_recoveries = nullptr;
+    obs::Counter* degraded_results = nullptr;
+    obs::Histogram* retry_backoff_us = nullptr;
+    obs::Gauge* quarantined_auditees = nullptr;
     // Scheduler health, indexed by FleetJobType.
     obs::Histogram* queue_wait_us[3] = {nullptr, nullptr, nullptr};
     obs::Histogram* service_us[3] = {nullptr, nullptr, nullptr};
   };
   ObsMetrics obs_;
   std::string svc_label_;
+  std::string last_error_;  // Under mu_; surfaced via stats().
 
   std::vector<std::thread> workers_;
 };

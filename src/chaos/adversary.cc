@@ -1,0 +1,93 @@
+#include "src/chaos/adversary.h"
+
+#include <stdexcept>
+
+namespace avm {
+namespace chaos {
+
+AdversarialSource::AdversarialSource(const SegmentSource& honest) : node_(honest.node()) {
+  if (honest.LastSeq() == 0) {
+    throw std::invalid_argument("AdversarialSource: honest log is empty");
+  }
+  LogSegment all = honest.Extract(1, honest.LastSeq());
+  entries_ = std::move(all.entries);
+}
+
+void AdversarialSource::RechainFrom(uint64_t seq) {
+  Hash256 prev = seq >= 2 ? entries_.at(seq - 2).hash : Hash256::Zero();
+  for (uint64_t s = seq; s <= entries_.size(); s++) {
+    LogEntry& e = entries_[s - 1];
+    e.hash = ChainHash(prev, e.seq, e.type, e.content);
+    prev = e.hash;
+  }
+}
+
+void AdversarialSource::Equivocate(uint64_t seq) {
+  LogEntry& t = entries_.at(seq - 1);
+  if (t.content.empty()) {
+    t.content.push_back(0);
+  }
+  t.content[0] ^= 0x5a;
+  RechainFrom(seq);
+}
+
+void AdversarialSource::RewindTo(uint64_t seq) {
+  if (seq >= entries_.size()) {
+    return;
+  }
+  entries_.resize(seq);
+}
+
+void AdversarialSource::Omit(uint64_t seq) {
+  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(seq - 1));
+  for (uint64_t s = seq; s <= entries_.size(); s++) {
+    entries_[s - 1].seq = s;
+  }
+  RechainFrom(seq == 1 ? 1 : seq);
+}
+
+size_t AdversarialSource::ApplyDue(FaultInjector& injector, SimTime now) {
+  size_t applied = 0;
+  auto pick = [&](uint64_t requested) {
+    // seq 0 = "anywhere": mid-log is the interesting spot (behind
+    // authenticators, ahead of genesis).
+    if (requested >= 1 && requested <= entries_.size()) return requested;
+    return entries_.size() / 2 + 1;
+  };
+  for (const FaultEvent& e : injector.TakeDue(FaultType::kAvmmEquivocate, node_, now)) {
+    Equivocate(pick(e.seq));
+    applied++;
+  }
+  for (const FaultEvent& e : injector.TakeDue(FaultType::kAvmmOmit, node_, now)) {
+    Omit(pick(e.seq));
+    applied++;
+  }
+  for (const FaultEvent& e : injector.TakeDue(FaultType::kAvmmRewind, node_, now)) {
+    RewindTo(pick(e.seq));
+    applied++;
+  }
+  return applied;
+}
+
+LogSegment AdversarialSource::Extract(uint64_t from_seq, uint64_t to_seq) const {
+  if (from_seq < 1 || to_seq > entries_.size() || from_seq > to_seq) {
+    throw std::out_of_range("AdversarialSource: bad range");
+  }
+  LogSegment seg;
+  seg.node = node_;
+  seg.prior_hash = from_seq == 1 ? Hash256::Zero() : entries_[from_seq - 2].hash;
+  seg.entries.assign(entries_.begin() + static_cast<ptrdiff_t>(from_seq - 1),
+                     entries_.begin() + static_cast<ptrdiff_t>(to_seq));
+  return seg;
+}
+
+void AdversarialSource::Scan(uint64_t from_seq, uint64_t to_seq, const EntryVisitor& visit) const {
+  for (uint64_t s = from_seq; s <= to_seq; s++) {
+    if (!visit(entries_.at(s - 1))) {
+      return;
+    }
+  }
+}
+
+}  // namespace chaos
+}  // namespace avm

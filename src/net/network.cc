@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/chaos/fault_plan.h"
+
 namespace avm {
 
 void SimNetwork::AttachHost(const NodeId& id, NetworkDelegate* delegate) {
@@ -63,7 +65,21 @@ void SimNetwork::SendFrame(SimTime now, const NodeId& src, const NodeId& dst, By
     stats_[dst].frames_dropped++;
     return;
   }
-  queue_.push(InFlight{now + LatencyFor(src, dst), order_counter_++, src, dst, std::move(frame)});
+  chaos::NetFaultDecision fault;
+  if (chaos_ != nullptr) {
+    fault = chaos_->OnNetFrame(now, src, dst, &frame);
+    if (fault.drop) {
+      // Injected loss is charged like natural loss: to the destination.
+      stats_[dst].frames_dropped++;
+      return;
+    }
+  }
+  SimTime latency = LatencyFor(src, dst) + fault.extra_delay_us;
+  for (uint32_t i = 0; i < fault.duplicates; i++) {
+    Bytes copy = frame;
+    queue_.push(InFlight{now + latency, order_counter_++, src, dst, std::move(copy)});
+  }
+  queue_.push(InFlight{now + latency, order_counter_++, src, dst, std::move(frame)});
 }
 
 void SimNetwork::DeliverUntil(SimTime t) {

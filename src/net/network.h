@@ -22,6 +22,10 @@
 
 namespace avm {
 
+namespace chaos {
+class FaultInjector;  // src/chaos/fault_plan.h
+}
+
 // A host's receive hook.
 class NetworkDelegate {
  public:
@@ -56,6 +60,12 @@ class SimNetwork {
   void SetDropRate(double p) { drop_rate_ = p; }
   // Simulates a partition: frames between a and b are dropped while set.
   void SetPartitioned(const NodeId& a, const NodeId& b, bool partitioned);
+  // Chaos seam: every SendFrame consults `injector` (may drop,
+  // duplicate, delay/reorder or corrupt the frame, or enforce a
+  // time-windowed partition). Null (the default) and an injector with
+  // an empty plan are behaviorally identical to no injector at all —
+  // same frames, same order, same rng_ stream.
+  void SetFaultInjector(chaos::FaultInjector* injector) { chaos_ = injector; }
 
   // Schedules delivery of `frame` from src to dst at now + latency.
   void SendFrame(SimTime now, const NodeId& src, const NodeId& dst, Bytes frame);
@@ -100,6 +110,7 @@ class SimNetwork {
   double drop_rate_ = 0.0;
   uint64_t order_counter_ = 0;
   Prng rng_;
+  chaos::FaultInjector* chaos_ = nullptr;
 };
 
 }  // namespace avm

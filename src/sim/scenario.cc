@@ -3,12 +3,18 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "src/chaos/fault_plan.h"
 #include "src/store/log_store.h"
 
 namespace avm {
 
 GameScenario::GameScenario(GameScenarioConfig cfg)
-    : cfg_(std::move(cfg)), rng_(cfg_.seed), net_(cfg_.seed ^ 0x6e6574) {}
+    : cfg_(std::move(cfg)), rng_(cfg_.seed),
+      net_(chaos::DeriveSeed(cfg_.seed, "game-net")) {
+  // One root seed: the network's loss stream and every chaos RNG derive
+  // from cfg.seed, so a failing run reproduces from that one number.
+  net_.SetFaultInjector(cfg_.chaos);
+}
 
 GameScenario::~GameScenario() = default;
 
@@ -213,7 +219,10 @@ AuditOutcome GameScenario::AuditPlayer(int player_index) {
 // ---------------------------------------------------------------- KV ----
 
 KvScenario::KvScenario(KvScenarioConfig cfg)
-    : cfg_(std::move(cfg)), rng_(cfg_.seed), net_(cfg_.seed ^ 0x6b76) {}
+    : cfg_(std::move(cfg)), rng_(cfg_.seed),
+      net_(chaos::DeriveSeed(cfg_.seed, "kv-net")) {
+  net_.SetFaultInjector(cfg_.chaos);
+}
 
 KvScenario::~KvScenario() = default;
 
@@ -309,6 +318,7 @@ void FleetScenario::Start() {
     gc.run = cfg_.run;
     gc.num_players = cfg_.players_per_game;
     gc.seed = cfg_.seed * 7919 + static_cast<uint64_t>(i) + 1;
+    gc.chaos = cfg_.chaos;
     auto game = std::make_unique<GameScenario>(gc);
     for (const auto& [where, cheat] : cfg_.cheats) {
       if (where.first == i) {
@@ -322,6 +332,7 @@ void FleetScenario::Start() {
     KvScenarioConfig kc = cfg_.kv;
     kc.run = cfg_.run;
     kc.seed = cfg_.seed * 104729 + static_cast<uint64_t>(i) + 1;
+    kc.chaos = cfg_.chaos;
     auto kv = std::make_unique<KvScenario>(kc);
     kv->Start();
     kvs_.push_back(std::move(kv));
@@ -334,7 +345,13 @@ void FleetScenario::SpillLogsTo(const std::string& base_dir) {
   }
   auto spill = [&](const NodeId& global, Avmm& node) {
     std::string dir = (std::filesystem::path(base_dir) / global).string();
-    auto store = LogStore::Open(dir, node.id());
+    LogStoreOptions opts;
+    if (cfg_.chaos != nullptr) {
+      // Store faults are keyed on the *global* name, so a plan can break
+      // one auditee's store without touching its world siblings.
+      opts.fault_hook = cfg_.chaos->StoreHook(global);
+    }
+    auto store = LogStore::Open(dir, node.id(), opts);
     node.SpillTo(store.get());
     store_by_name_[global] = store.get();
     stores_.push_back(std::move(store));

@@ -24,6 +24,10 @@
 
 namespace avm {
 
+namespace chaos {
+class FaultInjector;  // src/chaos/fault_plan.h
+}
+
 struct GameScenarioConfig {
   RunConfig run = RunConfig::AvmmRsa768();
   int num_players = 3;  // Plus one dedicated server node.
@@ -38,6 +42,10 @@ struct GameScenarioConfig {
   // §7.2 extension: every player's keyboard signs its events; audits
   // verify the attestations, which catches the forged-input aimbot.
   bool attested_input = false;
+  // Chaos seam, wired into the scenario's SimNetwork. The injector's
+  // own RNG streams derive from its plan seed; a scenario under an
+  // empty plan is bit-identical to one with chaos == nullptr.
+  chaos::FaultInjector* chaos = nullptr;
 };
 
 // A running game: one server node ("server") plus players "player1"...
@@ -114,6 +122,8 @@ struct KvScenarioConfig {
   SimTime snapshot_interval = 5 * kMicrosPerMinute;  // §6.12: every 5 min.
   KvServerParams server;
   KvClientParams client;
+  // Chaos seam (see GameScenarioConfig::chaos).
+  chaos::FaultInjector* chaos = nullptr;
 };
 
 // Server ("kvserver", IRQ-driven) + load client ("kvclient").
@@ -162,6 +172,10 @@ struct FleetScenarioConfig {
   KvScenarioConfig kv;       // Template; run/seed set per world.
   // (game index, player index) -> cheat installed in that world.
   std::map<std::pair<int, int>, RunnableCheat> cheats;
+  // Chaos seam, propagated to every world's network and (via
+  // SpillLogsTo) every auditee store's fault hook. The same injector —
+  // and therefore one root plan seed — covers the whole fleet.
+  chaos::FaultInjector* chaos = nullptr;
 };
 
 // The §6.11/§8 deployment shape: many independent accountable worlds —

@@ -134,6 +134,26 @@ void LogStore::WriteAuxFile(const std::string& path, ByteView data, bool sync) {
 }
 
 void LogStore::WriteAuxFileBatched(const std::string& path, ByteView data) {
+  {
+    // Aux files ride the store's durability machinery, so they obey the
+    // same poisoning rule: a store that failed a write refuses to
+    // accept checkpoints until reopened (the caller must not believe a
+    // checkpoint is durable when the store cannot promise anything).
+    std::lock_guard<std::mutex> lk(state_mu_);
+    CheckWritableLocked();
+    switch (FaultAt("aux-write", 0)) {
+      case StoreFaultAction::kNone:
+        break;
+      case StoreFaultAction::kIoError:
+      case StoreFaultAction::kShortWrite:
+        // Transient: the file is untouched, a retry may succeed.
+        throw StoreError("injected aux-write failure on " + path);
+      case StoreFaultAction::kFsyncFail:
+      case StoreFaultAction::kCrash:
+        write_failed_ = true;
+        throw StoreError("injected crash during aux write in " + dir_ + "; reopen to recover");
+    }
+  }
   // Rename now (readers immediately see the complete new file), fsync
   // at the store's next group commit.
   WriteFileAtomically(path, data, /*sync=*/false);
@@ -229,6 +249,13 @@ void LogStore::Kill(const char* point) const {
   if (opts_.test_hook) {
     opts_.test_hook(point);
   }
+}
+
+StoreFaultAction LogStore::FaultAt(const char* point, uint64_t seq) const {
+  if (!opts_.fault_hook) {
+    return StoreFaultAction::kNone;
+  }
+  return opts_.fault_hook({point, seq});
 }
 
 void LogStore::CheckWritableLocked() const {
@@ -490,7 +517,23 @@ void LogStore::Append(const LogEntry& e) {
     }
     Bytes record;
     EncodeRecord(e, record);
-    if (std::fwrite(record.data(), 1, record.size(), active_file_) != record.size()) {
+    size_t to_write = record.size();
+    switch (FaultAt("append-write", e.seq)) {
+      case StoreFaultAction::kNone:
+      case StoreFaultAction::kFsyncFail:  // No durability barrier here.
+        break;
+      case StoreFaultAction::kIoError:
+        to_write = 0;  // The write fails before any byte lands.
+        break;
+      case StoreFaultAction::kShortWrite:
+        to_write = record.size() / 2;
+        break;
+      case StoreFaultAction::kCrash:
+        write_failed_ = true;
+        throw StoreError("injected crash during append in " + dir_ + "; reopen to recover");
+    }
+    if ((to_write == 0 ? 0 : std::fwrite(record.data(), 1, to_write, active_file_)) !=
+        record.size()) {
       // Roll the file back to the last record boundary so the partial
       // frame cannot sit in front of a retried append (recovery would
       // then truncate everything after it, including acknowledged
@@ -552,6 +595,13 @@ void LogStore::GroupCommitLocked(std::unique_lock<std::mutex>& lk) {
     obs::Span span(obs::kPhaseStoreFlushWait, "store");
     obs_.group_commits->Inc();
     Kill("pre-flush");
+    if (FaultAt("group-commit", batch_.last_seq()) != StoreFaultAction::kNone) {
+      // Any injected fault at the durability barrier has fsync-failure
+      // semantics: the watermark must not advance, and the store cannot
+      // trust the file's state — poison until reopened.
+      write_failed_ = true;
+      throw StoreError("injected group-commit failure in " + dir_ + "; reopen to recover");
+    }
     if (std::fflush(active_file_) != 0) {
       write_failed_ = true;
       throw StoreError("group-commit flush failed on " + segments_.back().path);
@@ -574,6 +624,11 @@ void LogStore::Flush() {
   CheckWritableLocked();
   if (active_file_ != nullptr) {
     obs_.group_commits->Inc();
+    if (FaultAt("group-commit", last_seq_.load(std::memory_order_relaxed)) !=
+        StoreFaultAction::kNone) {
+      write_failed_ = true;
+      throw StoreError("injected group-commit failure in " + dir_ + "; reopen to recover");
+    }
     // A flush that fails has NOT made the acknowledged entries durable;
     // callers must hear about it.
     if (std::fflush(active_file_) != 0) {
@@ -599,6 +654,10 @@ void LogStore::DrainAuxLocked(std::unique_lock<std::mutex>& lk) {
   }
   if (pending_aux_.empty()) {
     return;
+  }
+  if (FaultAt("aux-sync", 0) != StoreFaultAction::kNone) {
+    write_failed_ = true;
+    throw StoreError("injected aux-sync failure in " + dir_ + "; reopen to recover");
   }
   std::vector<std::string> paths;
   paths.swap(pending_aux_);
@@ -627,6 +686,10 @@ size_t LogStore::RollActiveLocked() {
   // The rolled segment must be durable before a new one starts: the
   // watermark says "every seq at or below is on stable storage", and a
   // rolled file never sees another flush.
+  if (FaultAt("roll", seg.last_seq) != StoreFaultAction::kNone) {
+    write_failed_ = true;
+    throw StoreError("injected roll failure on " + seg.path + "; reopen to recover");
+  }
   if (std::fflush(active_file_) != 0 ||
       (opts_.sync && ::fsync(::fileno(active_file_)) != 0)) {
     write_failed_ = true;

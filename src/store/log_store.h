@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/store/fault.h"
 #include "src/store/group_commit.h"
 #include "src/store/segment_file.h"
 #include "src/tel/log.h"
@@ -103,6 +104,12 @@ struct LogStoreOptions {
   // byte-exact crash image. May be called with internal locks held and
   // from background threads; it must not call back into the store.
   std::function<void(const char*)> test_hook;
+  // Plan-driven fault injection (src/store/fault.h): consulted at the
+  // named write-path sites; a non-kNone action makes the site fail the
+  // way real storage fails (IO error / short write / fsync failure /
+  // simulated crash). Same calling constraints as test_hook. Unset —
+  // or a hook that always returns kNone — changes nothing.
+  std::function<StoreFaultAction(const StoreFaultSite&)> fault_hook;
 };
 
 class SegmentCursor;
@@ -222,6 +229,8 @@ class LogStore final : public LogSink, public SegmentSource {
   void RegisterObsMetrics();
 
   void Kill(const char* point) const;
+  // Consults opts_.fault_hook (kNone when unset).
+  StoreFaultAction FaultAt(const char* point, uint64_t seq) const;
   void CheckWritableLocked() const;
   void AdvanceDurable(uint64_t seq);
   void StartSegmentLocked();
