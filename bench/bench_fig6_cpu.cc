@@ -49,11 +49,12 @@ void Run() {
   std::printf("  avmm-rsa768 where per-packet signatures are added.\n");
 }
 
-// Beyond the paper: single-stream interpreter throughput, the semantic
+// Beyond the paper: single-stream replay throughput, the semantic
 // check's fundamental limit (§6.6: replay takes about as long as the
-// original execution). "seed dispatch" is the original per-word-decode
-// switch loop (decoded cache off); "decoded cache" is the pre-decoded
-// instruction cache + threaded dispatch the replay fast path uses.
+// original execution). Three tiers: "seed dispatch" is the original
+// per-word-decode switch loop; "decoded cache" is the pre-decoded
+// instruction cache + threaded dispatch; "jit" is the x86-64 dynamic
+// binary translator (src/vm/jit) with direct block chaining.
 void RunReplaySpeed(BenchJson& json) {
   Bytes image = Assemble(R"(
     movi r1, 0
@@ -76,25 +77,39 @@ loop:
   PrintRule();
   std::printf("  replayed-instructions/sec (single stream, %llu Minsn mixed ALU/mem/branch)\n",
               static_cast<unsigned long long>(kInstructions / 1'000'000));
-  std::printf("  %-22s %10s %10s\n", "interpreter", "MIPS", "seconds");
-  double mips[2] = {0, 0};
-  for (int cache_on = 0; cache_on < 2; cache_on++) {
+  std::printf("  %-22s %10s %10s\n", "tier", "MIPS", "seconds");
+  struct Tier {
+    const char* name;
+    bool icache;
+    bool jit;
+  };
+  constexpr Tier kTiers[] = {
+      {"seed dispatch", false, false},
+      {"decoded cache", true, false},
+      {"jit", true, true},
+  };
+  double mips[3] = {0, 0, 0};
+  for (int tier = 0; tier < 3; tier++) {
     NullBackend backend;
     Machine m(256 * 1024, &backend);
     m.LoadImage(image);
-    m.set_decoded_cache_enabled(cache_on != 0);
+    m.set_decoded_cache_enabled(kTiers[tier].icache);
+    m.set_jit_enabled(kTiers[tier].jit);
     WallTimer t;
     m.RunUntilIcount(kInstructions);
     double s = t.ElapsedSeconds();
-    mips[cache_on] = kInstructions / s / 1e6;
-    std::printf("  %-22s %10.1f %10.3f\n", cache_on ? "decoded cache" : "seed dispatch",
-                mips[cache_on], s);
+    mips[tier] = kInstructions / s / 1e6;
+    std::printf("  %-22s %10.1f %10.3f\n", kTiers[tier].name, mips[tier], s);
   }
-  std::printf("  speedup: %.2fx (threaded dispatch compiled in: %s)\n", mips[1] / mips[0],
-              Machine::ThreadedDispatchCompiledIn() ? "yes" : "no");
+  std::printf("  decoded-cache speedup: %.2fx (threaded dispatch compiled in: %s)\n",
+              mips[1] / mips[0], Machine::ThreadedDispatchCompiledIn() ? "yes" : "no");
+  std::printf("  jit speedup: %.2fx vs decoded cache, %.2fx vs seed (jit compiled in: %s)\n",
+              mips[2] / mips[1], mips[2] / mips[0], Machine::JitCompiledIn() ? "yes" : "no");
   json.Add("replay_mips_seed_dispatch", mips[0], "Minsn/s");
   json.Add("replay_mips_decoded_cache", mips[1], "Minsn/s");
+  json.Add("replay_mips_jit", mips[2], "Minsn/s");
   json.Add("replay_dispatch_speedup", mips[1] / mips[0], "x");
+  json.Add("replay_jit_vs_threaded_speedup", mips[2] / mips[1], "x");
 
   // The same comparison through the full record->replay loop: a real
   // recorded log, replayed by the auditor's StreamingReplayer.
@@ -107,23 +122,28 @@ loop:
   game.RunFor(4 * kMicrosPerSecond);
   game.Finish();
   LogSegment seg = game.server().log().Extract(1, game.server().log().LastSeq());
-  double replay_mips[2] = {0, 0};
-  for (int cache_on = 0; cache_on < 2; cache_on++) {
+  constexpr const char* kAuditNames[3] = {"audit replay (seed)", "audit replay (cache)",
+                                          "audit replay (jit)"};
+  double replay_mips[3] = {0, 0, 0};
+  for (int tier = 0; tier < 3; tier++) {
     StreamingReplayer r(game.reference_server_image(), cfg.run.mem_size);
-    r.mutable_machine().set_decoded_cache_enabled(cache_on != 0);
+    r.mutable_machine().set_decoded_cache_enabled(kTiers[tier].icache);
+    r.mutable_machine().set_jit_enabled(kTiers[tier].jit);
     WallTimer t;
     r.Feed(seg.entries);
     ReplayResult res = r.Finish();
     double s = t.ElapsedSeconds();
-    replay_mips[cache_on] = res.instructions_replayed / s / 1e6;
-    std::printf("  %-22s %10.1f %10.3f  (recorded server log, %s)\n",
-                cache_on ? "audit replay (cache)" : "audit replay (seed)", replay_mips[cache_on],
-                s, res.ok ? "PASS" : "FAIL");
+    replay_mips[tier] = res.instructions_replayed / s / 1e6;
+    std::printf("  %-22s %10.1f %10.3f  (recorded server log, %s)\n", kAuditNames[tier],
+                replay_mips[tier], s, res.ok ? "PASS" : "FAIL");
   }
-  std::printf("  audit replay speedup: %.2fx\n", replay_mips[1] / replay_mips[0]);
+  std::printf("  audit replay speedup: cache %.2fx, jit %.2fx vs seed\n",
+              replay_mips[1] / replay_mips[0], replay_mips[2] / replay_mips[0]);
   json.Add("audit_replay_mips_seed", replay_mips[0], "Minsn/s");
   json.Add("audit_replay_mips_cache", replay_mips[1], "Minsn/s");
+  json.Add("audit_replay_mips_jit", replay_mips[2], "Minsn/s");
   json.Add("audit_replay_speedup", replay_mips[1] / replay_mips[0], "x");
+  json.Add("audit_replay_jit_speedup", replay_mips[2] / replay_mips[0], "x");
 }
 
 // Telemetry must be free when off and near-free when on: the same

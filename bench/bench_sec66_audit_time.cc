@@ -94,6 +94,31 @@ void Run(BenchJson& json) {
   json.Add("phase_rsa_verify_s", rsa_s, "s");
   json.Add("phase_replay_s", replay_s, "s");
   json.Add("semantic_syntactic_ratio", replay_s / std::max(syn_s, 1e-9), "x");
+
+  // The semantic check re-run per replay tier: the JIT (the default
+  // AuditFull path above) vs the decoded-cache interpreter. The verdict
+  // must match in both — only the wall clock moves.
+  PrintRule();
+  std::printf("  semantic check by replay tier (same server log):\n");
+  double tier_s[2] = {0, 0};
+  bool tier_ok[2] = {false, false};
+  for (int jit_on = 0; jit_on < 2; jit_on++) {
+    StreamingReplayer r(game.reference_server_image(), cfg.run.mem_size);
+    r.mutable_machine().set_jit_enabled(jit_on != 0);
+    WallTimer t;
+    r.Feed(seg.entries);
+    ReplayResult res = r.Finish();
+    tier_s[jit_on] = t.ElapsedSeconds();
+    tier_ok[jit_on] = res.ok;
+    std::printf("  %-26s %10.3f s  (%s)\n", jit_on ? "replay with jit" : "replay interpreter",
+                tier_s[jit_on], res.ok ? "PASS" : "FAIL");
+  }
+  std::printf("  audit-time jit speedup: %.2fx, verdicts identical: %s\n",
+              tier_s[0] / std::max(tier_s[1], 1e-9),
+              tier_ok[0] == tier_ok[1] ? "yes" : "NO (BUG)");
+  json.Add("phase_replay_interp_s", tier_s[0], "s");
+  json.Add("phase_replay_jit_s", tier_s[1], "s");
+  json.Add("audit_replay_jit_speedup", tier_s[0] / std::max(tier_s[1], 1e-9), "x");
 }
 
 // Beyond the paper: audit-time scale-out across cores. The syntactic

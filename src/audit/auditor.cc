@@ -210,6 +210,7 @@ AuditOutcome Auditor::Run(const Avmm& target, const LogSegment& segment,
           } else {
             replayer.emplace(reference_image, cfg_.mem_size);
           }
+          replayer->mutable_machine().set_jit_enabled(cfg_.jit_replay);
           constexpr size_t kReplayChunk = 4096;
           std::span<const LogEntry> entries(segment.entries);
           size_t pos = 0;

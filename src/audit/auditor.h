@@ -48,6 +48,12 @@ struct AuditConfig {
   bool pipelined = true;
   // Entries per chunk for the store-backed streaming pipeline.
   size_t pipeline_chunk_entries = 2048;
+  // Run the semantic check (deterministic replay) through the x86-64
+  // JIT tier where compiled in (src/vm/jit). Off replays on the
+  // decoded-cache interpreter. Verdicts are bit-for-bit identical
+  // either way (asserted by pipeline_audit_test); only replay wall
+  // clock changes.
+  bool jit_replay = true;
 };
 
 // The §4.4/§4.5 syntactic check on a segment whose chain/authenticators

@@ -361,6 +361,7 @@ AuditOutcome CheckpointedAuditor::AuditFull(const Avmm& target, const SegmentSou
   } else {
     replayer.emplace(reference_image, cfg_.mem_size);
   }
+  replayer->mutable_machine().set_jit_enabled(cfg_.jit_replay);
 
   // ---- The chunked scan: syntactic + replay, checkpoints at cadence
   // boundaries. With a pool, the replay of chunk i runs on a worker

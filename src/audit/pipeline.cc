@@ -353,6 +353,7 @@ AuditOutcome PipelinedStreamingAuditFull(const Avmm& target, const SegmentSource
   PipelineJoinGuard join_guard{&queue, &pool};
 
   StreamingReplayer replayer(reference_image, cfg.mem_size);
+  replayer.mutable_machine().set_jit_enabled(cfg.jit_replay);
   std::exception_ptr replay_err;
   double sem_seconds = 0;
   {

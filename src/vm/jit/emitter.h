@@ -1,0 +1,329 @@
+// A minimal x86-64 instruction emitter for the AVM-32 block translator.
+//
+// This is not a general assembler: it provides exactly the encodings the
+// translator (src/vm/jit/jit.cc) needs, under the fixed register
+// conventions of the generated code:
+//
+//   rbx = JitContext*            (callee-saved, loaded by the trampoline)
+//   rbp = guest register file    (&cpu_.regs[0]; offsets 4*reg, disp8)
+//   r12 = guest memory base      (mem_.data())
+//   r13 = live icount            (committed to ctx at every exit)
+//   r14 = target icount
+//   eax/ecx/edx = scratch
+//
+// Code is emitted into a plain byte vector and copied into the
+// TranslationCache once the block is complete; rel32 fixups inside the
+// block are offset-based so the copy needs no relocation.
+#ifndef SRC_VM_JIT_EMITTER_H_
+#define SRC_VM_JIT_EMITTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace avm {
+namespace jit {
+
+// x86 condition codes (the 0x0F 0x8x long-form Jcc suffix nibble).
+enum class Cc : uint8_t {
+  kB = 0x2,   // below (unsigned <)
+  kAe = 0x3,  // above-or-equal (unsigned >=)
+  kE = 0x4,   // equal
+  kNe = 0x5,  // not equal
+  kA = 0x7,   // above (unsigned >)
+  kL = 0xC,   // less (signed <)
+  kGe = 0xD,  // greater-or-equal (signed >=)
+};
+
+// 32-bit scratch registers used by the generated code.
+enum class R32 : uint8_t { kEax = 0, kEcx = 1, kEdx = 2 };
+
+class Emitter {
+ public:
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+  void Byte(uint8_t b) { buf_.push_back(b); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; i++) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  static uint8_t ModRM(uint8_t mod, uint8_t reg, uint8_t rm) {
+    return static_cast<uint8_t>(mod << 6 | (reg & 7) << 3 | (rm & 7));
+  }
+
+  // --- Guest register file accesses: [rbp + 4*greg], disp8 -------------
+
+  // mov r32, [rbp + 4*greg]
+  void LoadGuest(R32 r, int greg) { MemRbp(0x8B, static_cast<uint8_t>(r), greg); }
+  // mov [rbp + 4*greg], r32
+  void StoreGuest(int greg, R32 r) { MemRbp(0x89, static_cast<uint8_t>(r), greg); }
+  // op [rbp + 4*greg], r32   for add/sub/and/or/xor (memory-destination)
+  void AddMemGuest(int greg, R32 r) { MemRbp(0x01, static_cast<uint8_t>(r), greg); }
+  void SubMemGuest(int greg, R32 r) { MemRbp(0x29, static_cast<uint8_t>(r), greg); }
+  void AndMemGuest(int greg, R32 r) { MemRbp(0x21, static_cast<uint8_t>(r), greg); }
+  void OrMemGuest(int greg, R32 r) { MemRbp(0x09, static_cast<uint8_t>(r), greg); }
+  void XorMemGuest(int greg, R32 r) { MemRbp(0x31, static_cast<uint8_t>(r), greg); }
+  // imul eax, [rbp + 4*greg]
+  void ImulEaxGuest(int greg) {
+    Byte(0x0F);
+    MemRbp(0xAF, 0, greg);
+  }
+  // cmp eax, [rbp + 4*greg]
+  void CmpEaxGuest(int greg) { MemRbp(0x3B, 0, greg); }
+  // mov dword [rbp + 4*greg], imm32
+  void MovGuestImm(int greg, uint32_t imm) {
+    MemRbp(0xC7, 0, greg);
+    U32(imm);
+  }
+  // add/or dword [rbp + 4*greg], imm32  (0x81 group, /0 and /1)
+  void AddGuestImm(int greg, uint32_t imm) {
+    MemRbp(0x81, 0, greg);
+    U32(imm);
+  }
+  void OrGuestImm(int greg, uint32_t imm) {
+    MemRbp(0x81, 1, greg);
+    U32(imm);
+  }
+  // shl/shr/sar dword [rbp + 4*greg], cl  (0xD3 group: /4, /5, /7)
+  void ShlGuestCl(int greg) { MemRbp(0xD3, 4, greg); }
+  void ShrGuestCl(int greg) { MemRbp(0xD3, 5, greg); }
+  void SraGuestCl(int greg) { MemRbp(0xD3, 7, greg); }
+
+  // --- Scratch-register ops -------------------------------------------
+
+  // mov r32, imm32
+  void MovRegImm(R32 r, uint32_t imm) {
+    Byte(static_cast<uint8_t>(0xB8 + static_cast<uint8_t>(r)));
+    U32(imm);
+  }
+  // mov edx, eax
+  void MovEdxEax() {
+    Byte(0x89);
+    Byte(0xC2);
+  }
+  // add eax, imm32 (no-op when imm == 0)
+  void AddEaxImm(uint32_t imm) {
+    if (imm == 0) {
+      return;
+    }
+    Byte(0x05);
+    U32(imm);
+  }
+  // cmp eax, imm32
+  void CmpEaxImm(uint32_t imm) {
+    Byte(0x3D);
+    U32(imm);
+  }
+  // test eax, imm32
+  void TestEaxImm(uint32_t imm) {
+    Byte(0xA9);
+    U32(imm);
+  }
+  // test ecx, ecx
+  void TestEcxEcx() {
+    Byte(0x85);
+    Byte(0xC9);
+  }
+  // xor edx, edx
+  void XorEdxEdx() {
+    Byte(0x31);
+    Byte(0xD2);
+  }
+  // div ecx  (eax = edx:eax / ecx, edx = remainder)
+  void DivEcx() {
+    Byte(0xF7);
+    Byte(0xF1);
+  }
+  // shr edx, imm8
+  void ShrEdxImm(uint8_t imm) {
+    Byte(0xC1);
+    Byte(0xEA);
+    Byte(imm);
+  }
+  // setcc al; movzx eax, al
+  void SetccEax(Cc cc) {
+    Byte(0x0F);
+    Byte(static_cast<uint8_t>(0x90 + static_cast<uint8_t>(cc)));
+    Byte(0xC0);
+    Byte(0x0F);
+    Byte(0xB6);
+    Byte(0xC0);
+  }
+
+  // --- Guest memory accesses: [r12 + rax] ------------------------------
+
+  // mov r32, [r12 + rax]
+  void LoadMem32(R32 r) {
+    Byte(0x41);
+    Byte(0x8B);
+    Byte(ModRM(0, static_cast<uint8_t>(r), 4));
+    Byte(0x04);  // SIB: base=r12, index=rax
+  }
+  // movzx r32, byte [r12 + rax]
+  void LoadMem8(R32 r) {
+    Byte(0x41);
+    Byte(0x0F);
+    Byte(0xB6);
+    Byte(ModRM(0, static_cast<uint8_t>(r), 4));
+    Byte(0x04);
+  }
+  // mov [r12 + rax], r32
+  void StoreMem32(R32 r) {
+    Byte(0x41);
+    Byte(0x89);
+    Byte(ModRM(0, static_cast<uint8_t>(r), 4));
+    Byte(0x04);
+  }
+  // mov [r12 + rax], r8 (low byte of r)
+  void StoreMem8(R32 r) {
+    Byte(0x41);
+    Byte(0x88);
+    Byte(ModRM(0, static_cast<uint8_t>(r), 4));
+    Byte(0x04);
+  }
+
+  // --- JitContext accesses: [rbx + disp8] ------------------------------
+
+  // mov rcx, [rbx + disp8]   (loads a pointer field)
+  void LoadCtxPtrRcx(uint8_t disp) {
+    Byte(0x48);
+    Byte(0x8B);
+    Byte(ModRM(1, 1, 3));
+    Byte(disp);
+  }
+  // mov rax, [rbx + disp8]
+  void LoadCtxPtrRax(uint8_t disp) {
+    Byte(0x48);
+    Byte(0x8B);
+    Byte(ModRM(1, 0, 3));
+    Byte(disp);
+  }
+  // mov [rbx + disp8], eax
+  void StoreCtx32Eax(uint8_t disp) {
+    Byte(0x89);
+    Byte(ModRM(1, 0, 3));
+    Byte(disp);
+  }
+  // mov dword [rbx + disp8], imm32
+  void StoreCtx32Imm(uint8_t disp, uint32_t imm) {
+    Byte(0xC7);
+    Byte(ModRM(1, 0, 3));
+    Byte(disp);
+    U32(imm);
+  }
+  // mov byte [rcx + rdx], imm8
+  void StoreByteRcxRdx(uint8_t imm) {
+    Byte(0xC6);
+    Byte(ModRM(0, 0, 4));
+    Byte(0x11);  // SIB: base=rcx, index=rdx
+    Byte(imm);
+  }
+  // cmp byte [rcx + rdx], 0
+  void CmpByteRcxRdxZero() {
+    Byte(0x80);
+    Byte(ModRM(0, 7, 4));
+    Byte(0x11);
+    Byte(0x00);
+  }
+  // mov byte [rax + disp8], imm8
+  void StoreByteRaxDisp(uint8_t disp, uint8_t imm) {
+    Byte(0xC6);
+    Byte(ModRM(1, 0, 0));
+    Byte(disp);
+    Byte(imm);
+  }
+
+  // --- icount bookkeeping (r13/r14) ------------------------------------
+
+  // lea rax, [r13 + disp32]; returns the offset of the disp32 so the
+  // block length can be patched in once translation finishes.
+  size_t LeaRaxR13Disp32(uint32_t disp) {
+    Byte(0x49);
+    Byte(0x8D);
+    Byte(ModRM(2, 0, 5));
+    size_t at = size();
+    U32(disp);
+    return at;
+  }
+  // cmp rax, r14
+  void CmpRaxR14() {
+    Byte(0x4C);
+    Byte(0x39);
+    Byte(0xF0);
+  }
+  // add r13, imm32 (no-op when imm == 0)
+  void AddR13Imm(uint32_t imm) {
+    if (imm == 0) {
+      return;
+    }
+    Byte(0x49);
+    Byte(0x81);
+    Byte(0xC5);
+    U32(imm);
+  }
+
+  // --- Control flow within the block (rel32, offset-based fixups) ------
+
+  // jcc rel32 with the target unknown; returns the fixup site.
+  size_t Jcc(Cc cc) {
+    Byte(0x0F);
+    Byte(static_cast<uint8_t>(0x80 + static_cast<uint8_t>(cc)));
+    size_t at = size();
+    U32(0);
+    return at;
+  }
+  // jmp rel32 with the target unknown; returns the fixup site.
+  size_t Jmp() {
+    Byte(0xE9);
+    size_t at = size();
+    U32(0);
+    return at;
+  }
+  // Points a previously emitted rel32 at the current position.
+  void Bind(size_t fixup_at) { PatchU32(fixup_at, static_cast<uint32_t>(size() - (fixup_at + 4))); }
+  void PatchU32(size_t at, uint32_t v) {
+    for (int i = 0; i < 4; i++) {
+      buf_[at + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  // --- Block exit: commit icount and return to the trampoline caller ---
+
+  // mov eax, exit_code; mov [rbx+icount_disp], r13; pop r15..rbx; ret
+  void ExitEpilogue(uint32_t exit_code, uint8_t icount_disp) {
+    if (exit_code == 0) {
+      Byte(0x31);  // xor eax, eax
+      Byte(0xC0);
+    } else {
+      MovRegImm(R32::kEax, exit_code);
+    }
+    // mov [rbx + icount_disp], r13
+    Byte(0x4C);
+    Byte(0x89);
+    Byte(ModRM(1, 5, 3));
+    Byte(icount_disp);
+    static constexpr uint8_t kPops[] = {0x41, 0x5F, 0x41, 0x5E, 0x41, 0x5D,
+                                        0x41, 0x5C, 0x5D, 0x5B, 0xC3};
+    for (uint8_t b : kPops) {
+      Byte(b);
+    }
+  }
+
+ private:
+  // opcode + modrm(01, reg, rbp) + disp8 for the guest register file.
+  void MemRbp(uint8_t opcode, uint8_t reg, int greg) {
+    Byte(opcode);
+    Byte(ModRM(1, reg, 5));
+    Byte(static_cast<uint8_t>(4 * greg));
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace jit
+}  // namespace avm
+
+#endif  // SRC_VM_JIT_EMITTER_H_

@@ -1,0 +1,546 @@
+// The AVM-32 -> x86-64 block translator and its runtime engine. See
+// jit.h for the execution model and machine.cc (RunJit) for the
+// dispatcher that drives it.
+#include "src/vm/jit/jit.h"
+
+#include <cstddef>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+#include "src/vm/isa.h"
+#include "src/vm/jit/emitter.h"
+#include "src/vm/machine.h"
+
+namespace avm {
+namespace jit {
+
+namespace {
+
+// The kCtx* displacements are baked into emitted bytes; pin them to the
+// struct the C++ side actually passes.
+static_assert(offsetof(JitContext, regs) == kCtxRegs);
+static_assert(offsetof(JitContext, mem) == kCtxMem);
+static_assert(offsetof(JitContext, icount) == kCtxIcount);
+static_assert(offsetof(JitContext, target) == kCtxTarget);
+static_assert(offsetof(JitContext, pc) == kCtxPc);
+static_assert(offsetof(JitContext, exit_slot) == kCtxExitSlot);
+static_assert(offsetof(JitContext, dirty) == kCtxDirty);
+static_assert(offsetof(JitContext, ivalid) == kCtxIvalid);
+static_assert(offsetof(JitContext, code_pages) == kCtxCodePages);
+static_assert(offsetof(JitContext, cpu) == kCtxCpu);
+static_assert(offsetof(JitContext, mod_addr) == kCtxModAddr);
+// DI writes cpu->int_enabled through a disp8 addressing mode.
+static_assert(offsetof(CpuState, int_enabled) < 128);
+
+// Instructions the translator emits inline, i.e. a block continues past
+// them. Everything else ends a block: control transfers (translated as
+// chain/dynamic exits) and runtime-deferred ops (fallback exits).
+bool IsStraightLine(uint8_t opcode) {
+  switch (static_cast<Op>(opcode)) {
+    case Op::kNop:
+    case Op::kMovi:
+    case Op::kMovhi:
+    case Op::kOri:
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDivu:
+    case Op::kRemu:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kSra:
+    case Op::kAddi:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kLw:
+    case Op::kSw:
+    case Op::kLb:
+    case Op::kSb:
+    case Op::kDi:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool JitSupported() { return AVM_JIT_X86 != 0; }
+
+bool EndsTraceBlock(uint8_t opcode) { return !IsStraightLine(opcode); }
+
+JitEngine::JitEngine(const JitConfig& cfg, uint8_t* mem, size_t mem_size, uint8_t* code_pages,
+                     size_t page_count)
+    : cfg_(cfg), mem_(mem), mem_size_(mem_size), code_pages_(code_pages),
+      page_count_(page_count) {
+  ExecMemOptions opts;
+  opts.bytes = cfg_.cache_bytes;
+  opts.harden_wx = cfg_.harden_wx;
+  cache_.Init(opts);
+  page_blocks_.resize(page_count_);
+  ctx_.code_pages = code_pages_;
+
+  obs::Registry& reg = obs::Registry::Global();
+  c_translations_ = reg.GetCounter("avm.jit.translations");
+  c_code_bytes_ = reg.GetCounter("avm.jit.code_cache_bytes");
+  c_flushes_ = reg.GetCounter("avm.jit.flushes");
+  c_blocks_invalidated_ = reg.GetCounter("avm.jit.blocks_invalidated");
+  c_pages_invalidated_ = reg.GetCounter("avm.jit.pages_invalidated");
+  c_chain_patches_ = reg.GetCounter("avm.jit.chain_patches");
+  c_fallbacks_ = reg.GetCounter("avm.jit.interp_fallbacks");
+  c_selfmod_ = reg.GetCounter("avm.jit.selfmod_exits");
+}
+
+void JitEngine::CountFallback() {
+  stats_.interp_fallbacks++;
+  c_fallbacks_->Inc();
+}
+
+void JitEngine::CountSelfMod() {
+  stats_.selfmod_exits++;
+  c_selfmod_->Inc();
+}
+
+// Emits one block starting at `head` into `em`. Returns false when the
+// head instruction itself is runtime-deferred (nothing to translate).
+// slot_sites collects the buffer offsets of the chain slots' rel32
+// immediates, in slot-id order starting at chain_slots_.size().
+bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot_sites,
+                          uint32_t* insn_count, uint32_t* span_bytes) {
+  Emitter& em = *emp;
+  const uint32_t base_slot = static_cast<uint32_t>(chain_slots_.size());
+
+  struct PendingStub {
+    size_t fix_at;     // rel32 to bind at the stub.
+    uint32_t pc;       // Guest pc the stub reports.
+    uint32_t retired;  // Instructions retired when the stub runs.
+  };
+  std::vector<PendingStub> falls;     // Failed bounds checks -> interpreter.
+  std::vector<PendingStub> selfmods;  // Stores into translated pages.
+
+  // Entry budget check: run only when icount + insn_count <= target, so
+  // a chained run can never overshoot an icount landmark. The count is
+  // patched in once the block length is known.
+  const size_t count_at = em.LeaRaxR13Disp32(0);
+  em.CmpRaxR14();
+  const size_t budget_fix = em.Jcc(Cc::kA);
+
+  // A chain slot: commit icount and the successor pc, then a patchable
+  // jmp that initially falls into its own miss stub. PatchChain later
+  // redirects the jmp straight to the successor's entry.
+  auto chain_to = [&](uint32_t succ, uint32_t retired) {
+    em.AddR13Imm(retired);
+    em.StoreCtx32Imm(kCtxPc, succ);
+    const uint32_t slot_id = base_slot + static_cast<uint32_t>(slot_sites->size());
+    const size_t fix = em.Jmp();
+    slot_sites->push_back(fix);
+    em.Bind(fix);
+    em.StoreCtx32Imm(kCtxExitSlot, slot_id);
+    em.ExitEpilogue(kExitChainMiss, kCtxIcount);
+  };
+
+  uint32_t p = head;   // Guest pc being translated.
+  uint32_t n = 0;      // Straight-line instructions emitted so far.
+  uint32_t total = 0;  // Retired count on the block's longest path.
+  bool open = true;
+  while (open) {
+    if (n >= cfg_.max_block_insns || p > mem_size_ - 4) {
+      // Length cap, or the next fetch would be out of bounds: continue
+      // via an unconditional chain (an out-of-range successor simply
+      // faults in the interpreter when the dispatcher gets there).
+      chain_to(p, n);
+      total = n;
+      break;
+    }
+    uint32_t word;
+    std::memcpy(&word, mem_ + p, 4);
+    const Insn in = Decode(word);
+    const uint32_t simm = static_cast<uint32_t>(in.SImm());
+    switch (in.op) {
+      case Op::kNop:
+        break;
+      case Op::kMovi:
+        em.MovGuestImm(in.ra, simm);
+        break;
+      case Op::kMovhi:
+        em.MovGuestImm(in.ra, static_cast<uint32_t>(in.imm) << 16);
+        break;
+      case Op::kOri:
+        em.OrGuestImm(in.ra, in.imm);
+        break;
+      case Op::kMov:
+        em.LoadGuest(R32::kEax, in.rb);
+        em.StoreGuest(in.ra, R32::kEax);
+        break;
+      case Op::kAdd:
+        em.LoadGuest(R32::kEax, in.rb);
+        em.AddMemGuest(in.ra, R32::kEax);
+        break;
+      case Op::kSub:
+        em.LoadGuest(R32::kEax, in.rb);
+        em.SubMemGuest(in.ra, R32::kEax);
+        break;
+      case Op::kMul:
+        em.LoadGuest(R32::kEax, in.ra);
+        em.ImulEaxGuest(in.rb);
+        em.StoreGuest(in.ra, R32::kEax);
+        break;
+      case Op::kDivu: {
+        // ra = rb == 0 ? 0xffffffff : ra / rb (edx:eax unsigned divide).
+        em.LoadGuest(R32::kEcx, in.rb);
+        em.TestEcxEcx();
+        const size_t zero = em.Jcc(Cc::kE);
+        em.LoadGuest(R32::kEax, in.ra);
+        em.XorEdxEdx();
+        em.DivEcx();
+        em.StoreGuest(in.ra, R32::kEax);
+        const size_t done = em.Jmp();
+        em.Bind(zero);
+        em.MovGuestImm(in.ra, 0xffffffffu);
+        em.Bind(done);
+        break;
+      }
+      case Op::kRemu: {
+        // ra = rb == 0 ? ra : ra % rb (remainder lands in edx).
+        em.LoadGuest(R32::kEcx, in.rb);
+        em.TestEcxEcx();
+        const size_t done = em.Jcc(Cc::kE);
+        em.LoadGuest(R32::kEax, in.ra);
+        em.XorEdxEdx();
+        em.DivEcx();
+        em.StoreGuest(in.ra, R32::kEdx);
+        em.Bind(done);
+        break;
+      }
+      case Op::kAnd:
+        em.LoadGuest(R32::kEax, in.rb);
+        em.AndMemGuest(in.ra, R32::kEax);
+        break;
+      case Op::kOr:
+        em.LoadGuest(R32::kEax, in.rb);
+        em.OrMemGuest(in.ra, R32::kEax);
+        break;
+      case Op::kXor:
+        em.LoadGuest(R32::kEax, in.rb);
+        em.XorMemGuest(in.ra, R32::kEax);
+        break;
+      case Op::kShl:
+        // x86 masks cl to 5 bits for 32-bit shifts, matching the ISA.
+        em.LoadGuest(R32::kEcx, in.rb);
+        em.ShlGuestCl(in.ra);
+        break;
+      case Op::kShr:
+        em.LoadGuest(R32::kEcx, in.rb);
+        em.ShrGuestCl(in.ra);
+        break;
+      case Op::kSra:
+        em.LoadGuest(R32::kEcx, in.rb);
+        em.SraGuestCl(in.ra);
+        break;
+      case Op::kAddi:
+        em.AddGuestImm(in.ra, simm);
+        break;
+      case Op::kSlt:
+      case Op::kSltu:
+        em.LoadGuest(R32::kEax, in.ra);
+        em.CmpEaxGuest(in.rb);
+        em.SetccEax(in.op == Op::kSlt ? Cc::kL : Cc::kB);
+        em.StoreGuest(in.ra, R32::kEax);
+        break;
+      case Op::kLw:
+        em.LoadGuest(R32::kEax, in.rb);
+        em.AddEaxImm(simm);
+        em.TestEaxImm(3);
+        falls.push_back({em.Jcc(Cc::kNe), p, n});
+        em.CmpEaxImm(static_cast<uint32_t>(mem_size_ - 4));
+        falls.push_back({em.Jcc(Cc::kA), p, n});
+        em.LoadMem32(R32::kEcx);
+        em.StoreGuest(in.ra, R32::kEcx);
+        break;
+      case Op::kLb:
+        em.LoadGuest(R32::kEax, in.rb);
+        em.AddEaxImm(simm);
+        em.CmpEaxImm(static_cast<uint32_t>(mem_size_));
+        falls.push_back({em.Jcc(Cc::kAe), p, n});
+        em.LoadMem8(R32::kEcx);
+        em.StoreGuest(in.ra, R32::kEcx);
+        break;
+      case Op::kSw:
+      case Op::kSb: {
+        const bool word_op = in.op == Op::kSw;
+        em.LoadGuest(R32::kEax, in.rb);
+        em.AddEaxImm(simm);
+        if (word_op) {
+          em.TestEaxImm(3);
+          falls.push_back({em.Jcc(Cc::kNe), p, n});
+          em.CmpEaxImm(static_cast<uint32_t>(mem_size_ - 4));
+          falls.push_back({em.Jcc(Cc::kA), p, n});
+        } else {
+          em.CmpEaxImm(static_cast<uint32_t>(mem_size_));
+          falls.push_back({em.Jcc(Cc::kAe), p, n});
+        }
+        em.LoadGuest(R32::kEcx, in.ra);
+        if (word_op) {
+          em.StoreMem32(R32::kEcx);
+        } else {
+          em.StoreMem8(R32::kEcx);
+        }
+        // Page bookkeeping, mirroring the interpreter's store tails:
+        // dirty[page] = 1, ivalid[page] = 0, and a side-exit when the
+        // page holds translations so the runtime can drop them (the
+        // store itself has retired by then).
+        em.MovEdxEax();
+        em.ShrEdxImm(12);
+        em.LoadCtxPtrRcx(kCtxDirty);
+        em.StoreByteRcxRdx(1);
+        em.LoadCtxPtrRcx(kCtxIvalid);
+        em.StoreByteRcxRdx(0);
+        em.LoadCtxPtrRcx(kCtxCodePages);
+        em.CmpByteRcxRdxZero();
+        selfmods.push_back({em.Jcc(Cc::kNe), p + 4, n + 1});
+        break;
+      }
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu: {
+        Cc cc = Cc::kE;
+        switch (in.op) {
+          case Op::kBeq: cc = Cc::kE; break;
+          case Op::kBne: cc = Cc::kNe; break;
+          case Op::kBlt: cc = Cc::kL; break;
+          case Op::kBge: cc = Cc::kGe; break;
+          case Op::kBltu: cc = Cc::kB; break;
+          default: cc = Cc::kAe; break;
+        }
+        em.LoadGuest(R32::kEax, in.ra);
+        em.CmpEaxGuest(in.rb);
+        const size_t taken = em.Jcc(cc);
+        chain_to(p + 4, n + 1);  // Fall-through successor.
+        em.Bind(taken);
+        chain_to(p + 4 + simm * 4, n + 1);
+        total = n + 1;
+        open = false;
+        break;
+      }
+      case Op::kJmp:
+        chain_to(p + 4 + simm * 4, n + 1);
+        total = n + 1;
+        open = false;
+        break;
+      case Op::kJal:
+        em.MovGuestImm(in.ra, p + 4);
+        chain_to(p + 4 + simm * 4, n + 1);
+        total = n + 1;
+        open = false;
+        break;
+      case Op::kJr:
+        em.LoadGuest(R32::kEax, in.ra);
+        em.StoreCtx32Eax(kCtxPc);
+        em.AddR13Imm(n + 1);
+        em.ExitEpilogue(kExitDynamic, kCtxIcount);
+        total = n + 1;
+        open = false;
+        break;
+      case Op::kJalr:
+        em.LoadGuest(R32::kEax, in.rb);  // Target before the link write:
+        em.MovGuestImm(in.ra, p + 4);    // ra may alias rb.
+        em.StoreCtx32Eax(kCtxPc);
+        em.AddR13Imm(n + 1);
+        em.ExitEpilogue(kExitDynamic, kCtxIcount);
+        total = n + 1;
+        open = false;
+        break;
+      case Op::kDi:
+        em.LoadCtxPtrRax(kCtxCpu);
+        em.StoreByteRaxDisp(static_cast<uint8_t>(offsetof(CpuState, int_enabled)), 0);
+        break;
+      default:
+        // HALT/IN/OUT/EI/IRET/illegal: defer to the interpreter, which
+        // owns backend calls, interrupt boundaries and fault messages.
+        if (n == 0) {
+          return false;
+        }
+        em.AddR13Imm(n);
+        em.StoreCtx32Imm(kCtxPc, p);
+        em.ExitEpilogue(kExitFallback, kCtxIcount);
+        total = n;
+        open = false;
+        break;
+    }
+    if (open) {
+      n++;
+      p += 4;
+    }
+  }
+
+  em.Bind(budget_fix);
+  em.StoreCtx32Imm(kCtxPc, head);
+  em.ExitEpilogue(kExitNoBudget, kCtxIcount);
+
+  for (const PendingStub& s : falls) {
+    em.Bind(s.fix_at);
+    em.AddR13Imm(s.retired);
+    em.StoreCtx32Imm(kCtxPc, s.pc);
+    em.ExitEpilogue(kExitFallback, kCtxIcount);
+  }
+  for (const PendingStub& s : selfmods) {
+    em.Bind(s.fix_at);
+    em.StoreCtx32Eax(kCtxModAddr);  // eax still holds the store address.
+    em.AddR13Imm(s.retired);
+    em.StoreCtx32Imm(kCtxPc, s.pc);
+    em.ExitEpilogue(kExitSelfMod, kCtxIcount);
+  }
+
+  em.PatchU32(count_at, total);
+  *insn_count = total;
+  *span_bytes = p - head;  // Fallback terminators are not embedded.
+  return true;
+}
+
+TranslatedBlock* JitEngine::Compile(uint32_t pc) {
+  if (!cache_.ok() || pc % 4 != 0 || mem_size_ < 4 || pc > mem_size_ - 4) {
+    return nullptr;
+  }
+  for (int attempt = 0; attempt < 2; attempt++) {
+    Emitter em;
+    std::vector<size_t> slot_sites;
+    uint32_t insn_count = 0;
+    uint32_t span = 0;
+    if (!EmitBlock(pc, &em, &slot_sites, &insn_count, &span)) {
+      return nullptr;
+    }
+    cache_.MakeWritable();
+    uint8_t* dst = cache_.Alloc(em.size());
+    if (dst == nullptr) {
+      cache_.MakeExecutable();
+      if (attempt == 0) {
+        Flush();  // Retry once against an empty cache (slot ids re-base).
+        continue;
+      }
+      return nullptr;  // Block larger than the whole cache.
+    }
+    std::memcpy(dst, em.bytes().data(), em.size());
+    cache_.MakeExecutable();
+
+    for (size_t site : slot_sites) {
+      chain_slots_.push_back(ChainSlot{dst + site});
+    }
+    block_storage_.push_back(TranslatedBlock{pc, span, insn_count, dst, false});
+    TranslatedBlock* b = &block_storage_.back();
+    blocks_by_pc_[pc] = b;
+    const size_t first = pc / kPageSize;
+    const size_t last = (pc + span - 1) / kPageSize;
+    for (size_t pg = first; pg <= last && pg < page_count_; pg++) {
+      page_blocks_[pg].push_back(b);
+      code_pages_[pg] = 1;
+    }
+    stats_.translations++;
+    stats_.code_bytes += em.size();
+    c_translations_->Inc();
+    c_code_bytes_->Inc(em.size());
+    return b;
+  }
+  return nullptr;
+}
+
+TranslatedBlock* JitEngine::MaybeCompile(uint32_t pc) {
+  auto it = blocks_by_pc_.find(pc);
+  if (it != blocks_by_pc_.end()) {
+    return it->second;
+  }
+  if (!cache_.ok()) {
+    return nullptr;
+  }
+  if (++heat_[pc] < cfg_.hot_threshold) {
+    return nullptr;
+  }
+  TranslatedBlock* b = Compile(pc);  // May Flush(), which clears heat_.
+  if (b == nullptr) {
+    heat_[pc] = 0;  // Untranslatable head: cool off, retry later.
+  } else {
+    heat_.erase(pc);
+  }
+  return b;
+}
+
+uint32_t JitEngine::Execute(TranslatedBlock* b) {
+  stats_.native_enters++;
+  using EnterFn = uint32_t (*)(JitContext*, const void*);
+  EnterFn fn = reinterpret_cast<EnterFn>(const_cast<void*>(cache_.enter_fn()));
+  return fn(&ctx_, b->entry);
+}
+
+void JitEngine::PatchChain(uint32_t slot_id, TranslatedBlock* target) {
+  if (slot_id >= chain_slots_.size() || target == nullptr || target->invalidated) {
+    return;
+  }
+  cache_.MakeWritable();
+  uint8_t* rel_at = chain_slots_[slot_id].patch_at;
+  const int64_t rel = target->entry - (rel_at + 4);
+  const uint32_t enc = static_cast<uint32_t>(static_cast<int32_t>(rel));
+  std::memcpy(rel_at, &enc, 4);
+  cache_.MakeExecutable();
+  stats_.chain_patches++;
+  c_chain_patches_->Inc();
+}
+
+void JitEngine::PatchJmp(uint8_t* at, const uint8_t* target) {
+  at[0] = 0xE9;
+  const int64_t rel = target - (at + 5);
+  const uint32_t enc = static_cast<uint32_t>(static_cast<int32_t>(rel));
+  std::memcpy(at + 1, &enc, 4);
+}
+
+void JitEngine::InvalidatePage(size_t page) {
+  if (page >= page_count_) {
+    return;
+  }
+  std::vector<TranslatedBlock*>& list = page_blocks_[page];
+  if (!list.empty()) {
+    cache_.MakeWritable();
+    for (TranslatedBlock* b : list) {
+      if (b->invalidated) {
+        continue;  // Already dropped via another page it spans.
+      }
+      // Entry patched to the invalid thunk: direct dispatch AND stale
+      // chain edges from live predecessors both turn into chain misses.
+      b->invalidated = true;
+      PatchJmp(b->entry, cache_.invalid_thunk());
+      blocks_by_pc_.erase(b->guest_pc);
+      stats_.blocks_invalidated++;
+      c_blocks_invalidated_->Inc();
+    }
+    cache_.MakeExecutable();
+    list.clear();
+  }
+  code_pages_[page] = 0;
+  stats_.pages_invalidated++;
+  c_pages_invalidated_->Inc();
+}
+
+void JitEngine::Flush() {
+  cache_.Reset();
+  blocks_by_pc_.clear();
+  block_storage_.clear();
+  for (std::vector<TranslatedBlock*>& list : page_blocks_) {
+    list.clear();
+  }
+  if (page_count_ != 0) {
+    std::memset(code_pages_, 0, page_count_);
+  }
+  chain_slots_.clear();
+  heat_.clear();
+  generation_++;
+  stats_.flushes++;
+  c_flushes_->Inc();
+}
+
+}  // namespace jit
+}  // namespace avm

@@ -1,0 +1,250 @@
+// Dynamic binary translation for AVM-32 replay: hot guest basic blocks
+// are compiled to x86-64 and chained together, with the interpreter as
+// the bit-for-bit reference oracle for everything the generated code
+// does not handle natively.
+//
+// Shape (Valgrind's translation pipeline / QEMU's TB chaining):
+//
+//   * A block is a straight-line run of guest instructions ending at a
+//     control transfer (branch/JMP/JAL/JR/JALR), an instruction that
+//     needs the runtime (IN/OUT/EI/IRET/HALT/illegal), or the length
+//     cap. Translation reads guest memory through the same Decode() the
+//     interpreter uses.
+//   * Every block entry re-checks the icount budget: the block runs
+//     only when `icount + insn_count <= target_icount`, so RunUntilIcount
+//     stops exactly at any trace landmark — the dispatcher single-steps
+//     the reference interpreter across the boundary instead.
+//   * Direct branches chain: each exit owns a patchable `jmp rel32`
+//     that initially falls into a miss stub (returns to the dispatcher
+//     with the successor pc + slot id); once the successor is compiled
+//     the slot jumps straight to its entry, whose budget check keeps
+//     landmark stops exact.
+//   * Anything hard side-exits with pc/icount synced to just BEFORE the
+//     difficult instruction and lets Machine::Step() execute it: memory
+//     ops that would fault, IN/OUT (backends can stall the clock, halt,
+//     or raise IRQs mid-instruction), EI/IRET (interrupt-boundary
+//     re-checks). Replay divergence behavior is therefore inherited
+//     from the interpreter, not re-implemented.
+//   * Self-modifying writes: stores check a per-page "has translations"
+//     byte map (the same granularity as the interpreter's per-page
+//     icache_valid_ seam) and side-exit so the runtime can drop the
+//     affected translations — including the currently running block.
+//     Invalidated entries are patched to a thunk, which also neutralizes
+//     stale chain edges pointing at them.
+//
+// One JitEngine per Machine: caches are thread-private, so fleet audits
+// replaying many logs concurrently never contend or cross-patch.
+#ifndef SRC_VM_JIT_JIT_H_
+#define SRC_VM_JIT_JIT_H_
+
+// Build gate: CMake defines AVM_JIT_X86 (option AVM_JIT, forced off on
+// non-x86-64 hosts); builds without it autodetect from the compiler.
+#if !defined(AVM_JIT_X86)
+#if defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__))
+#define AVM_JIT_X86 1
+#else
+#define AVM_JIT_X86 0
+#endif
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/vm/jit/translation_cache.h"
+
+namespace avm {
+
+struct CpuState;
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+namespace jit {
+
+class Emitter;  // src/vm/jit/emitter.h; only jit.cc needs the definition.
+
+// Fixed layout shared with the generated code (all offsets disp8).
+struct JitContext {
+  uint32_t* regs = nullptr;       // +0   &cpu.regs[0]
+  uint8_t* mem = nullptr;         // +8   guest memory base
+  uint64_t icount = 0;            // +16  live icount (in/out)
+  uint64_t target = 0;            // +24  RunUntilIcount target
+  uint32_t pc = 0;                // +32  entry/exit pc (in/out)
+  uint32_t exit_slot = 0;         // +36  chain slot id on kExitChainMiss
+  uint8_t* dirty = nullptr;       // +40  per-page dirty bytes
+  uint8_t* ivalid = nullptr;      // +48  per-page decoded-cache valid bytes
+  uint8_t* code_pages = nullptr;  // +56  per-page "has translations" bytes
+  CpuState* cpu = nullptr;        // +64  for int_enabled writes (DI)
+  uint32_t mod_addr = 0;          // +72  self-modifying store address
+  uint32_t pad_ = 0;
+};
+
+inline constexpr uint8_t kCtxRegs = 0;
+inline constexpr uint8_t kCtxMem = 8;
+inline constexpr uint8_t kCtxIcount = 16;
+inline constexpr uint8_t kCtxTarget = 24;
+inline constexpr uint8_t kCtxPc = 32;
+inline constexpr uint8_t kCtxExitSlot = 36;
+inline constexpr uint8_t kCtxDirty = 40;
+inline constexpr uint8_t kCtxIvalid = 48;
+inline constexpr uint8_t kCtxCodePages = 56;
+inline constexpr uint8_t kCtxCpu = 64;
+inline constexpr uint8_t kCtxModAddr = 72;
+
+// Exit codes returned in eax by the generated code.
+enum JitExit : uint32_t {
+  // A chain slot (or an invalidated entry) has no compiled successor:
+  // ctx.pc is the wanted guest pc, ctx.exit_slot the slot to patch
+  // (~0u when there is nothing to patch).
+  kExitChainMiss = 0,
+  // Entry budget check failed: completing this block would overshoot
+  // target_icount. The interpreter single-steps to the exact boundary.
+  kExitNoBudget = 1,
+  // Register-indirect transfer (JR/JALR): ctx.pc holds the runtime
+  // target; the dispatcher re-enters through the interrupt-checking
+  // boundary exactly like the interpreter's VM_NEXT_IRQ.
+  kExitDynamic = 2,
+  // ctx.pc points at an instruction the JIT defers to the interpreter
+  // (IN/OUT/EI/IRET/HALT/illegal, or a memory op whose bounds check
+  // failed); icount counts only the instructions retired before it.
+  kExitFallback = 3,
+  // A store landed on a page holding translations; the store itself has
+  // retired (icount/pc include it, dirty/ivalid updated). ctx.mod_addr
+  // is the written address; the runtime invalidates and resumes.
+  kExitSelfMod = 4,
+};
+
+struct TranslatedBlock {
+  uint32_t guest_pc = 0;      // First instruction.
+  uint32_t span_bytes = 0;    // Guest bytes covered by translated insns.
+  uint32_t insn_count = 0;    // Retired when the block runs to its tail.
+  uint8_t* entry = nullptr;   // Native entry (budget check first).
+  bool invalidated = false;
+};
+
+// Plain single-threaded counters; mirrored into the obs registry
+// (avm.jit.*) so §6.6 attribution covers the translation layer.
+struct JitStats {
+  uint64_t translations = 0;
+  uint64_t code_bytes = 0;
+  uint64_t flushes = 0;
+  uint64_t blocks_invalidated = 0;
+  uint64_t pages_invalidated = 0;
+  uint64_t chain_patches = 0;
+  uint64_t interp_fallbacks = 0;
+  uint64_t selfmod_exits = 0;
+  uint64_t native_enters = 0;
+};
+
+struct JitConfig {
+  size_t cache_bytes = 1u << 20;
+  uint32_t hot_threshold = 2;     // Compile a pc on its Nth dispatcher visit.
+  uint32_t max_block_insns = 64;  // Also bounds the budget granularity.
+  bool harden_wx = false;         // W^X (RW<->RX) instead of one RWX map.
+};
+
+// True when this build can emit native code for this host (x86-64 with
+// AVM_JIT compiled in). The Machine additionally requires a successful
+// executable mapping at first use.
+bool JitSupported();
+
+// True for opcodes that terminate a translated block (control transfers
+// and everything the JIT defers to the interpreter). The dispatcher's
+// cold path interprets up to the next such instruction so compile-heat
+// anchors land on real block heads.
+bool EndsTraceBlock(uint8_t opcode);
+
+class JitEngine {
+ public:
+  // mem/mem_size: guest RAM. page_count bytes behind code_pages must
+  // stay valid for the engine's lifetime (the Machine owns them so its
+  // write paths can check "does this page hold translations" inline).
+  JitEngine(const JitConfig& cfg, uint8_t* mem, size_t mem_size, uint8_t* code_pages,
+            size_t page_count);
+
+  // False when executable memory is unavailable; the Machine falls back
+  // to the interpreter permanently.
+  bool ok() const { return cache_.ok(); }
+
+  JitContext& ctx() { return ctx_; }
+
+  TranslatedBlock* Lookup(uint32_t pc) {
+    auto it = blocks_by_pc_.find(pc);
+    return it == blocks_by_pc_.end() ? nullptr : it->second;
+  }
+
+  // Heat-counts pc and compiles once it crosses the threshold. Returns
+  // the block, or nullptr when pc is still cold or untranslatable. May
+  // flush the whole cache when full.
+  TranslatedBlock* MaybeCompile(uint32_t pc);
+
+  // Runs native code starting at `b` (chains run inside). The caller
+  // loads ctx (icount/target/pc) before and syncs cpu state after.
+  uint32_t Execute(TranslatedBlock* b);
+
+  // Points chain slot `slot_id` (from ctx.exit_slot) at `target`.
+  void PatchChain(uint32_t slot_id, TranslatedBlock* target);
+
+  // Drops every translation intersecting `page` (entry patched to the
+  // invalidated thunk, so stale chain edges die too).
+  void InvalidatePage(size_t page);
+  void InvalidateWrite(uint32_t addr) { InvalidatePage(addr / 4096); }
+
+  // Drops everything (image reload, cache full).
+  void Flush();
+
+  // Dispatcher-side stat hooks for exits the native code cannot count.
+  void CountFallback();
+  void CountSelfMod();
+
+  // Cache generation, bumped by Flush: the dispatcher uses it to detect
+  // that a chain slot id from before a compile-triggered flush is stale.
+  uint64_t generation() const { return generation_; }
+
+  const JitStats& stats() const { return stats_; }
+  size_t code_bytes_used() const { return cache_.used(); }
+
+ private:
+  struct ChainSlot {
+    uint8_t* patch_at = nullptr;  // The 5-byte jmp rel32 to rewrite.
+  };
+
+  TranslatedBlock* Compile(uint32_t pc);
+  bool EmitBlock(uint32_t head, Emitter* em, std::vector<size_t>* slot_sites,
+                 uint32_t* insn_count, uint32_t* span_bytes);
+  void PatchJmp(uint8_t* at, const uint8_t* target);
+
+  JitConfig cfg_;
+  uint8_t* mem_;
+  size_t mem_size_;
+  uint8_t* code_pages_;
+  size_t page_count_;
+
+  TranslationCache cache_;
+  JitContext ctx_;
+  std::deque<TranslatedBlock> block_storage_;
+  std::unordered_map<uint32_t, TranslatedBlock*> blocks_by_pc_;
+  std::vector<std::vector<TranslatedBlock*>> page_blocks_;
+  std::unordered_map<uint32_t, uint32_t> heat_;
+  std::vector<ChainSlot> chain_slots_;
+  uint64_t generation_ = 0;
+
+  JitStats stats_;
+  obs::Counter* c_translations_;
+  obs::Counter* c_code_bytes_;
+  obs::Counter* c_flushes_;
+  obs::Counter* c_blocks_invalidated_;
+  obs::Counter* c_pages_invalidated_;
+  obs::Counter* c_chain_patches_;
+  obs::Counter* c_fallbacks_;
+  obs::Counter* c_selfmod_;
+};
+
+}  // namespace jit
+}  // namespace avm
+
+#endif  // SRC_VM_JIT_JIT_H_

@@ -1,0 +1,139 @@
+#include "src/vm/jit/translation_cache.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define AVM_JIT_HAVE_MMAP 1
+#else
+#define AVM_JIT_HAVE_MMAP 0
+#endif
+
+#include <cstring>
+
+#include "src/vm/jit/jit.h"
+
+namespace avm {
+namespace jit {
+
+namespace {
+
+#if AVM_JIT_HAVE_MMAP
+void* MapExec(size_t bytes, bool start_writable_only) {
+  int prot = PROT_READ | PROT_WRITE | (start_writable_only ? 0 : PROT_EXEC);
+  void* p = mmap(nullptr, bytes, prot, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  return p == MAP_FAILED ? nullptr : p;
+}
+#endif
+
+}  // namespace
+
+TranslationCache::~TranslationCache() {
+#if AVM_JIT_HAVE_MMAP
+  if (base_ != nullptr) {
+    munmap(base_, size_);
+  }
+#endif
+}
+
+bool TranslationCache::Init(const ExecMemOptions& opts) {
+#if AVM_JIT_HAVE_MMAP
+  harden_wx_ = opts.harden_wx;
+  size_ = opts.bytes;
+  base_ = static_cast<uint8_t*>(MapExec(size_, harden_wx_));
+  if (base_ == nullptr) {
+    size_ = 0;
+    return false;
+  }
+  writable_ = true;  // Fresh maps are writable in both modes.
+
+  // The C++ -> native trampoline: EnterFn(JitContext* rdi, void* rsi).
+  // Saves the callee-saved registers the generated code uses, loads the
+  // fixed register conventions from the context, and jumps into the
+  // block. Blocks return straight to the trampoline's caller via the
+  // ExitEpilogue sequence (pops + ret), so there is no "return" half.
+  uint8_t* p = base_;
+  enter_ = p;
+  static constexpr uint8_t kEnter[] = {
+      0x53,                                    // push rbx
+      0x55,                                    // push rbp
+      0x41, 0x54,                              // push r12
+      0x41, 0x55,                              // push r13
+      0x41, 0x56,                              // push r14
+      0x41, 0x57,                              // push r15
+      0x48, 0x89, 0xFB,                        // mov rbx, rdi      (ctx)
+      0x48, 0x8B, 0x2B,                        // mov rbp, [rbx+0]  (regs)
+      0x4C, 0x8B, 0x63, kCtxMem,               // mov r12, [rbx+8]  (mem)
+      0x4C, 0x8B, 0x6B, kCtxIcount,            // mov r13, [rbx+16] (icount)
+      0x4C, 0x8B, 0x73, kCtxTarget,            // mov r14, [rbx+24] (target)
+      0xFF, 0xE6,                              // jmp rsi
+  };
+  std::memcpy(p, kEnter, sizeof(kEnter));
+  p += sizeof(kEnter);
+
+  // Invalidated-block thunk: entries of flushed/self-modified blocks are
+  // patched to jump here. ctx.pc was already set by whoever routed
+  // control to the dead entry (the dispatcher or a chained predecessor),
+  // so only the exit protocol remains: no chain slot to patch, exit code
+  // kExitChainMiss, icount committed.
+  invalid_thunk_ = p;
+  static constexpr uint8_t kInvalid[] = {
+      0xC7, 0x43, kCtxExitSlot, 0xFF, 0xFF, 0xFF, 0xFF,  // mov dword [rbx+36], -1
+      0x31, 0xC0,                                        // xor eax, eax (kExitChainMiss)
+      0x4C, 0x89, 0x6B, kCtxIcount,                      // mov [rbx+16], r13
+      0x41, 0x5F,                                        // pop r15
+      0x41, 0x5E,                                        // pop r14
+      0x41, 0x5D,                                        // pop r13
+      0x41, 0x5C,                                        // pop r12
+      0x5D,                                              // pop rbp
+      0x5B,                                              // pop rbx
+      0xC3,                                              // ret
+  };
+  std::memcpy(p, kInvalid, sizeof(kInvalid));
+  p += sizeof(kInvalid);
+
+  used_ = static_cast<size_t>(p - base_);
+  header_bytes_ = used_;
+  MakeExecutable();
+  return true;
+#else
+  (void)opts;
+  return false;
+#endif
+}
+
+uint8_t* TranslationCache::Alloc(size_t bytes) {
+  if (base_ == nullptr || used_ + bytes > size_) {
+    return nullptr;
+  }
+  uint8_t* at = base_ + used_;
+  used_ += bytes;
+  return at;
+}
+
+void TranslationCache::Reset() {
+  // The fixed thunks survive a flush; only translated blocks are dropped.
+  used_ = header_bytes_;
+}
+
+void TranslationCache::MakeWritable() {
+#if AVM_JIT_HAVE_MMAP
+  if (!harden_wx_ || writable_ || base_ == nullptr) {
+    return;
+  }
+  mprotect(base_, size_, PROT_READ | PROT_WRITE);
+  writable_ = true;
+#endif
+}
+
+void TranslationCache::MakeExecutable() {
+#if AVM_JIT_HAVE_MMAP
+  if (!harden_wx_ || !writable_ || base_ == nullptr) {
+    writable_ = false;
+    return;
+  }
+  mprotect(base_, size_, PROT_READ | PROT_EXEC);
+  writable_ = false;
+#endif
+}
+
+}  // namespace jit
+}  // namespace avm

@@ -1,0 +1,74 @@
+// The executable code buffer of the JIT: one mmap'd region with bump
+// allocation, following Valgrind/QEMU translation-cache management. The
+// buffer starts with two fixed thunks (the C++->native trampoline and
+// the invalidated-block thunk); translated blocks are appended after
+// them and the whole region is reset ("flushed") when it fills.
+//
+// Protection follows a W^X discipline when hardening is requested: the
+// region is RW while the translator writes or patches and RX while
+// guest blocks execute, never writable and executable at once. The
+// default maps RWX up front (chain patching during warmup is frequent
+// enough that two mprotect syscalls per patch are measurable); callers
+// opt into the hardened mode with ExecMemOptions::harden_wx.
+#ifndef SRC_VM_JIT_TRANSLATION_CACHE_H_
+#define SRC_VM_JIT_TRANSLATION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace avm {
+namespace jit {
+
+struct ExecMemOptions {
+  size_t bytes = 1u << 20;  // Code buffer size (1 MiB default).
+  bool harden_wx = false;   // RW<->RX flipping instead of one RWX map.
+};
+
+class TranslationCache {
+ public:
+  TranslationCache() = default;
+  ~TranslationCache();
+  TranslationCache(const TranslationCache&) = delete;
+  TranslationCache& operator=(const TranslationCache&) = delete;
+
+  // Maps the buffer and writes the fixed thunks. Returns false when the
+  // platform cannot provide executable memory (JIT then stays off).
+  bool Init(const ExecMemOptions& opts);
+  bool ok() const { return base_ != nullptr; }
+
+  // Bump-allocates space for a block body. Returns nullptr when the
+  // buffer cannot fit `bytes` (caller must Flush and retry).
+  uint8_t* Alloc(size_t bytes);
+  // Resets the bump pointer to just past the fixed thunks.
+  void Reset();
+
+  size_t used() const { return used_; }
+  size_t capacity() const { return size_; }
+
+  // Protection flips (no-ops unless harden_wx). The cache tracks its
+  // state, so redundant calls cost nothing.
+  void MakeWritable();
+  void MakeExecutable();
+
+  // void* instead of a function type: the caller casts to its entry
+  // signature (uint32_t(*)(JitContext*, const void*)).
+  const void* enter_fn() const { return enter_; }
+  // Target for invalidated-block entry patches: reports "no block here"
+  // and returns to the dispatcher.
+  const uint8_t* invalid_thunk() const { return invalid_thunk_; }
+
+ private:
+  uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+  size_t used_ = 0;
+  size_t header_bytes_ = 0;  // Trampoline + thunk prefix that survives Reset.
+  uint8_t* enter_ = nullptr;
+  uint8_t* invalid_thunk_ = nullptr;
+  bool harden_wx_ = false;
+  bool writable_ = false;
+};
+
+}  // namespace jit
+}  // namespace avm
+
+#endif  // SRC_VM_JIT_TRANSLATION_CACHE_H_

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/util/serde.h"
+#include "src/vm/jit/jit.h"
 
 // Dispatch mode for the fast path (RunLoop). Computed-goto threaded
 // dispatch on GNU-compatible compilers, unless the build disables it
@@ -69,8 +70,11 @@ Machine::Machine(size_t mem_size, DeviceBackend* backend) : backend_(backend) {
     throw std::invalid_argument("Machine: bad memory size");
   }
   mem_.assign(mem_size, 0);
-  dirty_.assign(mem_size / kPageSize, false);
+  dirty_.assign(mem_size / kPageSize, 0);
 }
+
+// Out of line: jit::JitEngine is incomplete in the header.
+Machine::~Machine() = default;
 
 void Machine::LoadImage(ByteView image, uint32_t addr) {
   if (addr + image.size() > mem_.size()) {
@@ -79,6 +83,9 @@ void Machine::LoadImage(ByteView image, uint32_t addr) {
   std::memcpy(mem_.data() + addr, image.data(), image.size());
   MarkAllDirty();
   icache_valid_.assign(icache_valid_.size(), 0);
+  if (jit_ != nullptr) {
+    jit_->Flush();
+  }
 }
 
 void Machine::Fault(const std::string& why) {
@@ -158,6 +165,9 @@ void Machine::WriteMemRange(uint32_t addr, ByteView data) {
     if (!icache_valid_.empty()) {
       icache_valid_[p] = 0;
     }
+    if (!jit_code_pages_.empty() && jit_code_pages_[p] != 0) {
+      JitInvalidateWrite(static_cast<uint32_t>(p * kPageSize));
+    }
   }
 }
 
@@ -183,11 +193,11 @@ std::vector<uint32_t> Machine::CollectDirtyPages() const {
 }
 
 void Machine::ClearDirtyPages() {
-  dirty_.assign(dirty_.size(), false);
+  dirty_.assign(dirty_.size(), 0);
 }
 
 void Machine::MarkAllDirty() {
-  dirty_.assign(dirty_.size(), true);
+  dirty_.assign(dirty_.size(), 1);
 }
 
 bool Machine::Step() {
@@ -409,6 +419,9 @@ RunExit Machine::RunUntilIcount(uint64_t target_icount) {
     return faulted_ ? RunExit::kFault : RunExit::kHalted;
   }
   if (observer_ == nullptr && icache_enabled_) {
+    if (jit_enabled_ && !jit_failed_ && JitCompiledIn()) {
+      return RunJit(target_icount);
+    }
     return RunLoop(target_icount);
   }
   // Observer attached or decoded cache disabled: the original per-word
@@ -832,6 +845,177 @@ bool Machine::ThreadedDispatchCompiledIn() {
 #else
   return false;
 #endif
+}
+
+bool Machine::JitCompiledIn() { return jit::JitSupported(); }
+
+const jit::JitStats* Machine::jit_stats() const {
+  return jit_ == nullptr ? nullptr : &jit_->stats();
+}
+
+void Machine::set_jit_enabled(bool on) {
+  // Flush on disable: RunLoop's store path does not check for live
+  // translations (that is what keeps today's interpreter tiers
+  // untouched), so no translation may survive into an interpreter-tier
+  // run. Re-enabling retranslates from current memory.
+  if (!on && jit_ != nullptr) {
+    jit_->Flush();
+  }
+  jit_enabled_ = on;
+}
+
+void Machine::JitInvalidateWrite(uint32_t addr) {
+  if (jit_ != nullptr) {
+    jit_->InvalidateWrite(addr);
+  }
+}
+
+void Machine::EnsureJit() {
+  if (jit_ != nullptr || jit_failed_) {
+    return;
+  }
+  // Guest addresses are 32-bit; the generated bounds checks compare
+  // against a 32-bit limit.
+  if (mem_.size() > 0xFFFFFFFFu) {
+    jit_failed_ = true;
+    return;
+  }
+  jit_code_pages_.assign(PageCount(), 0);
+  jit::JitConfig cfg;
+  cfg.harden_wx = jit_harden_wx_;
+  jit_ = std::make_unique<jit::JitEngine>(cfg, mem_.data(), mem_.size(), jit_code_pages_.data(),
+                                          PageCount());
+  if (!jit_->ok()) {
+    jit_.reset();
+    jit_code_pages_.clear();
+    jit_failed_ = true;  // No executable memory on this host; stay off.
+  }
+}
+
+// The JIT tier dispatcher. Mirrors RunLoop's fetch_irq boundary: the
+// icount-landmark check and the interrupt check happen at every block
+// boundary reached through the dispatcher, and chained native blocks
+// only span straight-line stretches where `pending_irqs && int_enabled`
+// cannot become true (EI/IRET and backend calls are fallback exits).
+// Everything the generated code cannot retire exactly is single-stepped
+// through the reference interpreter, so replay is bit-for-bit the
+// Step() semantics at every tier.
+RunExit Machine::RunJit(uint64_t target_icount) {
+  EnsureJit();
+  if (jit_ == nullptr) {
+    return RunLoop(target_icount);
+  }
+  if (icache_valid_.empty()) {
+    // Native store tails clear per-page decoded-cache validity through
+    // ctx.ivalid, so the map must exist even if RunLoop never ran.
+    icache_valid_.assign(PageCount(), 0);
+  }
+  jit::JitContext& ctx = jit_->ctx();
+  ctx.regs = cpu_.regs;
+  ctx.mem = mem_.data();
+  ctx.dirty = dirty_.data();
+  ctx.ivalid = icache_valid_.data();
+  ctx.cpu = &cpu_;
+  ctx.target = target_icount;
+
+  // One pending chain patch: set at a chain-miss exit, applied when the
+  // next iteration obtains the successor block (guarded against flushes
+  // in between and against an interrupt redirecting pc).
+  uint32_t pending_slot = ~0u;
+  uint32_t pending_succ = 0;
+  uint64_t pending_gen = 0;
+
+  while (true) {
+    if (cpu_.halted || faulted_) {
+      return faulted_ ? RunExit::kFault : RunExit::kHalted;
+    }
+    if (cpu_.icount >= target_icount) {
+      return RunExit::kIcountReached;
+    }
+    TakeIrqIfPending();
+    const uint32_t pc = cpu_.pc;
+    jit::TranslatedBlock* b = jit_->Lookup(pc);
+    if (b == nullptr) {
+      b = jit_->MaybeCompile(pc);
+    }
+    if (b == nullptr) {
+      pending_slot = ~0u;
+      // Cold or untranslatable head: interpret to the end of this trace
+      // block, so compile heat stays anchored on real block heads.
+      do {
+        bool boundary = true;
+        const uint32_t at = cpu_.pc;
+        if (at % 4 == 0 && at <= mem_.size() - 4) {
+          uint32_t word;
+          std::memcpy(&word, mem_.data() + at, 4);
+          boundary = jit::EndsTraceBlock(static_cast<uint8_t>(word >> 24));
+        }
+        if (!Step()) {
+          return faulted_ ? RunExit::kFault : RunExit::kHalted;
+        }
+        if (boundary) {
+          break;
+        }
+      } while (cpu_.icount < target_icount);
+      continue;
+    }
+    if (pending_slot != ~0u) {
+      if (pending_gen == jit_->generation() && b->guest_pc == pending_succ) {
+        jit_->PatchChain(pending_slot, b);
+      }
+      pending_slot = ~0u;
+    }
+    ctx.icount = cpu_.icount;
+    ctx.pc = pc;
+    const uint32_t exit = jit_->Execute(b);
+    cpu_.icount = ctx.icount;
+    cpu_.pc = ctx.pc;
+    switch (exit) {
+      case jit::kExitChainMiss:
+        if (ctx.exit_slot != ~0u) {
+          pending_slot = ctx.exit_slot;
+          pending_succ = ctx.pc;
+          pending_gen = jit_->generation();
+        }
+        break;
+      case jit::kExitNoBudget:
+        // The block at pc would overshoot the icount landmark (fewer
+        // than one block length remains): single-step the reference
+        // interpreter to the exact boundary.
+        while (cpu_.icount < target_icount) {
+          if (!Step()) {
+            return faulted_ ? RunExit::kFault : RunExit::kHalted;
+          }
+        }
+        return RunExit::kIcountReached;
+      case jit::kExitDynamic:
+        // JR/JALR: register targets can misalign pc and need the
+        // interrupt re-check; both happen at the top of the loop.
+        break;
+      case jit::kExitFallback:
+        // The instruction at pc is runtime-deferred (IN/OUT/HALT/EI/
+        // IRET/illegal, or a memory op that will fault): the
+        // interpreter retires it with exact semantics — unless the
+        // block before it ended exactly on the icount landmark.
+        jit_->CountFallback();
+        if (cpu_.icount >= target_icount) {
+          return RunExit::kIcountReached;
+        }
+        if (!Step()) {
+          return faulted_ ? RunExit::kFault : RunExit::kHalted;
+        }
+        break;
+      case jit::kExitSelfMod:
+        // A store hit a page with live translations (possibly this
+        // block's own): drop them and resume at the next instruction.
+        jit_->CountSelfMod();
+        jit_->InvalidateWrite(ctx.mod_addr);
+        break;
+      default:
+        Fault("jit: bad exit code");
+        return RunExit::kFault;
+    }
+  }
 }
 
 }  // namespace avm

@@ -5,6 +5,7 @@
 #define SRC_VM_MACHINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,11 @@
 namespace avm {
 
 class Machine;
+
+namespace jit {
+class JitEngine;
+struct JitStats;
+}  // namespace jit
 
 // Host-side device backend. The recording AVMM samples real sources and
 // logs; the replaying auditor feeds values back from the log.
@@ -82,6 +88,7 @@ class Machine {
   // mem_size must be a multiple of kPageSize and large enough for the
   // NIC DMA windows.
   Machine(size_t mem_size, DeviceBackend* backend);
+  ~Machine();
 
   // Copies `image` into memory at `addr` (typically 0).
   void LoadImage(ByteView image, uint32_t addr = 0);
@@ -119,8 +126,9 @@ class Machine {
   size_t PageCount() const { return mem_.size() / kPageSize; }
   ByteView PageData(size_t page_index) const;
 
-  // Dirty-page tracking for incremental snapshots.
-  const std::vector<bool>& dirty_pages() const { return dirty_; }
+  // Dirty-page tracking for incremental snapshots (one byte per page so
+  // JIT-generated code can set flags without vector<bool> bit math).
+  const std::vector<uint8_t>& dirty_pages() const { return dirty_; }
   std::vector<uint32_t> CollectDirtyPages() const;
   void ClearDirtyPages();
   void MarkAllDirty();
@@ -142,6 +150,21 @@ class Machine {
   // with AVM_THREADED_DISPATCH); false for the portable switch fallback.
   static bool ThreadedDispatchCompiledIn();
 
+  // Toggles the top execution tier: x86-64 dynamic binary translation
+  // of hot basic blocks (src/vm/jit). On by default where compiled in;
+  // off (or on non-x86-64 builds) runs the decoded-cache interpreter.
+  // All three tiers retire bit-for-bit identical architectural state.
+  void set_jit_enabled(bool on);
+  bool jit_enabled() const { return jit_enabled_; }
+  // True when the build can translate to native code on this host
+  // (CMake option AVM_JIT, x86-64 only).
+  static bool JitCompiledIn();
+  // W^X discipline for the JIT code buffer (RW<->RX flips instead of a
+  // single RWX mapping). Must be set before the first JIT-tier run.
+  void set_jit_harden_wx(bool on) { jit_harden_wx_ = on; }
+  // Translation-layer counters; nullptr until the JIT tier first runs.
+  const jit::JitStats* jit_stats() const;
+
  private:
   bool Step();  // Returns false when execution must stop (halt/fault).
   bool StepObserved();  // Step() + InstructionObserver notification.
@@ -153,16 +176,28 @@ class Machine {
   RunExit RunLoop(uint64_t target_icount);
   void DecodePage(size_t page);
   // Drops the decoded entries of the page containing byte `addr`; called
-  // from every memory-write path next to the dirty_ marking.
+  // from every memory-write path next to the dirty_ marking. Also drops
+  // JIT translations when the page holds any (jit_code_pages_ is all
+  // zero until the JIT engine exists, so the extra check costs nothing
+  // on builds and runs that never enter the JIT tier).
   void InvalidateDecoded(uint32_t addr) {
     if (!icache_valid_.empty()) {
       icache_valid_[addr / kPageSize] = 0;
     }
+    if (!jit_code_pages_.empty() && jit_code_pages_[addr / kPageSize] != 0) {
+      JitInvalidateWrite(addr);
+    }
   }
+
+  // The JIT tier: block dispatch loop, lazy engine construction, and the
+  // out-of-line invalidation slow path behind InvalidateDecoded.
+  RunExit RunJit(uint64_t target_icount);
+  void EnsureJit();
+  void JitInvalidateWrite(uint32_t addr);
 
   CpuState cpu_;
   std::vector<uint8_t> mem_;
-  std::vector<bool> dirty_;
+  std::vector<uint8_t> dirty_;  // One byte per page; see dirty_pages().
   bool faulted_ = false;
   std::string fault_reason_;
   DeviceBackend* backend_;
@@ -172,6 +207,16 @@ class Machine {
   bool icache_enabled_ = true;
   std::vector<DecodedInsn> icache_;    // One slot per 32-bit word.
   std::vector<uint8_t> icache_valid_;  // One flag per page.
+
+  // JIT tier state (engine constructed lazily on first JIT-tier run).
+  bool jit_enabled_ = true;
+  bool jit_harden_wx_ = false;
+  bool jit_failed_ = false;  // Executable memory unavailable; stay off.
+  std::unique_ptr<jit::JitEngine> jit_;
+  // One byte per page, 1 while the page holds live translations. Owned
+  // here (written by the engine) so the inline write paths above can
+  // test it without touching the engine.
+  std::vector<uint8_t> jit_code_pages_;
 };
 
 // A trivial backend for tests: IN returns scripted constants (0 default),

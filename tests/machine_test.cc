@@ -2,6 +2,7 @@
 
 #include "src/util/prng.h"
 #include "src/vm/assembler.h"
+#include "src/vm/jit/jit.h"
 #include "src/vm/machine.h"
 
 namespace avm {
@@ -536,6 +537,189 @@ TEST(MachineEquivalence, RandomProgramSweepAgrees) {
     }
     ExpectBothPathsAgree(image, {257, 1000, 1});
   }
+}
+
+// --- JIT tier equivalence ----------------------------------------------
+//
+// Note ExpectBothPathsAgree above already drives the JIT: its `fast`
+// machine is a default-constructed Machine, and the JIT tier is on by
+// default where compiled in. The tests below pin the JIT against the
+// decoded-cache tier specifically (so a shared bug in Step() cannot
+// mask a translator bug) and probe the translator's own edges: icount
+// landmarks inside a translated block, page invalidation, and the W^X
+// cache mode.
+
+// Lockstep compare: JIT tier vs decoded-cache interpreter tier.
+void ExpectJitMatchesInterpreter(const Bytes& image, const std::vector<uint64_t>& quanta,
+                                 const std::vector<std::pair<int, uint32_t>>& irqs_at_quantum = {},
+                                 bool harden_wx = false) {
+  NullBackend b0, b1;
+  Machine jit(kMem, &b0), interp(kMem, &b1);
+  jit.set_jit_harden_wx(harden_wx);
+  interp.set_jit_enabled(false);
+  jit.LoadImage(image);
+  interp.LoadImage(image);
+  for (size_t q = 0; q < quanta.size(); q++) {
+    for (const auto& [at, cause] : irqs_at_quantum) {
+      if (static_cast<size_t>(at) == q) {
+        jit.RaiseIrq(cause);
+        interp.RaiseIrq(cause);
+      }
+    }
+    RunExit ej = jit.Run(quanta[q]);
+    RunExit ei = interp.Run(quanta[q]);
+    ASSERT_EQ(ej, ei) << "exit differs at quantum " << q;
+    ASSERT_TRUE(jit.cpu() == interp.cpu()) << "cpu state differs at quantum " << q;
+    ASSERT_EQ(jit.faulted(), interp.faulted());
+    ASSERT_EQ(jit.fault_reason(), interp.fault_reason());
+    ASSERT_EQ(jit.ReadMemRange(0, kMem), interp.ReadMemRange(0, kMem))
+        << "memory differs at quantum " << q;
+  }
+}
+
+constexpr char kJitHotLoop[] = R"(
+    movi r1, 0
+    movi r2, 2000
+loop:
+    addi r1, 1
+    add r3, r1
+    xor r4, r3
+    slt r5, r4
+    bne r1, r2, loop
+    halt
+)";
+
+TEST(MachineJit, HotLoopMatchesInterpreterAtOddQuanta) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // Quanta chosen so landmarks land at every offset inside the 5-insn
+  // translated block, including repeated single-step stops.
+  std::vector<uint64_t> quanta = {1, 3, 257, 64, 1000, 1, 1, 1, 2, 5000, 7, 4000};
+  ExpectJitMatchesInterpreter(Assemble(kJitHotLoop), quanta);
+}
+
+TEST(MachineJit, MidBlockIcountStopIsExact) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // A long straight-line block: RunUntilIcount must stop exactly at
+  // every interior landmark, never retiring past it.
+  std::string body = "movi r1, 0\nloop:\n";
+  for (int i = 0; i < 30; i++) {
+    body += "addi r1, 1\n";
+  }
+  body += "jmp loop\n";
+  NullBackend b;
+  Machine m(kMem, &b);
+  m.LoadImage(Assemble(body));
+  for (uint64_t step = 1; m.cpu().icount < 400; step = step % 7 + 1) {
+    uint64_t target = m.cpu().icount + step;
+    ASSERT_EQ(m.RunUntilIcount(target), RunExit::kIcountReached);
+    ASSERT_EQ(m.cpu().icount, target);
+  }
+  ExpectJitMatchesInterpreter(Assemble(body), std::vector<uint64_t>(100, 1));
+}
+
+TEST(MachineJit, IrqAtLandmarksAgrees) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  Bytes image = Assemble(R"(
+    jmp main
+    jmp irqh
+irqh:
+    in r5, IRQ_CAUSE
+    add r6, r5
+    iret
+main:
+    movi r6, 0
+    ei
+loop:
+    addi r7, 1
+    jmp loop
+  )");
+  std::vector<uint64_t> quanta(40, 13);
+  std::vector<std::pair<int, uint32_t>> irqs;
+  for (int q = 0; q < 40; q += 3) {
+    irqs.emplace_back(q, q % 2 == 0 ? kIrqNetRx : kIrqInput);
+  }
+  ExpectJitMatchesInterpreter(image, quanta, irqs);
+}
+
+TEST(MachineJit, SelfModifyingCodeInvalidatesTranslations) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // The guest rewrites its own hot loop after it has been translated;
+  // the write must drop the stale native code via the per-page seam.
+  Bytes image = Assemble(R"(
+    movi r1, 0
+    movi r2, 0
+    la r3, patch
+    la r4, 200
+loop:
+patch:
+    addi r1, 1
+    addi r2, 1
+    movi r5, 100
+    bne r2, r5, cont
+    la r6, 0x2b100005   ; addi r1, 5
+    sw r6, [r3]
+cont:
+    bne r2, r4, loop
+    halt
+  )");
+  ExpectJitMatchesInterpreter(image, {50, 301, 99, 2000});
+
+  NullBackend b;
+  Machine m(kMem, &b);
+  m.LoadImage(image);
+  m.Run(10000);
+  EXPECT_EQ(m.cpu().regs[1], 100u + 100u * 5u);
+  const jit::JitStats* stats = m.jit_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->translations, 0u);
+  EXPECT_GT(stats->pages_invalidated, 0u);
+  EXPECT_GT(stats->blocks_invalidated, 0u);
+}
+
+TEST(MachineJit, RandomProgramSweepJitVsDecodedCache) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  constexpr uint8_t kOps[] = {0x00, 0x01, 0x10, 0x11, 0x12, 0x13, 0x20, 0x21, 0x22, 0x23,
+                              0x24, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x2b, 0x2c, 0x2d,
+                              0x30, 0x31, 0x32, 0x33, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45,
+                              0x46, 0x47, 0x48, 0x49, 0x60, 0x61, 0x62, 0xee};
+  Prng rng(20260807);
+  for (int prog = 0; prog < 16; prog++) {
+    Bytes image;
+    for (int i = 0; i < 1024; i++) {
+      uint8_t op = kOps[rng.Next() % (sizeof(kOps) - (prog % 2 ? 0 : 1))];
+      uint16_t imm = static_cast<uint16_t>(rng.Next());
+      if (op == 0x31 || op == 0x33) {
+        imm &= 0x0fff;
+      }
+      PutU32(image, Encode(static_cast<Op>(op), static_cast<uint8_t>(rng.Next() % 16),
+                           static_cast<uint8_t>(rng.Next() % 16), imm));
+    }
+    ExpectJitMatchesInterpreter(image, {257, 1000, 1, 3});
+  }
+}
+
+TEST(MachineJit, HardenedWxModeAgrees) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  ExpectJitMatchesInterpreter(Assemble(kJitHotLoop), {257, 5000, 1, 4000},
+                              /*irqs_at_quantum=*/{}, /*harden_wx=*/true);
+}
+
+TEST(MachineJit, DisableMidRunFlushesAndStaysEquivalent) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  NullBackend b0, b1;
+  Machine toggled(kMem, &b0), interp(kMem, &b1);
+  interp.set_jit_enabled(false);
+  Bytes image = Assemble(kJitHotLoop);
+  toggled.LoadImage(image);
+  interp.LoadImage(image);
+  for (int q = 0; q < 12; q++) {
+    toggled.set_jit_enabled(q % 3 != 2);  // On, on, off, on, on, off...
+    toggled.Run(701);
+    interp.Run(701);
+    ASSERT_TRUE(toggled.cpu() == interp.cpu()) << "quantum " << q;
+    ASSERT_EQ(toggled.ReadMemRange(0, kMem), interp.ReadMemRange(0, kMem));
+  }
+  EXPECT_FALSE(toggled.faulted());
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "src/obs/sampler.h"
 #include "src/obs/trace.h"
 #include "src/sim/scenario.h"
+#include "src/vm/assembler.h"
 
 namespace fs = std::filesystem;
 
@@ -344,6 +345,57 @@ TEST(ObsEquivalence, VerdictsAndLogBytesIdenticalOnOrOff) {
   // And with it on, the audit's phases actually showed up.
   EXPECT_GT(obs::PhaseCount(obs::kPhaseAuditSyntactic), 0u);
   EXPECT_GT(obs::PhaseCount(obs::kPhaseAuditReplay), 0u);
+}
+
+// The JIT tier publishes its translation-layer counters into the global
+// registry, and telemetry must not perturb JIT execution: the same
+// guest run with obs off vs. on retires bit-identical CPU state and
+// memory, while the counters are visible either way (Counter::Inc is a
+// relaxed fetch_add, deliberately not behind the SetEnabled gate).
+TEST(ObsEquivalence, JitExecutionBitIdenticalAndCountersRegister) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  ObsGateGuard guard;
+  constexpr size_t kGuestMem = 64 * 1024;
+  // Hot loop plus one self-patching store, so translation, chaining and
+  // page invalidation all fire.
+  Bytes image = Assemble(R"(
+    movi r1, 0
+    movi r2, 5000
+    la r3, patch
+    la r6, 0x2b100001   ; addi r1, 1 (rewrite with identical bits)
+loop:
+patch:
+    addi r1, 1
+    sw r6, [r3]
+    add r4, r1
+    bne r1, r2, loop
+    halt
+  )");
+  CpuState cpu[2];
+  Bytes mem[2];
+  for (int on = 0; on < 2; on++) {
+    obs::SetEnabled(on != 0);
+    obs::ResetTrace();
+    NullBackend b;
+    Machine m(kGuestMem, &b);
+    m.LoadImage(image);
+    m.Run(100000);
+    cpu[on] = m.cpu();
+    mem[on] = m.ReadMemRange(0, kGuestMem);
+    ASSERT_FALSE(m.faulted());
+  }
+  EXPECT_TRUE(cpu[0] == cpu[1]) << "telemetry perturbed JIT execution";
+  EXPECT_EQ(mem[0], mem[1]);
+  obs::Registry& reg = obs::Registry::Global();
+  EXPECT_GT(reg.GetCounter("avm.jit.translations")->Value(), 0u);
+  EXPECT_GT(reg.GetCounter("avm.jit.code_cache_bytes")->Value(), 0u);
+  EXPECT_GT(reg.GetCounter("avm.jit.pages_invalidated")->Value(), 0u);
+  EXPECT_GT(reg.GetCounter("avm.jit.blocks_invalidated")->Value(), 0u);
+  // Present (possibly zero this run) but registered:
+  reg.GetCounter("avm.jit.chain_patches");
+  reg.GetCounter("avm.jit.interp_fallbacks");
+  reg.GetCounter("avm.jit.selfmod_exits");
+  reg.GetCounter("avm.jit.flushes");
 }
 
 }  // namespace

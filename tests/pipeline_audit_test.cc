@@ -211,6 +211,48 @@ TEST_F(PipelineAuditTest, TamperedTraceValueFailsSemanticallyIdentically) {
             static_cast<int>(EvidenceKind::kReplayDivergence));
 }
 
+TEST_F(PipelineAuditTest, JitReplayVerdictsMatchInterpreter) {
+  // The semantic check through the JIT tier (AuditConfig::jit_replay,
+  // the default) must produce the bit-for-bit outcome of the
+  // decoded-cache interpreter — on an honest log and, more importantly,
+  // on a tampered one, where the divergence seq and evidence must not
+  // move between tiers.
+  RecordSolo();
+  LogSegment honest = WholeSegment();
+  LogSegment tampered = honest;
+  bool patched = false;
+  for (LogEntry& e : tampered.entries) {
+    if (e.type == EntryType::kTraceTime && e.seq > 20 && !patched) {
+      TraceEvent ev = TraceEvent::Deserialize(e.content);
+      ev.value += 1;
+      e.content = ev.Serialize();
+      patched = true;
+    }
+  }
+  ASSERT_TRUE(patched);
+  Rechain(tampered);
+
+  struct Case {
+    const char* what;
+    LogSegment seg;
+    bool expect_ok;
+  };
+  for (Case& c : std::vector<Case>{{"honest", std::move(honest), true},
+                                   {"tampered", std::move(tampered), false}}) {
+    std::vector<Authenticator> auths = {AuthFor(c.seg)};
+    VectorSegmentSource source(std::move(c.seg));
+    AuditConfig jit_cfg = MakeConfig(kMem, 1, false);
+    AuditConfig interp_cfg = MakeConfig(kMem, 1, false);
+    interp_cfg.jit_replay = false;
+    Auditor jit("auditor", &registry_, jit_cfg);
+    Auditor interp("auditor", &registry_, interp_cfg);
+    AuditOutcome jit_out = jit.AuditFull(*node_, source, image_, auths);
+    AuditOutcome interp_out = interp.AuditFull(*node_, source, image_, auths);
+    ExpectSameOutcome(jit_out, interp_out, std::string("jit-vs-interp ") + c.what);
+    EXPECT_EQ(jit_out.ok, c.expect_ok) << c.what << ": " << jit_out.Describe();
+  }
+}
+
 TEST_F(PipelineAuditTest, BrokenChainFailsIdentically) {
   RecordSolo(20);
   LogSegment seg = WholeSegment();

@@ -310,6 +310,17 @@ ReplayResult ReplayWithCache(const LogSegment& seg, const Bytes& image, size_t m
   return r.Finish();
 }
 
+// Replay tier selector: 0 = seed dispatch, 1 = decoded cache, 2 = JIT.
+// (ReplayWithCache above leaves the JIT at its default, so its cache_on
+// path is the JIT tier where compiled in; this helper pins each tier.)
+ReplayResult ReplayWithTier(const LogSegment& seg, const Bytes& image, size_t mem_size, int tier) {
+  StreamingReplayer r(image, mem_size);
+  r.mutable_machine().set_decoded_cache_enabled(tier >= 1);
+  r.mutable_machine().set_jit_enabled(tier >= 2);
+  r.Feed(seg.entries);
+  return r.Finish();
+}
+
 void ExpectSameReplay(const ReplayResult& a, const ReplayResult& b) {
   EXPECT_EQ(a.ok, b.ok);
   EXPECT_EQ(a.reason, b.reason);
@@ -366,13 +377,15 @@ TEST_F(ReplayFixture, IrqTraceReplayEquivalentWithCacheOnAndOff) {
   ReplayResult slow = ReplayWithCache(seg, image, cfg.mem_size, false);
   EXPECT_TRUE(fast.ok) << fast.reason;
   ExpectSameReplay(fast, slow);
+  // The async-IRQ landmarks must also replay identically under the JIT,
+  // whose translated blocks skip interrupt polling entirely.
+  ExpectSameReplay(ReplayWithTier(seg, image, cfg.mem_size, 2), slow);
 }
 
-TEST_F(ReplayFixture, SelfModifyingGuestRecordsAndReplaysIdentically) {
-  // The guest patches its own loop body (addi r1, 1 -> addi r1, 2)
-  // after reading an input, then emits the accumulator; recording runs
-  // the decoded-cache fast path, and both replay modes must agree.
-  constexpr char kPatchingGuest[] = R"(
+// A guest that patches its own loop body (addi r1, 1 -> addi r1, 2)
+// after reading an input, then emits the accumulator; recording runs
+// the fast path, and every replay tier must agree.
+constexpr char kPatchingGuest[] = R"(
       jmp main
       jmp irqh
   irqh:
@@ -396,6 +409,8 @@ TEST_F(ReplayFixture, SelfModifyingGuestRecordsAndReplaysIdentically) {
       bne r4, r0, spin
       jmp loop
   )";
+
+TEST_F(ReplayFixture, SelfModifyingGuestRecordsAndReplaysIdentically) {
   Bytes image = Assemble(kPatchingGuest);
   auto node = MakeAvmm(image);
   node->PushInput(7);  // One input: flips the increment mid-run.
@@ -407,6 +422,41 @@ TEST_F(ReplayFixture, SelfModifyingGuestRecordsAndReplaysIdentically) {
   ReplayResult slow = ReplayWithCache(seg, image, node->config().mem_size, false);
   EXPECT_TRUE(fast.ok) << fast.reason << " at seq " << fast.diverged_seq;
   ExpectSameReplay(fast, slow);
+}
+
+TEST_F(ReplayFixture, JitReplayEquivalentAcrossAllTiers) {
+  // The same recorded log replayed by all three execution tiers (seed
+  // dispatch, decoded cache, JIT) must yield one ReplayResult.
+  Bytes image = Assemble(kNoisyGuest);
+  auto node = MakeAvmm(image);
+  for (int i = 0; i < 20; i++) {
+    node->PushInput(static_cast<uint32_t>(3 * i + 1));
+  }
+  Record(*node, 40);
+  LogSegment seg = node->log().Extract(1, node->log().LastSeq());
+  ReplayResult seed = ReplayWithTier(seg, image, node->config().mem_size, 0);
+  ReplayResult cache = ReplayWithTier(seg, image, node->config().mem_size, 1);
+  ReplayResult jit = ReplayWithTier(seg, image, node->config().mem_size, 2);
+  EXPECT_TRUE(seed.ok) << seed.reason;
+  ExpectSameReplay(jit, seed);
+  ExpectSameReplay(cache, seed);
+  EXPECT_EQ(jit.replay_icount, node->machine().cpu().icount);
+}
+
+TEST_F(ReplayFixture, JitSelfModifyingReplayEquivalent) {
+  // The patching guest under the JIT: the recorded writes land in pages
+  // holding live translations, so replay exercises the native-store
+  // invalidation side exit. All tiers must still agree bit-for-bit.
+  Bytes image = Assemble(kPatchingGuest);
+  auto node = MakeAvmm(image);
+  node->PushInput(7);
+  node->PushInput(9);
+  Record(*node, 30);
+  LogSegment seg = node->log().Extract(1, node->log().LastSeq());
+  ReplayResult seed = ReplayWithTier(seg, image, node->config().mem_size, 0);
+  ReplayResult jit = ReplayWithTier(seg, image, node->config().mem_size, 2);
+  EXPECT_TRUE(jit.ok) << jit.reason << " at seq " << jit.diverged_seq;
+  ExpectSameReplay(jit, seed);
 }
 
 TEST_F(ReplayFixture, SpotCheckReplayEquivalentWithCacheOnAndOff) {
