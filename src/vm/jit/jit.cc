@@ -326,18 +326,21 @@ bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot
         em.Bind(taken);
         chain_to(p + 4 + simm * 4, n + 1);
         total = n + 1;
-        open = false;
+        p += 4;  // Condition/targets are baked in: the terminator is
+        open = false;  // part of the span so its page tracks this block.
         break;
       }
       case Op::kJmp:
         chain_to(p + 4 + simm * 4, n + 1);
         total = n + 1;
+        p += 4;
         open = false;
         break;
       case Op::kJal:
         em.MovGuestImm(in.ra, p + 4);
         chain_to(p + 4 + simm * 4, n + 1);
         total = n + 1;
+        p += 4;
         open = false;
         break;
       case Op::kJr:
@@ -346,6 +349,7 @@ bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot
         em.AddR13Imm(n + 1);
         em.ExitEpilogue(kExitDynamic, kCtxIcount);
         total = n + 1;
+        p += 4;
         open = false;
         break;
       case Op::kJalr:
@@ -355,6 +359,7 @@ bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot
         em.AddR13Imm(n + 1);
         em.ExitEpilogue(kExitDynamic, kCtxIcount);
         total = n + 1;
+        p += 4;
         open = false;
         break;
       case Op::kDi:
@@ -400,7 +405,9 @@ bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot
 
   em.PatchU32(count_at, total);
   *insn_count = total;
-  *span_bytes = p - head;  // Fallback terminators are not embedded.
+  // Fallback/cap terminators are re-fetched by the interpreter and stay
+  // outside the span; translated terminators were counted above.
+  *span_bytes = p - head;
   return true;
 }
 

@@ -676,6 +676,94 @@ cont:
   EXPECT_GT(stats->blocks_invalidated, 0u);
 }
 
+TEST(MachineJit, PageStraddlingTerminatorInvalidates) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // The hot loop's body ends just before a page boundary, so the
+  // terminating bne is the *first word of the next page* while the
+  // block head sits on the previous one. The branch condition/target
+  // are baked into the translation, so the block's span must cover the
+  // terminator's page: the guest overwrites the bne (loop-to-100 via
+  // r4 becomes loop-to-10 via r5) and the stale block must be dropped.
+  const uint32_t patched = Encode(Op::kBne, 2, 5, 0xfffd);  // bne r2, r5, loop
+  const std::string src =
+      "    movi r1, 0\n"
+      "    movi r2, 0\n"
+      "    movi r5, 10\n"
+      "    movi r8, 0\n"
+      "    la r3, patch\n"
+      "    la r4, 100\n"
+      "    la r7, " + std::to_string(patched) + "\n"
+      "    jmp loop\n"
+      "    .org 0x0ff8\n"
+      "loop:\n"
+      "    addi r1, 1\n"
+      "    addi r2, 1\n"
+      "patch:\n"                    // patch == 0x1000, page-aligned.
+      "    bne r2, r4, loop\n"
+      "    bne r8, r9, done\n"
+      "    movi r8, 1\n"
+      "    sw r7, [r3]\n"
+      "    movi r2, 0\n"
+      "    jmp loop\n"
+      "done:\n"
+      "    halt\n";
+  Bytes image = Assemble(src);
+  ExpectJitMatchesInterpreter(image, {50, 120, 57, 1000, 1000});
+
+  NullBackend b;
+  Machine m(kMem, &b);
+  m.LoadImage(image);
+  m.Run(10000);
+  EXPECT_EQ(m.cpu().regs[1], 110u);  // 100 iterations, then 10 patched ones.
+  const jit::JitStats* stats = m.jit_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->translations, 0u);
+  EXPECT_GT(stats->blocks_invalidated, 0u);
+}
+
+TEST(MachineJit, PageAlignedSingleJumpBlockInvalidates) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // A block that is nothing but one jmp at a page-aligned pc: its span
+  // is exactly the terminator, so a zero span would register it on no
+  // page at all. The guest retargets the trampoline after it is hot;
+  // the stale translation would bounce to the old loop forever.
+  const uint32_t retarget =
+      Encode(Op::kJmp, 0, 0, (0x2200 - 0x2004) / 4);  // jmp done, from tramp
+  const std::string src =
+      "    movi r1, 0\n"
+      "    movi r2, 0\n"
+      "    la r3, tramp\n"
+      "    la r4, 100\n"
+      "    la r7, " + std::to_string(retarget) + "\n"
+      "    jmp loop\n"
+      "    .org 0x2000\n"
+      "tramp:\n"
+      "    jmp loop\n"
+      "    .org 0x2100\n"
+      "loop:\n"
+      "    addi r1, 1\n"
+      "    addi r2, 1\n"
+      "    bne r2, r4, tramp\n"
+      "    sw r7, [r3]\n"
+      "    movi r2, 0\n"
+      "    jmp tramp\n"
+      "    .org 0x2200\n"
+      "done:\n"
+      "    halt\n";
+  Bytes image = Assemble(src);
+  ExpectJitMatchesInterpreter(image, {150, 77, 1000, 1000});
+
+  NullBackend b;
+  Machine m(kMem, &b);
+  m.LoadImage(image);
+  m.Run(10000);
+  EXPECT_EQ(m.cpu().regs[1], 100u);
+  EXPECT_FALSE(m.faulted());
+  const jit::JitStats* stats = m.jit_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->blocks_invalidated, 0u);
+}
+
 TEST(MachineJit, RandomProgramSweepJitVsDecodedCache) {
   if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
   constexpr uint8_t kOps[] = {0x00, 0x01, 0x10, 0x11, 0x12, 0x13, 0x20, 0x21, 0x22, 0x23,
