@@ -51,10 +51,13 @@ void Run() {
 
 // Beyond the paper: single-stream replay throughput, the semantic
 // check's fundamental limit (§6.6: replay takes about as long as the
-// original execution). Three tiers: "seed dispatch" is the original
+// original execution). Four tiers: "seed dispatch" is the original
 // per-word-decode switch loop; "decoded cache" is the pre-decoded
 // instruction cache + threaded dispatch; "jit" is the x86-64 dynamic
-// binary translator (src/vm/jit) with direct block chaining.
+// binary translator (src/vm/jit) with direct block chaining and the
+// static analysis hints off (the plain per-block translator);
+// "jit+analysis" adds the src/vm/analysis pass: region fusion across
+// direct jumps and liveness-based dead-writeback elimination.
 void RunReplaySpeed(BenchJson& json) {
   Bytes image = Assemble(R"(
     movi r1, 0
@@ -66,9 +69,13 @@ loop:
     mul r2, r1
     xor r2, r1
     sw r2, [r3+0]
+    jmp body2          ; Direct-jump trampolines: the shape the
+body2:                 ; analysis-guided JIT fuses into one region.
     lw r4, [r3+0]
     add r4, r2
     remu r4, r6
+    jmp body3
+body3:
     slt r5, r4
     bne r1, r0, loop
     halt
@@ -82,19 +89,23 @@ loop:
     const char* name;
     bool icache;
     bool jit;
+    bool analysis;
   };
   constexpr Tier kTiers[] = {
-      {"seed dispatch", false, false},
-      {"decoded cache", true, false},
-      {"jit", true, true},
+      {"seed dispatch", false, false, false},
+      {"decoded cache", true, false, false},
+      {"jit", true, true, false},
+      {"jit+analysis", true, true, true},
   };
-  double mips[3] = {0, 0, 0};
-  for (int tier = 0; tier < 3; tier++) {
+  constexpr int kNumTiers = 4;
+  double mips[kNumTiers] = {0};
+  for (int tier = 0; tier < kNumTiers; tier++) {
     NullBackend backend;
     Machine m(256 * 1024, &backend);
     m.LoadImage(image);
     m.set_decoded_cache_enabled(kTiers[tier].icache);
     m.set_jit_enabled(kTiers[tier].jit);
+    m.set_jit_analysis_enabled(kTiers[tier].analysis);
     WallTimer t;
     m.RunUntilIcount(kInstructions);
     double s = t.ElapsedSeconds();
@@ -105,11 +116,14 @@ loop:
               mips[1] / mips[0], Machine::ThreadedDispatchCompiledIn() ? "yes" : "no");
   std::printf("  jit speedup: %.2fx vs decoded cache, %.2fx vs seed (jit compiled in: %s)\n",
               mips[2] / mips[1], mips[2] / mips[0], Machine::JitCompiledIn() ? "yes" : "no");
+  std::printf("  analysis-guided jit: %.2fx vs plain jit\n", mips[3] / mips[2]);
   json.Add("replay_mips_seed_dispatch", mips[0], "Minsn/s");
   json.Add("replay_mips_decoded_cache", mips[1], "Minsn/s");
   json.Add("replay_mips_jit", mips[2], "Minsn/s");
+  json.Add("replay_mips_jit_analysis", mips[3], "Minsn/s");
   json.Add("replay_dispatch_speedup", mips[1] / mips[0], "x");
   json.Add("replay_jit_vs_threaded_speedup", mips[2] / mips[1], "x");
+  json.Add("replay_jit_analysis_speedup", mips[3] / mips[2], "x");
 
   // The same comparison through the full record->replay loop: a real
   // recorded log, replayed by the auditor's StreamingReplayer.
@@ -122,13 +136,15 @@ loop:
   game.RunFor(4 * kMicrosPerSecond);
   game.Finish();
   LogSegment seg = game.server().log().Extract(1, game.server().log().LastSeq());
-  constexpr const char* kAuditNames[3] = {"audit replay (seed)", "audit replay (cache)",
-                                          "audit replay (jit)"};
-  double replay_mips[3] = {0, 0, 0};
-  for (int tier = 0; tier < 3; tier++) {
+  constexpr const char* kAuditNames[kNumTiers] = {"audit replay (seed)", "audit replay (cache)",
+                                                  "audit replay (jit)",
+                                                  "audit replay (jit+an)"};
+  double replay_mips[kNumTiers] = {0};
+  for (int tier = 0; tier < kNumTiers; tier++) {
     StreamingReplayer r(game.reference_server_image(), cfg.run.mem_size);
     r.mutable_machine().set_decoded_cache_enabled(kTiers[tier].icache);
     r.mutable_machine().set_jit_enabled(kTiers[tier].jit);
+    r.mutable_machine().set_jit_analysis_enabled(kTiers[tier].analysis);
     WallTimer t;
     r.Feed(seg.entries);
     ReplayResult res = r.Finish();
@@ -137,13 +153,16 @@ loop:
     std::printf("  %-22s %10.1f %10.3f  (recorded server log, %s)\n", kAuditNames[tier],
                 replay_mips[tier], s, res.ok ? "PASS" : "FAIL");
   }
-  std::printf("  audit replay speedup: cache %.2fx, jit %.2fx vs seed\n",
-              replay_mips[1] / replay_mips[0], replay_mips[2] / replay_mips[0]);
+  std::printf("  audit replay speedup: cache %.2fx, jit %.2fx, jit+analysis %.2fx vs seed\n",
+              replay_mips[1] / replay_mips[0], replay_mips[2] / replay_mips[0],
+              replay_mips[3] / replay_mips[0]);
   json.Add("audit_replay_mips_seed", replay_mips[0], "Minsn/s");
   json.Add("audit_replay_mips_cache", replay_mips[1], "Minsn/s");
   json.Add("audit_replay_mips_jit", replay_mips[2], "Minsn/s");
+  json.Add("audit_replay_mips_jit_analysis", replay_mips[3], "Minsn/s");
   json.Add("audit_replay_speedup", replay_mips[1] / replay_mips[0], "x");
   json.Add("audit_replay_jit_speedup", replay_mips[2] / replay_mips[0], "x");
+  json.Add("audit_replay_jit_analysis_speedup", replay_mips[3] / replay_mips[0], "x");
 }
 
 // Telemetry must be free when off and near-free when on: the same

@@ -17,6 +17,8 @@
 #include "src/obs/trace.h"
 #include "src/tel/batch.h"
 #include "src/util/serde.h"
+#include "src/vm/analysis/cfg.h"
+#include "src/vm/analysis/verifier.h"
 #include "src/vm/trace.h"
 
 namespace avm {
@@ -153,6 +155,15 @@ std::string AuditOutcome::Describe() const {
   std::ostringstream os;
   if (ok) {
     os << "PASS";
+    if (image_warnings > 0) {
+      os << " (" << image_warnings << " image warning" << (image_warnings == 1 ? "" : "s") << ")";
+    }
+  } else if (image_errors > 0) {
+    os << "FAIL (image): " << image_errors << " verifier error"
+       << (image_errors == 1 ? "" : "s") << " in the reference image";
+    if (!image_findings.empty()) {
+      os << "; first: " << image_findings.front();
+    }
   } else if (!syntactic.ok) {
     os << "FAIL (syntactic): " << syntactic.reason << " at seq " << syntactic.bad_seq;
   } else {
@@ -316,6 +327,27 @@ AuditOutcome UnreadableSourceOutcome(const std::runtime_error& e) {
   return out;
 }
 
+// AuditConfig::verify_image: run the static image verifier (CFG
+// recovery + src/vm/analysis checks) over the reference image and
+// render the findings to strings, so AuditOutcome stays decoupled from
+// the analysis types.
+void VerifyReferenceImage(ByteView image, size_t mem_size, AuditOutcome* out) {
+  const analysis::Cfg cfg = analysis::BuildCfg(image);
+  const analysis::VerifyReport rep = analysis::VerifyImage(image, mem_size, cfg);
+  out->image_errors = rep.errors;
+  out->image_warnings = rep.warnings;
+  out->image_findings.reserve(rep.findings.size());
+  for (const analysis::Finding& f : rep.findings) {
+    std::ostringstream os;
+    os << (f.severity == analysis::Severity::kError ? "error" : "warning") << ": "
+       << analysis::FindingKindName(f.kind) << " at 0x" << std::hex << f.addr;
+    if (!f.detail.empty()) {
+      os << std::dec << ": " << f.detail;
+    }
+    out->image_findings.push_back(os.str());
+  }
+}
+
 }  // namespace
 
 std::optional<AuditOutcome> DetectLogRewind(const Avmm& target, const SegmentSource& source,
@@ -344,8 +376,28 @@ std::optional<AuditOutcome> DetectLogRewind(const Avmm& target, const SegmentSou
 
 AuditOutcome Auditor::AuditFull(const Avmm& target, const SegmentSource& source,
                                 ByteView reference_image, std::span<const Authenticator> auths) {
+  AuditOutcome image_check;
+  if (cfg_.verify_image) {
+    VerifyReferenceImage(reference_image, cfg_.mem_size, &image_check);
+    if (image_check.image_errors > 0) {
+      // A reference image the verifier rejects (illegal opcodes on a
+      // reachable path, jumps out of the image, statically
+      // out-of-bounds accesses) makes any replay verdict meaningless:
+      // fail up front without replaying an instruction. Note this
+      // accuses the auditor's own inputs, not the auditee — no
+      // evidence is attached.
+      return image_check;
+    }
+  }
+  // Warnings (and the findings list) ride along on whichever outcome
+  // the audit proper produces.
+  auto attach = [&image_check](AuditOutcome out) {
+    out.image_findings = std::move(image_check.image_findings);
+    out.image_warnings = image_check.image_warnings;
+    return out;
+  };
   if (auto rewound = DetectLogRewind(target, source, auths, *registry_, cfg_.mem_size)) {
-    return *std::move(rewound);
+    return attach(*std::move(rewound));
   }
   ThreadPool* pool = EnsurePool();
   if (pool != nullptr && cfg_.pipelined && source.LastSeq() >= 1) {
@@ -354,16 +406,17 @@ AuditOutcome Auditor::AuditFull(const Avmm& target, const SegmentSource& source,
     // a time. Verdicts are bit-for-bit the sequential path's.
     AuditConfig cfg = cfg_;
     cfg.strict_message_crossref = true;
-    return PipelinedStreamingAuditFull(target, source, reference_image, auths, *registry_, cfg,
-                                       *pool);
+    return attach(PipelinedStreamingAuditFull(target, source, reference_image, auths, *registry_,
+                                              cfg, *pool));
   }
   LogSegment segment;
   try {
     segment = source.Extract(1, source.LastSeq());
   } catch (const std::runtime_error& e) {
-    return UnreadableSourceOutcome(e);
+    return attach(UnreadableSourceOutcome(e));
   }
-  return Run(target, segment, auths, reference_image, nullptr, 0, /*strict_crossref=*/true, pool);
+  return attach(
+      Run(target, segment, auths, reference_image, nullptr, 0, /*strict_crossref=*/true, pool));
 }
 
 AuditOutcome Auditor::SpotCheck(const Avmm& target, uint64_t from_snapshot_id,

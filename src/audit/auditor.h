@@ -54,6 +54,13 @@ struct AuditConfig {
   // either way (asserted by pipeline_audit_test); only replay wall
   // clock changes.
   bool jit_replay = true;
+  // Pre-audit pass: statically verify the reference image (CFG
+  // recovery + the src/vm/analysis verifier) before replay starts. An
+  // image with errors (illegal opcodes, direct jumps out of the image,
+  // statically out-of-bounds accesses) fails the audit up front without
+  // replaying a single instruction; warnings (self-modifying stores,
+  // unreachable code) are attached to the outcome but do not fail it.
+  bool verify_image = false;
 };
 
 // The §4.4/§4.5 syntactic check on a segment whose chain/authenticators
@@ -82,6 +89,12 @@ struct AuditOutcome {
   uint64_t log_bytes = 0;       // "Downloaded" segment size.
   uint64_t snapshot_bytes = 0;  // "Downloaded" snapshot increments size.
   std::optional<Evidence> evidence;  // Present iff a fault was found.
+  // AuditConfig::verify_image findings over the reference image, as
+  // human-readable strings (kept decoupled from src/vm/analysis types).
+  // image_errors > 0 fails the audit before replay.
+  std::vector<std::string> image_findings;
+  int image_errors = 0;
+  int image_warnings = 0;
 
   std::string Describe() const;
 };

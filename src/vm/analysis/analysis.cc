@@ -1,0 +1,20 @@
+#include "src/vm/analysis/analysis.h"
+
+namespace avm {
+namespace analysis {
+
+ImageAnalysis AnalyzeImage(ByteView image, size_t mem_size,
+                           bool with_reaching_defs) {
+  ImageAnalysis a;
+  a.cfg = BuildCfg(image);
+  a.doms = ComputeDominators(a.cfg);
+  a.live = ComputeLiveness(a.cfg, image);
+  if (with_reaching_defs) {
+    a.reach = ComputeReachingDefs(a.cfg, image);
+  }
+  a.report = VerifyImage(image, mem_size, a.cfg);
+  return a;
+}
+
+}  // namespace analysis
+}  // namespace avm

@@ -1,0 +1,33 @@
+// Facade over the static-analysis pipeline: one call recovers the CFG,
+// dominators, dataflow, and the verifier report for a guest image.
+#ifndef SRC_VM_ANALYSIS_ANALYSIS_H_
+#define SRC_VM_ANALYSIS_ANALYSIS_H_
+
+#include <cstddef>
+
+#include "src/vm/analysis/cfg.h"
+#include "src/vm/analysis/dataflow.h"
+#include "src/vm/analysis/verifier.h"
+
+namespace avm {
+namespace analysis {
+
+struct ImageAnalysis {
+  Cfg cfg;
+  DominatorTree doms;
+  Liveness live;
+  ReachingDefs reach;
+  VerifyReport report;
+};
+
+// Analyzes `image` as loaded at guest address 0 into `mem_size` bytes
+// of RAM. `with_reaching_defs` can be turned off by latency-sensitive
+// callers (the Machine's JIT hint path) — reaching defs is the one
+// analysis with super-linear cost on large images.
+ImageAnalysis AnalyzeImage(ByteView image, size_t mem_size,
+                           bool with_reaching_defs = true);
+
+}  // namespace analysis
+}  // namespace avm
+
+#endif  // SRC_VM_ANALYSIS_ANALYSIS_H_

@@ -3,10 +3,12 @@
 // dispatcher that drives it.
 #include "src/vm/jit/jit.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 
 #include "src/obs/metrics.h"
+#include "src/vm/analysis/analysis.h"
 #include "src/vm/isa.h"
 #include "src/vm/jit/emitter.h"
 #include "src/vm/machine.h"
@@ -93,6 +95,46 @@ JitEngine::JitEngine(const JitConfig& cfg, uint8_t* mem, size_t mem_size, uint8_
   c_chain_patches_ = reg.GetCounter("avm.jit.chain_patches");
   c_fallbacks_ = reg.GetCounter("avm.jit.interp_fallbacks");
   c_selfmod_ = reg.GetCounter("avm.jit.selfmod_exits");
+  c_regions_fused_ = reg.GetCounter("avm.jit.regions_fused");
+  c_dead_writes_ = reg.GetCounter("avm.jit.dead_writes_skipped");
+  c_native_enters_ = reg.GetCounter("avm.jit.native_enters");
+  h_region_insns_ = reg.GetHistogram("avm.jit.region_insns");
+  h_region_blocks_ = reg.GetHistogram("avm.jit.region_blocks");
+  h_block_exec_ = reg.GetHistogram("avm.jit.block_exec");
+}
+
+JitEngine::~JitEngine() {
+  // Flush per-block execution counts for translations still live, so
+  // avm.jit.block_exec covers the whole run (hot_threshold tuning).
+  for (TranslatedBlock& b : block_storage_) {
+    if (!b.invalidated) {
+      RetireExecCount(&b);
+    }
+  }
+}
+
+void JitEngine::RetireExecCount(TranslatedBlock* b) {
+  if (b->exec_count != 0) {
+    h_block_exec_->Record(b->exec_count);
+    b->exec_count = 0;
+  }
+}
+
+void JitEngine::SetAnalysisHints(const analysis::ImageAnalysis* hints) {
+  hints_ = hints;
+  static_selfmod_pages_.assign(page_count_, 0);
+  if (hints_ != nullptr) {
+    for (uint32_t pg : hints_->report.selfmod_pages) {
+      if (pg < page_count_) {
+        // Pre-arm the per-page seam: stores to statically-detected
+        // self-modifying pages side-exit even before the first
+        // translation on that page exists, so the seam can never race
+        // a translation with a store it should have invalidated.
+        static_selfmod_pages_[pg] = 1;
+      }
+    }
+  }
+  Flush();  // Re-seeds code_pages_ from the new static set.
 }
 
 void JitEngine::CountFallback() {
@@ -105,14 +147,25 @@ void JitEngine::CountSelfMod() {
   c_selfmod_->Inc();
 }
 
-// Emits one block starting at `head` into `em`. Returns false when the
-// head instruction itself is runtime-deferred (nothing to translate).
-// slot_sites collects the buffer offsets of the chain slots' rel32
-// immediates, in slot-id order starting at chain_slots_.size().
+// Emits one translation unit starting at `head` into `em`: a single
+// basic block, or — with analysis hints installed — a straight-line
+// region fused across direct JMP/JAL edges the static CFG resolved.
+// Returns false when the head instruction itself is runtime-deferred
+// (nothing to translate). slot_sites collects the buffer offsets of the
+// chain slots' rel32 immediates, in slot-id order starting at
+// chain_slots_.size(). `spans` receives the guest byte ranges covered
+// (one per fused block), `blocks_fused` the number of fusion events.
 bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot_sites,
-                          uint32_t* insn_count, uint32_t* span_bytes) {
+                          uint32_t* insn_count,
+                          std::vector<std::pair<uint32_t, uint32_t>>* spans,
+                          uint32_t* blocks_fused) {
   Emitter& em = *emp;
   const uint32_t base_slot = static_cast<uint32_t>(chain_slots_.size());
+  // With hints the cap covers whole regions; plain blocks keep the
+  // tighter bound (it also sets the entry budget-check granularity).
+  const uint32_t cap = hints_ != nullptr
+                           ? std::max(cfg_.max_block_insns, cfg_.max_region_insns)
+                           : cfg_.max_block_insns;
 
   struct PendingStub {
     size_t fix_at;     // rel32 to bind at the stub.
@@ -147,8 +200,73 @@ bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot
   uint32_t n = 0;      // Straight-line instructions emitted so far.
   uint32_t total = 0;  // Retired count on the block's longest path.
   bool open = true;
+  uint32_t span_start = head;           // Start of the current guest span.
+  std::vector<uint32_t> fused_heads{head};  // Loop guard for fusion.
+
+  // Region fusion: a direct JMP/JAL whose target the static CFG knows
+  // can be translated *through* — the jump retires (icount) but emits
+  // no code; translation continues at the target as if it fell through.
+  // Never into statically self-modifying pages (invalidation stays
+  // block-granular there), never into a head already in this region
+  // (loops keep chaining through budget-checked entries).
+  auto can_fuse = [&](uint32_t target) {
+    return hints_ != nullptr && n + 1 < cap && target % 4 == 0 &&
+           target <= mem_size_ - 4 && hints_->cfg.BlockAt(target) != nullptr &&
+           !IsStaticSelfmodPage(target / kPageSize) &&
+           !IsStaticSelfmodPage(p / kPageSize) &&
+           std::find(fused_heads.begin(), fused_heads.end(), target) ==
+               fused_heads.end();
+  };
+  auto fuse_to = [&](uint32_t target) {
+    fused_heads.push_back(target);
+    spans->emplace_back(span_start, p + 4);
+    span_start = target;
+    (*blocks_fused)++;
+    stats_.regions_fused++;
+    c_regions_fused_->Inc();
+    n++;  // The jump itself retires.
+    p = target;
+  };
+
+  // Dead-writeback elimination: a pure-compute op whose destination is
+  // provably redefined before any possible exit emits nothing (it still
+  // retires). The scan admits only ops that cannot leave compiled code
+  // (pure compute, NOP, DI) between the def and its redef — the sole
+  // exit in such a window is the entry budget check, which runs before
+  // anything retires — so no exit or landmark can observe the stale
+  // value. Loads/stores (fault side-exits), terminators and fallbacks
+  // are barriers; the redef must also land inside this unit's cap.
+  auto dead_writeback = [&](const Insn& in) {
+    if (hints_ == nullptr) {
+      return false;
+    }
+    const analysis::RegMask d = analysis::InsnDefs(in);
+    if (d == 0) {
+      return false;
+    }
+    uint32_t q = p + 4;
+    for (uint32_t idx = n + 1; idx < cap && q <= mem_size_ - 4; idx++, q += 4) {
+      uint32_t w;
+      std::memcpy(&w, mem_ + q, 4);
+      const Insn qi = Decode(w);
+      const uint8_t qop = static_cast<uint8_t>(w >> 24);
+      if ((analysis::InsnUses(qi) & d) != 0) {
+        return false;  // Read before redefinition: live.
+      }
+      if (analysis::IsPureComputeOp(qop)) {
+        if ((analysis::InsnDefs(qi) & d) != 0) {
+          return true;  // Redefined inside the exit-free window: dead.
+        }
+      } else if (qop != static_cast<uint8_t>(Op::kNop) &&
+                 qop != static_cast<uint8_t>(Op::kDi)) {
+        return false;  // Possible exit: the write is observable.
+      }
+    }
+    return false;
+  };
+
   while (open) {
-    if (n >= cfg_.max_block_insns || p > mem_size_ - 4) {
+    if (n >= cap || p > mem_size_ - 4) {
       // Length cap, or the next fetch would be out of bounds: continue
       // via an unconditional chain (an out-of-range successor simply
       // faults in the interpreter when the dispatcher gets there).
@@ -160,6 +278,14 @@ bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot
     std::memcpy(&word, mem_ + p, 4);
     const Insn in = Decode(word);
     const uint32_t simm = static_cast<uint32_t>(in.SImm());
+    if (analysis::IsPureComputeOp(static_cast<uint8_t>(word >> 24)) &&
+        dead_writeback(in)) {
+      stats_.dead_writes_skipped++;
+      c_dead_writes_->Inc();
+      n++;
+      p += 4;
+      continue;
+    }
     switch (in.op) {
       case Op::kNop:
         break;
@@ -330,19 +456,31 @@ bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot
         open = false;  // part of the span so its page tracks this block.
         break;
       }
-      case Op::kJmp:
-        chain_to(p + 4 + simm * 4, n + 1);
+      case Op::kJmp: {
+        const uint32_t target = p + 4 + simm * 4;
+        if (can_fuse(target)) {
+          fuse_to(target);
+          continue;
+        }
+        chain_to(target, n + 1);
         total = n + 1;
         p += 4;
         open = false;
         break;
-      case Op::kJal:
+      }
+      case Op::kJal: {
+        const uint32_t target = p + 4 + simm * 4;
         em.MovGuestImm(in.ra, p + 4);
-        chain_to(p + 4 + simm * 4, n + 1);
+        if (can_fuse(target)) {
+          fuse_to(target);
+          continue;
+        }
+        chain_to(target, n + 1);
         total = n + 1;
         p += 4;
         open = false;
         break;
+      }
       case Op::kJr:
         em.LoadGuest(R32::kEax, in.ra);
         em.StoreCtx32Eax(kCtxPc);
@@ -406,8 +544,10 @@ bool JitEngine::EmitBlock(uint32_t head, Emitter* emp, std::vector<size_t>* slot
   em.PatchU32(count_at, total);
   *insn_count = total;
   // Fallback/cap terminators are re-fetched by the interpreter and stay
-  // outside the span; translated terminators were counted above.
-  *span_bytes = p - head;
+  // outside the spans; translated terminators were counted above.
+  if (p > span_start) {
+    spans->emplace_back(span_start, p);
+  }
   return true;
 }
 
@@ -419,8 +559,9 @@ TranslatedBlock* JitEngine::Compile(uint32_t pc) {
     Emitter em;
     std::vector<size_t> slot_sites;
     uint32_t insn_count = 0;
-    uint32_t span = 0;
-    if (!EmitBlock(pc, &em, &slot_sites, &insn_count, &span)) {
+    std::vector<std::pair<uint32_t, uint32_t>> spans;
+    uint32_t blocks_fused = 0;
+    if (!EmitBlock(pc, &em, &slot_sites, &insn_count, &spans, &blocks_fused)) {
       return nullptr;
     }
     cache_.MakeWritable();
@@ -439,19 +580,26 @@ TranslatedBlock* JitEngine::Compile(uint32_t pc) {
     for (size_t site : slot_sites) {
       chain_slots_.push_back(ChainSlot{dst + site});
     }
-    block_storage_.push_back(TranslatedBlock{pc, span, insn_count, dst, false});
+    block_storage_.push_back(
+        TranslatedBlock{pc, insn_count, dst, false, std::move(spans), 0});
     TranslatedBlock* b = &block_storage_.back();
     blocks_by_pc_[pc] = b;
-    const size_t first = pc / kPageSize;
-    const size_t last = (pc + span - 1) / kPageSize;
-    for (size_t pg = first; pg <= last && pg < page_count_; pg++) {
-      page_blocks_[pg].push_back(b);
-      code_pages_[pg] = 1;
+    for (const auto& [s, e] : b->spans) {
+      const size_t first = s / kPageSize;
+      const size_t last = (e - 1) / kPageSize;
+      for (size_t pg = first; pg <= last && pg < page_count_; pg++) {
+        // A page can host several spans of one region; InvalidatePage
+        // tolerates the duplicate registration via b->invalidated.
+        page_blocks_[pg].push_back(b);
+        code_pages_[pg] = 1;
+      }
     }
     stats_.translations++;
     stats_.code_bytes += em.size();
     c_translations_->Inc();
     c_code_bytes_->Inc(em.size());
+    h_region_insns_->Record(insn_count);
+    h_region_blocks_->Record(blocks_fused + 1);
     return b;
   }
   return nullptr;
@@ -479,6 +627,8 @@ TranslatedBlock* JitEngine::MaybeCompile(uint32_t pc) {
 
 uint32_t JitEngine::Execute(TranslatedBlock* b) {
   stats_.native_enters++;
+  c_native_enters_->Inc();
+  b->exec_count++;
   using EnterFn = uint32_t (*)(JitContext*, const void*);
   EnterFn fn = reinterpret_cast<EnterFn>(const_cast<void*>(cache_.enter_fn()));
   return fn(&ctx_, b->entry);
@@ -519,6 +669,7 @@ void JitEngine::InvalidatePage(size_t page) {
       // Entry patched to the invalid thunk: direct dispatch AND stale
       // chain edges from live predecessors both turn into chain misses.
       b->invalidated = true;
+      RetireExecCount(b);
       PatchJmp(b->entry, cache_.invalid_thunk());
       blocks_by_pc_.erase(b->guest_pc);
       stats_.blocks_invalidated++;
@@ -527,12 +678,19 @@ void JitEngine::InvalidatePage(size_t page) {
     cache_.MakeExecutable();
     list.clear();
   }
-  code_pages_[page] = 0;
+  // Statically-detected self-modifying pages stay armed (see
+  // SetAnalysisHints); everything else disarms until recompiled.
+  code_pages_[page] = IsStaticSelfmodPage(page) ? 1 : 0;
   stats_.pages_invalidated++;
   c_pages_invalidated_->Inc();
 }
 
 void JitEngine::Flush() {
+  for (TranslatedBlock& b : block_storage_) {
+    if (!b.invalidated) {
+      RetireExecCount(&b);
+    }
+  }
   cache_.Reset();
   blocks_by_pc_.clear();
   block_storage_.clear();
@@ -541,6 +699,13 @@ void JitEngine::Flush() {
   }
   if (page_count_ != 0) {
     std::memset(code_pages_, 0, page_count_);
+    // Statically-detected self-modifying pages stay armed forever: the
+    // seam must catch the next store even with no translations left.
+    for (size_t pg = 0; pg < page_count_; pg++) {
+      if (IsStaticSelfmodPage(pg)) {
+        code_pages_[pg] = 1;
+      }
+    }
   }
   chain_slots_.clear();
   heat_.clear();

@@ -59,8 +59,13 @@ namespace avm {
 
 struct CpuState;
 
+namespace analysis {
+struct ImageAnalysis;
+}  // namespace analysis
+
 namespace obs {
 class Counter;
+class Histogram;
 }  // namespace obs
 
 namespace jit {
@@ -119,11 +124,17 @@ enum JitExit : uint32_t {
 };
 
 struct TranslatedBlock {
-  uint32_t guest_pc = 0;      // First instruction.
-  uint32_t span_bytes = 0;    // Guest bytes covered by translated insns.
-  uint32_t insn_count = 0;    // Retired when the block runs to its tail.
-  uint8_t* entry = nullptr;   // Native entry (budget check first).
+  uint32_t guest_pc = 0;     // First instruction.
+  uint32_t insn_count = 0;   // Retired when the block runs to its tail.
+  uint8_t* entry = nullptr;  // Native entry (budget check first).
   bool invalidated = false;
+  // Guest byte ranges [start, end) covered by translated instructions.
+  // A plain block has one span; an analysis-guided region has one per
+  // fused basic block (page registration covers them all).
+  std::vector<std::pair<uint32_t, uint32_t>> spans;
+  // Dispatcher entries into this translation (chained tail entries are
+  // not counted). Recorded into avm.jit.block_exec on invalidate/flush.
+  uint64_t exec_count = 0;
 };
 
 // Plain single-threaded counters; mirrored into the obs registry
@@ -138,12 +149,17 @@ struct JitStats {
   uint64_t interp_fallbacks = 0;
   uint64_t selfmod_exits = 0;
   uint64_t native_enters = 0;
+  uint64_t regions_fused = 0;        // Extra basic blocks merged into regions.
+  uint64_t dead_writes_skipped = 0;  // Writebacks proven dead by liveness.
 };
 
 struct JitConfig {
   size_t cache_bytes = 1u << 20;
   uint32_t hot_threshold = 2;     // Compile a pc on its Nth dispatcher visit.
   uint32_t max_block_insns = 64;  // Also bounds the budget granularity.
+  // Cap for analysis-guided regions (straight-line fusion across
+  // JMP/JAL); only effective when SetAnalysisHints provided a CFG.
+  uint32_t max_region_insns = 128;
   bool harden_wx = false;         // W^X (RW<->RX) instead of one RWX map.
 };
 
@@ -165,6 +181,17 @@ class JitEngine {
   // write paths can check "does this page hold translations" inline).
   JitEngine(const JitConfig& cfg, uint8_t* mem, size_t mem_size, uint8_t* code_pages,
             size_t page_count);
+  ~JitEngine();
+
+  // Installs (or clears, with nullptr) static-analysis hints for the
+  // currently loaded image. Enables region fusion across direct
+  // JMP/JAL, liveness-based dead-writeback elimination, and pre-arms
+  // the self-modification seam for statically-detected self-modifying
+  // pages. Hints are advisory: emission always decodes live guest
+  // memory, so stale hints cost performance, never correctness.
+  // Flushes existing translations. `hints` must outlive the engine or
+  // the next SetAnalysisHints call.
+  void SetAnalysisHints(const analysis::ImageAnalysis* hints);
 
   // False when executable memory is unavailable; the Machine falls back
   // to the interpreter permanently.
@@ -215,8 +242,14 @@ class JitEngine {
 
   TranslatedBlock* Compile(uint32_t pc);
   bool EmitBlock(uint32_t head, Emitter* em, std::vector<size_t>* slot_sites,
-                 uint32_t* insn_count, uint32_t* span_bytes);
+                 uint32_t* insn_count,
+                 std::vector<std::pair<uint32_t, uint32_t>>* spans,
+                 uint32_t* blocks_fused);
   void PatchJmp(uint8_t* at, const uint8_t* target);
+  bool IsStaticSelfmodPage(size_t page) const {
+    return page < static_selfmod_pages_.size() && static_selfmod_pages_[page] != 0;
+  }
+  void RetireExecCount(TranslatedBlock* b);
 
   JitConfig cfg_;
   uint8_t* mem_;
@@ -233,6 +266,10 @@ class JitEngine {
   std::vector<ChainSlot> chain_slots_;
   uint64_t generation_ = 0;
 
+  // Static-analysis hints (optional; see SetAnalysisHints).
+  const analysis::ImageAnalysis* hints_ = nullptr;
+  std::vector<uint8_t> static_selfmod_pages_;
+
   JitStats stats_;
   obs::Counter* c_translations_;
   obs::Counter* c_code_bytes_;
@@ -242,6 +279,12 @@ class JitEngine {
   obs::Counter* c_chain_patches_;
   obs::Counter* c_fallbacks_;
   obs::Counter* c_selfmod_;
+  obs::Counter* c_regions_fused_;
+  obs::Counter* c_dead_writes_;
+  obs::Counter* c_native_enters_;
+  obs::Histogram* h_region_insns_;   // Insns per translation unit.
+  obs::Histogram* h_region_blocks_;  // Basic blocks per translation unit.
+  obs::Histogram* h_block_exec_;     // Dispatcher entries per translation.
 };
 
 }  // namespace jit

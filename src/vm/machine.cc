@@ -1,9 +1,11 @@
 #include "src/vm/machine.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
 #include "src/util/serde.h"
+#include "src/vm/analysis/analysis.h"
 #include "src/vm/jit/jit.h"
 
 // Dispatch mode for the fast path (RunLoop). Computed-goto threaded
@@ -83,6 +85,13 @@ void Machine::LoadImage(ByteView image, uint32_t addr) {
   std::memcpy(mem_.data() + addr, image.data(), image.size());
   MarkAllDirty();
   icache_valid_.assign(icache_valid_.size(), 0);
+  // The static-analysis window grows to cover everything ever loaded as
+  // an image (analysis always starts from the reset vector at 0).
+  const uint64_t limit = static_cast<uint64_t>(addr) + image.size();
+  if (limit > image_limit_) {
+    image_limit_ = static_cast<uint32_t>(limit);
+  }
+  jit_hints_stale_ = true;
   if (jit_ != nullptr) {
     jit_->Flush();
   }
@@ -870,6 +879,33 @@ void Machine::JitInvalidateWrite(uint32_t addr) {
   }
 }
 
+void Machine::set_jit_analysis_enabled(bool on) {
+  if (jit_analysis_enabled_ == on) {
+    return;
+  }
+  jit_analysis_enabled_ = on;
+  jit_hints_stale_ = true;  // Applied (and translations flushed) at the
+                            // next JIT-tier entry.
+}
+
+void Machine::RefreshJitHints() {
+  if (!jit_hints_stale_ || jit_ == nullptr) {
+    return;
+  }
+  jit_hints_stale_ = false;
+  if (jit_analysis_enabled_ && image_limit_ >= 4) {
+    // Reaching defs is skipped: the JIT consumes the CFG, liveness and
+    // the verifier's self-modifying-page set only.
+    jit_hints_ = std::make_unique<analysis::ImageAnalysis>(analysis::AnalyzeImage(
+        ByteView(mem_.data(), std::min<size_t>(image_limit_, mem_.size())),
+        mem_.size(), /*with_reaching_defs=*/false));
+    jit_->SetAnalysisHints(jit_hints_.get());
+  } else {
+    jit_->SetAnalysisHints(nullptr);
+    jit_hints_.reset();
+  }
+}
+
 void Machine::EnsureJit() {
   if (jit_ != nullptr || jit_failed_) {
     return;
@@ -905,6 +941,7 @@ RunExit Machine::RunJit(uint64_t target_icount) {
   if (jit_ == nullptr) {
     return RunLoop(target_icount);
   }
+  RefreshJitHints();
   if (icache_valid_.empty()) {
     // Native store tails clear per-page decoded-cache validity through
     // ctx.ivalid, so the map must exist even if RunLoop never ran.

@@ -16,6 +16,10 @@ namespace avm {
 
 class Machine;
 
+namespace analysis {
+struct ImageAnalysis;
+}  // namespace analysis
+
 namespace jit {
 class JitEngine;
 struct JitStats;
@@ -165,6 +169,15 @@ class Machine {
   // Translation-layer counters; nullptr until the JIT tier first runs.
   const jit::JitStats* jit_stats() const;
 
+  // Toggles analysis-guided translation: a static pass over the loaded
+  // image (src/vm/analysis) feeds the JIT region fusion across direct
+  // jumps, liveness-based dead-writeback elimination, and pre-armed
+  // self-modification pages. Purely advisory — architectural state at
+  // every exit and icount landmark is bit-identical either way; off
+  // reproduces the plain per-block PR 9 translator. On by default.
+  void set_jit_analysis_enabled(bool on);
+  bool jit_analysis_enabled() const { return jit_analysis_enabled_; }
+
  private:
   bool Step();  // Returns false when execution must stop (halt/fault).
   bool StepObserved();  // Step() + InstructionObserver notification.
@@ -194,6 +207,9 @@ class Machine {
   RunExit RunJit(uint64_t target_icount);
   void EnsureJit();
   void JitInvalidateWrite(uint32_t addr);
+  // Re-runs the static analysis over [0, image_limit_) when stale and
+  // installs (or clears) the result as the engine's hints.
+  void RefreshJitHints();
 
   CpuState cpu_;
   std::vector<uint8_t> mem_;
@@ -212,6 +228,12 @@ class Machine {
   bool jit_enabled_ = true;
   bool jit_harden_wx_ = false;
   bool jit_failed_ = false;  // Executable memory unavailable; stay off.
+  bool jit_analysis_enabled_ = true;
+  bool jit_hints_stale_ = true;
+  uint32_t image_limit_ = 0;  // Bytes of memory covered by LoadImage.
+  // Hints must outlive the engine that holds a pointer to them, hence
+  // declared first (members destroy in reverse order).
+  std::unique_ptr<analysis::ImageAnalysis> jit_hints_;
   std::unique_ptr<jit::JitEngine> jit_;
   // One byte per page, 1 while the page holds live translations. Owned
   // here (written by the engine) so the inline write paths above can

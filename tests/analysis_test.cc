@@ -1,0 +1,642 @@
+// Tests for the static binary analysis layer (src/vm/analysis): CFG
+// recovery, dominators, liveness, reaching defs, the image verifier,
+// and the three consumers that ride on it — analysis-guided JIT
+// translation (bit-identical to the interpreter by construction) and
+// the AuditConfig::verify_image pre-audit pass.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/apps/game.h"
+#include "src/obs/metrics.h"
+#include "src/sim/scenario.h"
+#include "src/util/prng.h"
+#include "src/vm/analysis/analysis.h"
+#include "src/vm/assembler.h"
+#include "src/vm/jit/jit.h"
+#include "src/vm/machine.h"
+
+namespace avm {
+namespace {
+
+using analysis::BasicBlock;
+using analysis::BlockEnd;
+using analysis::Cfg;
+using analysis::FindingKind;
+using analysis::RegMask;
+using analysis::Severity;
+
+constexpr size_t kMem = 64 * 1024;
+
+RegMask R(int r) { return static_cast<RegMask>(1u << r); }
+
+bool HasFinding(const analysis::VerifyReport& rep, FindingKind kind) {
+  for (const analysis::Finding& f : rep.findings) {
+    if (f.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- CFG recovery ------------------------------------------------------
+
+TEST(CfgRecovery, DiamondBlocksAndEdges) {
+  // Conventional vector header: word 0 is the reset vector, word 4 the
+  // IRQ vector (BuildCfg always seeds both as entry-like heads).
+  Bytes image = Assemble(R"(
+    jmp main
+    jmp main
+main:
+    movi r1, 3
+    beq r1, r2, equal
+    add r3, r1
+    jmp join
+equal:
+    add r3, r2
+join:
+    halt
+  )");
+  Cfg cfg = analysis::BuildCfg(image);
+  ASSERT_EQ(cfg.blocks.size(), 6u);
+
+  const BasicBlock* reset = cfg.BlockAt(0x00);
+  const BasicBlock* irq = cfg.BlockAt(0x04);
+  const BasicBlock* main_bb = cfg.BlockAt(0x08);
+  const BasicBlock* then_bb = cfg.BlockAt(0x10);
+  const BasicBlock* else_bb = cfg.BlockAt(0x18);
+  const BasicBlock* join = cfg.BlockAt(0x1c);
+  ASSERT_NE(reset, nullptr);
+  ASSERT_NE(irq, nullptr);
+  ASSERT_NE(main_bb, nullptr);
+  ASSERT_NE(then_bb, nullptr);
+  ASSERT_NE(else_bb, nullptr);
+  ASSERT_NE(join, nullptr);
+
+  EXPECT_TRUE(reset->entry_like);
+  EXPECT_TRUE(irq->entry_like);
+  EXPECT_FALSE(main_bb->entry_like);
+
+  EXPECT_EQ(main_bb->terminator, BlockEnd::kBranch);
+  EXPECT_EQ(main_bb->insn_count(), 2u);
+  EXPECT_EQ(then_bb->terminator, BlockEnd::kJump);
+  EXPECT_EQ(else_bb->terminator, BlockEnd::kSplit);  // Falls into join.
+  EXPECT_EQ(join->terminator, BlockEnd::kHalt);
+
+  EXPECT_EQ(main_bb->preds.size(), 2u);  // Both vector stubs.
+  EXPECT_EQ(main_bb->succs.size(), 2u);
+  ASSERT_EQ(then_bb->succs.size(), 1u);
+  EXPECT_EQ(then_bb->succs[0], join->id);
+  ASSERT_EQ(else_bb->succs.size(), 1u);
+  EXPECT_EQ(else_bb->succs[0], join->id);
+  EXPECT_TRUE(join->succs.empty());
+  EXPECT_EQ(join->preds.size(), 2u);
+
+  // Every word is reachable code.
+  for (uint32_t a = 0; a < image.size(); a += 4) {
+    EXPECT_TRUE(cfg.IsCodeWord(a)) << "word at " << a;
+  }
+}
+
+TEST(CfgRecovery, CallReturnSitesAreEntryLike) {
+  Bytes image = Assemble(R"(
+    jal r15, fn
+    halt
+fn:
+    addi r1, 1
+    jr r15
+  )");
+  Cfg cfg = analysis::BuildCfg(image);
+  // The word after the JAL must be a block head, marked entry-like
+  // (its JR is indirect and cannot be resolved statically).
+  const BasicBlock* ret_site = cfg.BlockAt(0x04);
+  ASSERT_NE(ret_site, nullptr);
+  EXPECT_TRUE(ret_site->entry_like);
+  // The callee's JR ends an indirect block with no known successors.
+  const BasicBlock* callee = cfg.BlockContaining(0x08);
+  ASSERT_NE(callee, nullptr);
+  EXPECT_EQ(callee->terminator, BlockEnd::kIndirect);
+  EXPECT_TRUE(callee->ends_indirect);
+  EXPECT_TRUE(callee->succs.empty());
+}
+
+TEST(CfgRecovery, DataWordsAfterHaltAreNotCode) {
+  Bytes image = Assemble(R"(
+    movi r1, 1
+    halt
+  )");
+  PutU32(image, 0xdeadbeef);  // Data tail: unreachable, not code.
+  PutU32(image, 0x00000000);
+  Cfg cfg = analysis::BuildCfg(image);
+  EXPECT_TRUE(cfg.IsCodeWord(0x00));
+  EXPECT_TRUE(cfg.IsCodeWord(0x04));
+  EXPECT_FALSE(cfg.IsCodeWord(0x08));
+  EXPECT_FALSE(cfg.IsCodeWord(0x0c));
+}
+
+// --- Dominators --------------------------------------------------------
+
+TEST(Dominators, DiamondJoinIsDominatedByBranchHead) {
+  Bytes image = Assemble(R"(
+    jmp main
+    jmp main
+main:
+    movi r1, 3
+    beq r1, r2, equal
+    add r3, r1
+    jmp join
+equal:
+    add r3, r2
+join:
+    halt
+  )");
+  Cfg cfg = analysis::BuildCfg(image);
+  analysis::DominatorTree doms = analysis::ComputeDominators(cfg);
+  const BasicBlock* reset = cfg.BlockAt(0x00);
+  const BasicBlock* main_bb = cfg.BlockAt(0x08);
+  const BasicBlock* then_bb = cfg.BlockAt(0x10);
+  const BasicBlock* else_bb = cfg.BlockAt(0x18);
+  const BasicBlock* join = cfg.BlockContaining(0x1c);
+  ASSERT_NE(reset, nullptr);
+  ASSERT_NE(main_bb, nullptr);
+  ASSERT_NE(then_bb, nullptr);
+  ASSERT_NE(else_bb, nullptr);
+  ASSERT_NE(join, nullptr);
+
+  // main is reached from both entry stubs, so it dominates the diamond
+  // but no single entry stub dominates anything below itself.
+  EXPECT_TRUE(doms.Dominates(main_bb->id, then_bb->id));
+  EXPECT_TRUE(doms.Dominates(main_bb->id, else_bb->id));
+  EXPECT_TRUE(doms.Dominates(main_bb->id, join->id));
+  EXPECT_FALSE(doms.Dominates(reset->id, join->id));
+  EXPECT_FALSE(doms.Dominates(then_bb->id, join->id));
+  EXPECT_FALSE(doms.Dominates(else_bb->id, join->id));
+  EXPECT_EQ(doms.idom[join->id], main_bb->id);
+  EXPECT_EQ(doms.idom[reset->id], analysis::DominatorTree::kNone);
+}
+
+// --- Liveness ----------------------------------------------------------
+
+TEST(Liveness, UpwardExposedUsesAndBlockDefs) {
+  Bytes image = Assemble(R"(
+    jmp main
+    jmp main
+main:
+    movi r1, 1
+    movi r2, 2
+    beq r1, r2, out
+    movi r4, 0
+    add r4, r1
+    jmp out
+out:
+    halt
+  )");
+  Cfg cfg = analysis::BuildCfg(image);
+  analysis::Liveness live = analysis::ComputeLiveness(cfg, image);
+
+  const BasicBlock* entry = cfg.BlockAt(0x08);
+  const BasicBlock* mid = cfg.BlockAt(0x14);
+  const BasicBlock* out = cfg.BlockContaining(0x20);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(out, nullptr);
+
+  // main: r1/r2 are defined before the branch uses them, so nothing is
+  // upward-exposed; both are in the def set.
+  EXPECT_EQ(live.use[entry->id], 0u);
+  EXPECT_EQ(live.def[entry->id] & (R(1) | R(2)), R(1) | R(2));
+  // Mid block: r4 is defined before its use (not upward-exposed); r1 is
+  // consumed from the entry block.
+  EXPECT_EQ(live.use[mid->id], R(1));
+  EXPECT_EQ(live.def[mid->id], R(4));
+  EXPECT_NE(live.live_in[mid->id] & R(1), 0u);
+  // A halting block has unknown observers: everything live-out.
+  EXPECT_EQ(live.live_out[out->id], analysis::kAllRegs);
+}
+
+TEST(Liveness, IndirectExitIsMaximallyConservative) {
+  Bytes image = Assemble(R"(
+    movi r1, 1
+    jr r15
+  )");
+  Cfg cfg = analysis::BuildCfg(image);
+  analysis::Liveness live = analysis::ComputeLiveness(cfg, image);
+  const BasicBlock* b = cfg.BlockContaining(0x04);  // The JR's block.
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->ends_indirect);
+  EXPECT_EQ(live.live_out[b->id], analysis::kAllRegs);
+  EXPECT_NE(live.live_in[b->id] & R(15), 0u);  // JR consumes r15.
+}
+
+// --- Reaching defs -----------------------------------------------------
+
+TEST(ReachingDefs, DefFlowsAcrossJump) {
+  Bytes image = Assemble(R"(
+    movi r1, 1
+    jmp next
+next:
+    add r2, r1
+    halt
+  )");
+  Cfg cfg = analysis::BuildCfg(image);
+  analysis::ReachingDefs rd = analysis::ComputeReachingDefs(cfg, image);
+  const BasicBlock* next = cfg.BlockAt(0x08);
+  ASSERT_NE(next, nullptr);
+  bool found = false;
+  for (size_t i = 0; i < rd.sites.size(); i++) {
+    if (rd.sites[i].addr == 0x00 && rd.sites[i].reg == 1) {
+      found = true;
+      EXPECT_TRUE(rd.Reaches(next->id, i));
+    }
+  }
+  EXPECT_TRUE(found) << "definition site movi r1 not recorded";
+}
+
+// --- Image verifier ----------------------------------------------------
+
+TEST(Verifier, CleanProgramHasNoFindings) {
+  Bytes image = Assemble(R"(
+    movi r1, 0
+    movi r2, 10
+loop:
+    addi r1, 1
+    bne r1, r2, loop
+    halt
+  )");
+  analysis::VerifyReport rep = analysis::VerifyImage(image, kMem, analysis::BuildCfg(image));
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.errors, 0);
+  EXPECT_EQ(rep.warnings, 0);
+  EXPECT_TRUE(rep.findings.empty());
+}
+
+TEST(Verifier, ReachableIllegalOpcodeIsAnError) {
+  Bytes image = Assemble("movi r1, 1\nmovi r2, 2\n");
+  PutU32(image, 0xee000000);  // Undecodable opcode on the only path.
+  analysis::VerifyReport rep = analysis::VerifyImage(image, kMem, analysis::BuildCfg(image));
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(HasFinding(rep, FindingKind::kIllegalOpcode));
+}
+
+TEST(Verifier, JumpOutOfImageIsAnError) {
+  Bytes image;
+  PutU32(image, Encode(Op::kJmp, 0, 0, 4096));  // Way past the image end.
+  analysis::VerifyReport rep = analysis::VerifyImage(image, kMem, analysis::BuildCfg(image));
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(HasFinding(rep, FindingKind::kJumpOutOfImage));
+}
+
+TEST(Verifier, FallthroughOffImageIsAnError) {
+  Bytes image = Assemble("movi r1, 1\naddi r1, 2\n");  // No terminator.
+  analysis::VerifyReport rep = analysis::VerifyImage(image, kMem, analysis::BuildCfg(image));
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(HasFinding(rep, FindingKind::kFallthroughOffImage));
+}
+
+TEST(Verifier, StaticallyOobStoreIsAnError) {
+  Bytes image = Assemble(R"(
+    jmp main
+    jmp main
+main:
+    la r1, 0x40000000
+    sw r2, [r1]
+    halt
+  )");
+  analysis::VerifyReport rep = analysis::VerifyImage(image, kMem, analysis::BuildCfg(image));
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(HasFinding(rep, FindingKind::kOobStaticAccess));
+}
+
+TEST(Verifier, StoreToCodeIsAWarningAndArmsSelfmodPage) {
+  Bytes image = Assemble(R"(
+    jmp main
+    jmp main
+main:
+    la r3, patch
+    la r6, 0x2b100005
+    sw r6, [r3]
+patch:
+    addi r1, 1
+    halt
+  )");
+  analysis::VerifyReport rep = analysis::VerifyImage(image, kMem, analysis::BuildCfg(image));
+  EXPECT_TRUE(rep.ok()) << "self-modifying code is legal: a warning, not an error";
+  EXPECT_GT(rep.warnings, 0);
+  EXPECT_TRUE(HasFinding(rep, FindingKind::kStoreToCode));
+  ASSERT_FALSE(rep.selfmod_pages.empty());
+  EXPECT_EQ(rep.selfmod_pages[0], 0u);  // patch lives on page 0.
+}
+
+TEST(Verifier, UnreachableCodeShapedRunIsAWarning) {
+  Bytes image = Assemble(R"(
+    movi r1, 1
+    halt
+    movi r2, 2
+    movi r3, 3
+    add r2, r3
+    halt
+  )");
+  analysis::VerifyReport rep = analysis::VerifyImage(image, kMem, analysis::BuildCfg(image));
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(HasFinding(rep, FindingKind::kUnreachableCode));
+  // Classified as unreachable code, not data.
+  EXPECT_EQ(rep.words[3], analysis::WordClass::kUnreachableCode);
+}
+
+TEST(Verifier, ShippedGuestImagesAreClean) {
+  // The same gate CI applies via avm-lint: every builder image must
+  // verify with zero errors.
+  GameClientParams gc;
+  GameServerParams gs;
+  for (const Bytes& image : {BuildGameClientImage(gc), BuildGameServerImage(gs)}) {
+    analysis::ImageAnalysis ia = analysis::AnalyzeImage(image, 256 * 1024);
+    EXPECT_TRUE(ia.report.ok());
+    EXPECT_EQ(ia.report.errors, 0);
+  }
+}
+
+// --- Analysis-guided JIT equivalence -----------------------------------
+//
+// Lockstep three ways: analysis-guided JIT vs plain (PR 9) JIT vs the
+// decoded-cache interpreter. Architectural state must be bit-identical
+// at every quantum boundary regardless of fusion/dead-write decisions.
+
+void ExpectGuidedJitAgrees(const Bytes& image, const std::vector<uint64_t>& quanta,
+                           const std::vector<std::pair<int, uint32_t>>& irqs_at_quantum = {}) {
+  NullBackend b0, b1, b2;
+  Machine guided(kMem, &b0), plain(kMem, &b1), interp(kMem, &b2);
+  plain.set_jit_analysis_enabled(false);
+  interp.set_jit_enabled(false);
+  guided.LoadImage(image);
+  plain.LoadImage(image);
+  interp.LoadImage(image);
+  for (size_t q = 0; q < quanta.size(); q++) {
+    for (const auto& [at, cause] : irqs_at_quantum) {
+      if (static_cast<size_t>(at) == q) {
+        guided.RaiseIrq(cause);
+        plain.RaiseIrq(cause);
+        interp.RaiseIrq(cause);
+      }
+    }
+    RunExit eg = guided.Run(quanta[q]);
+    RunExit ep = plain.Run(quanta[q]);
+    RunExit ei = interp.Run(quanta[q]);
+    ASSERT_EQ(eg, ei) << "guided exit differs at quantum " << q;
+    ASSERT_EQ(ep, ei) << "plain exit differs at quantum " << q;
+    ASSERT_TRUE(guided.cpu() == interp.cpu()) << "guided cpu differs at quantum " << q;
+    ASSERT_TRUE(plain.cpu() == interp.cpu()) << "plain cpu differs at quantum " << q;
+    ASSERT_EQ(guided.faulted(), interp.faulted());
+    ASSERT_EQ(guided.fault_reason(), interp.fault_reason());
+    ASSERT_EQ(guided.ReadMemRange(0, kMem), interp.ReadMemRange(0, kMem))
+        << "guided memory differs at quantum " << q;
+    ASSERT_EQ(plain.ReadMemRange(0, kMem), interp.ReadMemRange(0, kMem))
+        << "plain memory differs at quantum " << q;
+  }
+}
+
+// A hot trampoline: straight-line blocks linked by direct jumps, the
+// shape region fusion turns into one translated unit.
+constexpr char kTrampolineLoop[] = R"(
+    movi r1, 0
+    movi r2, 1500
+loop:
+    addi r1, 1
+    jmp a
+a:
+    add r3, r1
+    jmp b
+b:
+    xor r4, r3
+    bne r1, r2, loop
+    halt
+)";
+
+TEST(AnalysisJit, TrampolineFusionMatchesInterpreter) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // Odd quanta park landmarks at every offset inside the fused region.
+  ExpectGuidedJitAgrees(Assemble(kTrampolineLoop), {1, 3, 257, 64, 1000, 1, 1, 2, 5000, 7});
+}
+
+TEST(AnalysisJit, FusionActuallyHappensAndPlainJitHasNone) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  Bytes image = Assemble(kTrampolineLoop);
+  NullBackend b0, b1;
+  Machine guided(kMem, &b0), plain(kMem, &b1);
+  plain.set_jit_analysis_enabled(false);
+  guided.LoadImage(image);
+  plain.LoadImage(image);
+  guided.Run(20000);
+  plain.Run(20000);
+  ASSERT_NE(guided.jit_stats(), nullptr);
+  ASSERT_NE(plain.jit_stats(), nullptr);
+  EXPECT_GE(guided.jit_stats()->regions_fused, 2u)
+      << "loop->a->b should fuse across both direct jumps";
+  EXPECT_EQ(plain.jit_stats()->regions_fused, 0u);
+  EXPECT_TRUE(guided.cpu() == plain.cpu());
+}
+
+TEST(AnalysisJit, DeadWritebackEliminationKeepsStateExact) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // r1 is written twice back-to-back: the first writeback is provably
+  // dead (redefined before any possible exit) and gets elided.
+  Bytes image = Assemble(R"(
+    movi r2, 1200
+loop:
+    movi r1, 7
+    movi r1, 8
+    addi r3, 1
+    bne r3, r2, loop
+    halt
+  )");
+  ExpectGuidedJitAgrees(image, {1, 2, 3, 500, 1, 1000, 4, 2500});
+
+  NullBackend b;
+  Machine m(kMem, &b);
+  m.LoadImage(image);
+  m.Run(20000);
+  ASSERT_NE(m.jit_stats(), nullptr);
+  EXPECT_GT(m.jit_stats()->dead_writes_skipped, 0u);
+  EXPECT_EQ(m.cpu().regs[1], 8u);
+}
+
+TEST(AnalysisJit, StaticSelfModifyingGuestAgrees) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // The statically-visible patch (la + sw into code) pre-arms the
+  // self-mod page, and execution stays bit-identical through the
+  // rewrite. Same guest shape as machine_test's decoded-cache case.
+  Bytes image = Assemble(R"(
+    movi r1, 0
+    movi r2, 0
+    la r3, patch
+    la r4, 400
+loop:
+patch:
+    addi r1, 1
+    addi r2, 1
+    movi r5, 3
+    bne r2, r5, cont
+    la r6, 0x2b100005   ; addi r1, 5
+    sw r6, [r3]
+cont:
+    bne r2, r4, loop
+    halt
+  )");
+  // The verifier must see the store statically.
+  analysis::ImageAnalysis ia = analysis::AnalyzeImage(image, kMem);
+  EXPECT_FALSE(ia.report.selfmod_pages.empty());
+  ExpectGuidedJitAgrees(image, {5, 7, 200, 1, 3, 5000});
+}
+
+TEST(AnalysisJit, IrqHeavyExecutionAgrees) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  Bytes image = Assemble(R"(
+    jmp main
+    jmp irqh
+irqh:
+    in r5, IRQ_CAUSE
+    add r6, r5
+    iret
+main:
+    movi r6, 0
+    ei
+loop:
+    addi r7, 1
+    jmp tramp
+tramp:
+    xor r8, r7
+    jmp loop
+  )");
+  std::vector<uint64_t> quanta(40, 13);
+  std::vector<std::pair<int, uint32_t>> irqs;
+  for (int q = 0; q < 40; q += 3) {
+    irqs.emplace_back(q, q % 2 == 0 ? kIrqNetRx : kIrqInput);
+  }
+  ExpectGuidedJitAgrees(image, quanta, irqs);
+}
+
+TEST(AnalysisJit, RandomProgramSweepAgrees) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // Random instruction soup, including stores into the program's own
+  // pages and undecodable opcodes: guided JIT, plain JIT and the
+  // interpreter must retire identically, faults and all.
+  constexpr uint8_t kOps[] = {0x00, 0x01, 0x10, 0x11, 0x12, 0x13, 0x20, 0x21, 0x22, 0x23,
+                              0x24, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x2b, 0x2c, 0x2d,
+                              0x30, 0x31, 0x32, 0x33, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45,
+                              0x46, 0x47, 0x48, 0x49, 0x60, 0x61, 0x62, 0xee};
+  Prng rng(20260807);
+  for (int prog = 0; prog < 25; prog++) {
+    Bytes image;
+    for (int i = 0; i < 1024; i++) {
+      uint8_t op = kOps[rng.Next() % (sizeof(kOps) - (prog % 2 ? 0 : 1))];
+      uint16_t imm = static_cast<uint16_t>(rng.Next());
+      if (op == 0x31 || op == 0x33) {
+        imm &= 0x0fff;  // Keep most stores in-range so they land.
+      }
+      PutU32(image, Encode(static_cast<Op>(op), static_cast<uint8_t>(rng.Next() % 16),
+                           static_cast<uint8_t>(rng.Next() % 16), imm));
+    }
+    ExpectGuidedJitAgrees(image, {257, 1000, 1});
+  }
+}
+
+TEST(AnalysisJit, CoverageCountersPopulate) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  // The avm.jit.* coverage instrumentation that feeds hot_threshold
+  // tuning: region-shape histograms at translation time, per-block
+  // execution counts retired on invalidation/flush/teardown.
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Histogram* exec = reg.GetHistogram("avm.jit.block_exec");
+  obs::Histogram* insns = reg.GetHistogram("avm.jit.region_insns");
+  obs::Histogram* blocks = reg.GetHistogram("avm.jit.region_blocks");
+  const uint64_t exec0 = exec->Count();
+  const uint64_t exec_sum0 = exec->Sum();
+  const uint64_t insns0 = insns->Count();
+  const uint64_t blocks0 = blocks->Count();
+  {
+    NullBackend b;
+    Machine m(kMem, &b);
+    m.LoadImage(Assemble(kTrampolineLoop));
+    m.Run(20000);
+  }  // Teardown retires the live blocks' execution counts.
+  EXPECT_GT(insns->Count(), insns0);
+  EXPECT_GT(blocks->Count(), blocks0);
+  EXPECT_GT(exec->Count(), exec0);
+  // The hot loop re-enters its translation many times, so the retired
+  // execution total far exceeds the number of blocks.
+  EXPECT_GT(exec->Sum() - exec_sum0, exec->Count() - exec0);
+}
+
+TEST(AnalysisJit, ToggleMidRunReanalyzesAndAgrees) {
+  if (!Machine::JitCompiledIn()) GTEST_SKIP() << "JIT not compiled in";
+  Bytes image = Assemble(kTrampolineLoop);
+  NullBackend b0, b1;
+  Machine toggled(kMem, &b0), interp(kMem, &b1);
+  interp.set_jit_enabled(false);
+  toggled.LoadImage(image);
+  interp.LoadImage(image);
+  bool on = false;
+  for (int q = 0; q < 12; q++) {
+    toggled.set_jit_analysis_enabled(on);
+    on = !on;
+    RunExit et = toggled.Run(250);
+    RunExit ei = interp.Run(250);
+    ASSERT_EQ(et, ei);
+    ASSERT_TRUE(toggled.cpu() == interp.cpu()) << "state differs at quantum " << q;
+  }
+}
+
+// --- Auditor pre-audit pass (AuditConfig::verify_image) ----------------
+
+TEST(VerifyImageAudit, CleanImagePassesAndCorruptImageFailsBeforeReplay) {
+  GameScenarioConfig gcfg;
+  gcfg.run = RunConfig::AvmmNoSig();
+  gcfg.num_players = 2;
+  gcfg.seed = 77;
+  gcfg.client.render_iters = 300;
+  GameScenario game(gcfg);
+  game.Start();
+  game.RunFor(kMicrosPerSecond);
+  game.Finish();
+
+  std::vector<Authenticator> auths = game.CollectAuths("server");
+  AuditConfig acfg;
+  acfg.mem_size = game.config().run.mem_size;
+  acfg.verify_image = true;
+  Auditor auditor("third-party", &game.registry(), acfg);
+
+  // Genuine reference image: the pre-audit pass finds no errors and the
+  // audit proceeds to a normal PASS.
+  AuditOutcome good = auditor.AuditFull(game.server(), game.reference_server_image(), auths);
+  EXPECT_TRUE(good.ok) << good.Describe();
+  EXPECT_EQ(good.image_errors, 0);
+  EXPECT_GT(good.semantic.instructions_replayed, 0u);
+
+  // Corrupt the reference image (illegal opcode in the middle of the
+  // largest reachable block): the audit fails up front, replaying
+  // nothing.
+  Bytes bad_image = game.reference_server_image();
+  Cfg cfg = analysis::BuildCfg(bad_image);
+  const BasicBlock* biggest = nullptr;
+  for (const BasicBlock& b : cfg.blocks) {
+    if (biggest == nullptr || b.insn_count() > biggest->insn_count()) {
+      biggest = &b;
+    }
+  }
+  ASSERT_NE(biggest, nullptr);
+  uint32_t victim = biggest->start + (biggest->insn_count() / 2) * 4;
+  bad_image[victim] = 0x00;
+  bad_image[victim + 1] = 0x00;
+  bad_image[victim + 2] = 0x00;
+  bad_image[victim + 3] = 0xee;  // Little-endian word 0xee000000.
+
+  AuditOutcome bad = auditor.AuditFull(game.server(), bad_image, auths);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_GT(bad.image_errors, 0);
+  EXPECT_FALSE(bad.image_findings.empty());
+  EXPECT_EQ(bad.semantic.instructions_replayed, 0u) << "must fail before replay starts";
+  EXPECT_NE(bad.Describe().find("FAIL (image)"), std::string::npos) << bad.Describe();
+}
+
+}  // namespace
+}  // namespace avm

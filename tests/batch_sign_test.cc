@@ -491,8 +491,8 @@ TEST_P(SignModeSweep, CheatDetectedAndEvidenceConvincesThirdParty) {
 INSTANTIATE_TEST_SUITE_P(Modes, SignModeSweep,
                          ::testing::Values(SignMode::kSync, SignMode::kBatched,
                                            SignMode::kAsync),
-                         [](const ::testing::TestParamInfo<SignMode>& info) {
-                           return SignModeName(info.param);
+                         [](const ::testing::TestParamInfo<SignMode>& tpi) {
+                           return SignModeName(tpi.param);
                          });
 
 // durable_commit changes only *when* evidence is released, never what
@@ -589,8 +589,8 @@ TEST_P(KvRsaSweep, FullAuditAndSpotCheckPass) {
 INSTANTIATE_TEST_SUITE_P(Modes, KvRsaSweep,
                          ::testing::Values(SignMode::kSync, SignMode::kBatched,
                                            SignMode::kAsync),
-                         [](const ::testing::TestParamInfo<SignMode>& info) {
-                           return SignModeName(info.param);
+                         [](const ::testing::TestParamInfo<SignMode>& tpi) {
+                           return SignModeName(tpi.param);
                          });
 
 }  // namespace

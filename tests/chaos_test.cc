@@ -723,8 +723,8 @@ TEST_P(ChaosTest, EmptyPlanBitIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::ValuesIn(ChaosSeeds()),
-                         [](const ::testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<uint64_t>& tpi) {
+                           return "seed" + std::to_string(tpi.param);
                          });
 
 }  // namespace

@@ -126,13 +126,13 @@ TEST_P(MutatedInputFuzz, NoCrashOnMutatedValidStructures) {
     Bytes active = EncodeSegmentHeader({1, Hash256::Zero()});
     std::vector<SparseIndexEntry> index;
     for (int i = 0; i < 6; i++) {
-      const LogEntry& e =
+      const LogEntry& rec =
           store_log.Append(i % 2 == 0 ? EntryType::kInfo : EntryType::kSend,
                            rng.RandomBytes(rng.Below(40)));
       if (i % 2 == 0) {
-        index.push_back({e.seq, active.size() - kSegmentHeaderSize});
+        index.push_back({rec.seq, active.size() - kSegmentHeaderSize});
       }
-      EncodeRecord(e, active);
+      EncodeRecord(rec, active);
     }
     valid.push_back(active);
     valid.push_back(EncodeSealedSegment({1, Hash256::Zero()},
